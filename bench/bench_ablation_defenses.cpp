@@ -1,0 +1,100 @@
+// Ablation: semantic loss vs. adversarial training (the defense the paper's
+// related-work section contrasts against) vs. their combination, evaluated
+// under both single-step FGSM and iterative PGD. Paper's argument: the
+// semantic loss gains robustness *without* the clean-accuracy cost and
+// attack-specificity of adversarial training.
+//
+//   ./bench_ablation_defenses [--arch mlp|lstm] [--testbed ...] [--eps 0.1]
+#include "attack/pgd.h"
+#include "bench_common.h"
+
+using namespace cpsguard;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  util::set_log_level(util::LogLevel::kInfo);
+  const std::string out = cli.get("out", "ablation_defenses.csv");
+  const double eps = cli.get_double("eps", 0.1);
+  const monitor::Arch arch = cli.get("arch", "mlp") == "lstm"
+                                 ? monitor::Arch::kLstm
+                                 : monitor::Arch::kMlp;
+  const sim::Testbed tb = cli.get("testbed", "glucosym") == "t1d"
+                              ? sim::Testbed::kT1dBasalBolus
+                              : sim::Testbed::kGlucosymOpenAps;
+
+  core::ExperimentConfig cfg = bench::bench_config(tb, cli);
+  core::Experiment exp(cfg);
+  exp.prepare();
+  const auto& train = exp.train_data();
+  const auto& test = exp.test_data();
+
+  struct Defense {
+    std::string name;
+    bool semantic;
+    bool adv_training;
+  };
+  const std::vector<Defense> defenses = {
+      {"baseline", false, false},
+      {"semantic loss", true, false},
+      {"adversarial training", false, true},
+      {"semantic + adv. training", true, true},
+  };
+
+  util::Table table({"Defense", "clean F1", "FGSM F1", "FGSM err", "PGD F1",
+                     "PGD err"});
+  util::CsvWriter csv({"defense", "clean_f1", "fgsm_f1", "fgsm_error",
+                       "pgd_f1", "pgd_error"});
+
+  for (const Defense& d : defenses) {
+    monitor::MonitorConfig mc;
+    mc.arch = arch;
+    mc.semantic = d.semantic;
+    mc.semantic_weight = arch == monitor::Arch::kMlp
+                             ? cfg.semantic_weight_mlp
+                             : cfg.semantic_weight_lstm;
+    mc.adversarial_training = d.adv_training;
+    mc.adv_epsilon = eps;
+    mc.epochs = cfg.epochs;
+    mc.batch_size = cfg.batch_size;
+    mc.learning_rate = cfg.learning_rate;
+    mc.seed = cfg.campaign.seed;
+    monitor::MlMonitor mon(mc);
+    mon.train(train);
+
+    const auto clean_preds = mon.predict(test.x);
+    const auto clean = exp.evaluate(clean_preds);
+    const nn::Tensor3 scaled = mon.scaler().transform(test.x);
+
+    attack::FgsmConfig fc;
+    fc.epsilon = eps;
+    const auto fgsm_preds = mon.predict_scaled(
+        attack::fgsm_attack(mon.classifier(), scaled, test.labels, fc));
+
+    attack::PgdConfig pc;
+    pc.epsilon = eps;
+    pc.step_size = eps / 4.0;
+    pc.iterations = 8;
+    const auto pgd_preds = mon.predict_scaled(
+        attack::pgd_attack(mon.classifier(), scaled, test.labels, pc));
+
+    const double fgsm_err = eval::robustness_error(clean_preds, fgsm_preds);
+    const double pgd_err = eval::robustness_error(clean_preds, pgd_preds);
+    table.add_row({d.name, util::Table::fixed(clean.f1(), 3),
+                   util::Table::fixed(exp.evaluate(fgsm_preds).f1(), 3),
+                   util::Table::fixed(fgsm_err, 3),
+                   util::Table::fixed(exp.evaluate(pgd_preds).f1(), 3),
+                   util::Table::fixed(pgd_err, 3)});
+    csv.add_row({d.name, util::CsvWriter::num(clean.f1()),
+                 util::CsvWriter::num(exp.evaluate(fgsm_preds).f1()),
+                 util::CsvWriter::num(fgsm_err),
+                 util::CsvWriter::num(exp.evaluate(pgd_preds).f1()),
+                 util::CsvWriter::num(pgd_err)});
+  }
+
+  bench::reject_unknown_flags(cli);
+  std::printf("Ablation — defenses (%s, %s, eps=%.2f)\n",
+              to_string(arch).c_str(), sim::to_string(tb).c_str(), eps);
+  table.print();
+  bench::maybe_write_csv(csv, out);
+  return 0;
+}

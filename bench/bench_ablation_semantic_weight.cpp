@@ -1,0 +1,87 @@
+// Ablation: the semantic-loss weight w (Eq. 2), which the paper leaves
+// implicit. Sweeps w and reports the accuracy/robustness trade-off: w = 0 is
+// the data-only baseline; large w collapses the model onto the rule base
+// (high robustness, rule-level F1).
+//
+//   ./bench_ablation_semantic_weight [--arch mlp|lstm] [--testbed ...]
+//                                    [--eps 0.1] [--ws 0,0.5,1,2,4]
+#include <sstream>
+
+#include "bench_common.h"
+
+using namespace cpsguard;
+
+namespace {
+
+std::vector<double> parse_list(const std::string& csv) {
+  std::vector<double> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  util::set_log_level(util::LogLevel::kInfo);
+  const std::string out = cli.get("out", "ablation_semantic_weight.csv");
+  const double eps = cli.get_double("eps", 0.1);
+  const auto ws = parse_list(cli.get("ws", "0,0.25,0.5,1,2,4"));
+  const monitor::Arch arch = cli.get("arch", "mlp") == "lstm"
+                                 ? monitor::Arch::kLstm
+                                 : monitor::Arch::kMlp;
+  const sim::Testbed tb = cli.get("testbed", "glucosym") == "t1d"
+                              ? sim::Testbed::kT1dBasalBolus
+                              : sim::Testbed::kGlucosymOpenAps;
+
+  core::ExperimentConfig cfg = bench::bench_config(tb, cli);
+  core::Experiment exp(cfg);
+  exp.prepare();
+  const auto& train = exp.train_data();
+  const auto& test = exp.test_data();
+
+  util::Table table({"w", "clean ACC", "clean F1", "FGSM F1", "robust-err"});
+  util::CsvWriter csv({"w", "clean_acc", "clean_f1", "fgsm_f1", "robustness_error"});
+
+  for (const double w : ws) {
+    monitor::MonitorConfig mc;
+    mc.arch = arch;
+    mc.semantic = w > 0.0;
+    mc.semantic_weight = w;
+    mc.epochs = cfg.epochs;
+    mc.batch_size = cfg.batch_size;
+    mc.learning_rate = cfg.learning_rate;
+    mc.seed = cfg.campaign.seed;
+    monitor::MlMonitor mon(mc);
+    mon.train(train);
+
+    const auto clean_preds = mon.predict(test.x);
+    const auto clean = exp.evaluate(clean_preds);
+
+    attack::FgsmConfig fc;
+    fc.epsilon = eps;
+    const nn::Tensor3 scaled = mon.scaler().transform(test.x);
+    const nn::Tensor3 adv =
+        attack::fgsm_attack(mon.classifier(), scaled, test.labels, fc);
+    const auto adv_preds = mon.predict_scaled(adv);
+    const auto attacked = exp.evaluate(adv_preds);
+    const double rerr = eval::robustness_error(clean_preds, adv_preds);
+
+    table.add_row({util::Table::fixed(w, 2), util::Table::fixed(clean.accuracy(), 3),
+                   util::Table::fixed(clean.f1(), 3),
+                   util::Table::fixed(attacked.f1(), 3),
+                   util::Table::fixed(rerr, 3)});
+    csv.add_row({util::CsvWriter::num(w), util::CsvWriter::num(clean.accuracy()),
+                 util::CsvWriter::num(clean.f1()),
+                 util::CsvWriter::num(attacked.f1()), util::CsvWriter::num(rerr)});
+  }
+
+  bench::reject_unknown_flags(cli);
+  std::printf("Ablation — semantic weight w (%s, %s, FGSM eps=%.2f)\n",
+              to_string(arch).c_str(), sim::to_string(tb).c_str(), eps);
+  table.print();
+  bench::maybe_write_csv(csv, out);
+  return 0;
+}

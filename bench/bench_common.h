@@ -1,0 +1,76 @@
+// Shared configuration for the figure/table reproduction benches.
+//
+// Every bench uses the same ExperimentConfig defaults so trained monitors are
+// shared through the on-disk cache (cpsguard_cache/): the first bench to run
+// pays the training cost, later benches reload the same models — mirroring
+// how the paper evaluates one set of trained monitors across all figures.
+//
+// Common flags (all benches):
+//   --patients N   patient profiles per simulator   (default 20, paper: 20)
+//   --sims N       simulations per patient          (default 5)
+//   --steps N      5-min cycles per simulation      (default 150, paper: 150)
+//   --epochs N     training epochs                  (default 10)
+//   --seed S       campaign seed                    (default 42)
+//   --w W          semantic-loss weight, Eq. 2, both archs
+//   --w-mlp/--w-lstm  per-architecture weights      (defaults 0.5 / 1.0)
+//   --cache DIR    model cache dir ("" disables)    (default cpsguard_cache)
+//   --out FILE     also write the series as CSV
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/cpsguard.h"
+
+namespace cpsguard::bench {
+
+inline core::ExperimentConfig bench_config(sim::Testbed tb,
+                                           const util::Cli& cli) {
+  core::ExperimentConfig cfg;
+  cfg.campaign.testbed = tb;
+  cfg.campaign.patients = cli.get_int("patients", 20);
+  cfg.campaign.sims_per_patient = cli.get_int("sims", 5);
+  cfg.campaign.trace_steps = cli.get_int("steps", 150);
+  cfg.campaign.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  cfg.epochs = cli.get_int("epochs", 10);
+  const double w_both = cli.get_double("w", -1.0);
+  cfg.semantic_weight_mlp = cli.get_double("w-mlp", w_both > 0 ? w_both : 0.5);
+  cfg.semantic_weight_lstm = cli.get_double("w-lstm", w_both > 0 ? w_both : 1.0);
+  cfg.cache_dir = cli.get("cache", "cpsguard_cache");
+  return cfg;
+}
+
+/// Fail loudly on mistyped flags after all get() calls are done.
+inline void reject_unknown_flags(const util::Cli& cli) {
+  const auto unused = cli.unused();
+  if (unused.empty()) return;
+  std::string msg = "unknown flags:";
+  for (const auto& f : unused) msg += " --" + f;
+  std::fprintf(stderr, "%s\n", msg.c_str());
+  std::exit(2);
+}
+
+/// Write a CSV if --out was given.
+inline void maybe_write_csv(const util::CsvWriter& csv, const std::string& out) {
+  if (out.empty()) return;
+  csv.write(out);
+  std::fprintf(stderr, "wrote %s\n", out.c_str());
+}
+
+/// The σ sweep of Fig. 5/6/9 and the ε sweep of Fig. 8/9/10.
+inline const std::vector<double>& sigma_sweep() {
+  static const std::vector<double> v = {0.1, 0.25, 0.5, 0.75, 1.0};
+  return v;
+}
+inline const std::vector<double>& epsilon_sweep() {
+  static const std::vector<double> v = {0.01, 0.05, 0.1, 0.15, 0.2};
+  return v;
+}
+
+inline const std::vector<sim::Testbed>& both_testbeds() {
+  static const std::vector<sim::Testbed> v = {
+      sim::Testbed::kGlucosymOpenAps, sim::Testbed::kT1dBasalBolus};
+  return v;
+}
+
+}  // namespace cpsguard::bench

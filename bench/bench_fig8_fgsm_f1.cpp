@@ -1,0 +1,44 @@
+// Fig. 8: F1 score of each monitor under white-box FGSM attacks with
+// ε ∈ {0.01, 0.05, 0.1, 0.15, 0.2}, both simulators. Paper shape: baseline
+// F1 drops sharply with ε; the -Custom monitors hold; LSTM-Custom ends
+// highest overall.
+#include "bench_common.h"
+
+using namespace cpsguard;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  util::set_log_level(util::LogLevel::kInfo);
+  const std::string out = cli.get("out", "fig8_fgsm_f1.csv");
+
+  util::CsvWriter csv({"simulator", "model", "epsilon", "f1", "acc"});
+
+  for (const sim::Testbed tb : bench::both_testbeds()) {
+    core::Experiment exp(bench::bench_config(tb, cli));
+    exp.train_all();
+    std::printf("\nFig. 8 — %s: F1 vs white-box FGSM epsilon\n",
+                sim::to_string(tb).c_str());
+    util::Table table({"Model", "clean", "0.01", "0.05", "0.1", "0.15", "0.2"});
+    for (const auto& v : core::all_variants()) {
+      std::vector<std::string> row = {v.name()};
+      const auto clean = exp.evaluate_clean(v);
+      row.push_back(util::Table::fixed(clean.f1(), 3));
+      csv.add_row({sim::to_string(tb), v.name(), "0",
+                   util::CsvWriter::num(clean.f1()),
+                   util::CsvWriter::num(clean.accuracy())});
+      for (const double eps : bench::epsilon_sweep()) {
+        const auto r = exp.evaluate_under_fgsm(v, eps);
+        row.push_back(util::Table::fixed(r.f1(), 3));
+        csv.add_row({sim::to_string(tb), v.name(), util::CsvWriter::num(eps),
+                     util::CsvWriter::num(r.f1()),
+                     util::CsvWriter::num(r.accuracy())});
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+  }
+
+  bench::reject_unknown_flags(cli);
+  bench::maybe_write_csv(csv, out);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Micro-benchmarks of the NN substrate (google-benchmark): the kernels that
+// dominate monitor training and FGSM crafting.
+#include <benchmark/benchmark.h>
+
+#include "nn/classifier.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cpsguard;
+
+nn::Matrix random_matrix(int r, int c, util::Rng& rng) {
+  nn::Matrix m(r, c);
+  for (float& v : m.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+nn::Tensor3 random_tensor(int b, int t, int f, util::Rng& rng) {
+  nn::Tensor3 x(b, t, f);
+  for (float& v : x.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return x;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  const nn::Matrix a = random_matrix(n, n, rng);
+  const nn::Matrix b = random_matrix(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2L * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MlpForward(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  util::Rng rng(2);
+  nn::MlpClassifier clf(6, 9, {256, 128}, 2, rng);
+  const nn::Tensor3 x = random_tensor(batch, 6, 9, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.predict_proba(x));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_MlpForward)->Arg(64)->Arg(256);
+
+void BM_MlpTrainBatch(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  util::Rng rng(3);
+  nn::MlpClassifier clf(6, 9, {256, 128}, 2, rng);
+  const nn::Tensor3 x = random_tensor(batch, 6, 9, rng);
+  std::vector<int> y(static_cast<std::size_t>(batch));
+  for (int i = 0; i < batch; ++i) y[static_cast<std::size_t>(i)] = i % 2;
+  nn::Adam adam(0.001);
+  const nn::SoftmaxCrossEntropy ce;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.train_batch(x, y, {}, ce, adam));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_MlpTrainBatch)->Arg(64);
+
+void BM_LstmForward(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  util::Rng rng(4);
+  nn::LstmClassifier clf(6, 9, {128, 64}, 2, rng);
+  const nn::Tensor3 x = random_tensor(batch, 6, 9, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.predict_proba(x));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LstmForward)->Arg(64)->Arg(256);
+
+void BM_LstmTrainBatch(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  util::Rng rng(5);
+  nn::LstmClassifier clf(6, 9, {128, 64}, 2, rng);
+  const nn::Tensor3 x = random_tensor(batch, 6, 9, rng);
+  std::vector<int> y(static_cast<std::size_t>(batch));
+  for (int i = 0; i < batch; ++i) y[static_cast<std::size_t>(i)] = i % 2;
+  nn::Adam adam(0.001);
+  const nn::SoftmaxCrossEntropy ce;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.train_batch(x, y, {}, ce, adam));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LstmTrainBatch)->Arg(64);
+
+void BM_LstmInputGradient(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  util::Rng rng(6);
+  nn::LstmClassifier clf(6, 9, {128, 64}, 2, rng);
+  const nn::Tensor3 x = random_tensor(batch, 6, 9, rng);
+  std::vector<int> y(static_cast<std::size_t>(batch));
+  for (int i = 0; i < batch; ++i) y[static_cast<std::size_t>(i)] = i % 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.loss_input_gradient(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LstmInputGradient)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Micro-benchmarks of the simulation substrate: patient plant integration,
+// closed-loop cycles, STL rule evaluation, and dataset building.
+#include <benchmark/benchmark.h>
+
+#include "monitor/dataset.h"
+#include "safety/rule_monitor.h"
+#include "sim/closed_loop.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cpsguard;
+
+void BM_PatientStep(benchmark::State& state) {
+  const auto tb = static_cast<sim::Testbed>(state.range(0));
+  auto patient = sim::make_patient(tb);
+  const auto profiles = sim::testbed_profiles(tb, 1, 42);
+  util::Rng rng(1);
+  patient->reset(profiles[0], rng);
+  const double basal = patient->recommended_basal_u_per_h();
+  for (auto _ : state) {
+    patient->step(basal, 0.0, 5.0);
+    benchmark::DoNotOptimize(patient->bg());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PatientStep)->Arg(0)->Arg(1);
+
+void BM_ClosedLoopTrace(benchmark::State& state) {
+  const auto tb = static_cast<sim::Testbed>(state.range(0));
+  auto patient = sim::make_patient(tb);
+  auto controller = sim::make_controller(tb);
+  const auto profiles = sim::testbed_profiles(tb, 1, 42);
+  sim::SimConfig cfg;
+  cfg.steps = 150;
+  cfg.inject_fault = true;
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_closed_loop(*patient, *controller, profiles[0], cfg, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 150);
+}
+BENCHMARK(BM_ClosedLoopTrace)->Arg(0)->Arg(1);
+
+void BM_RuleMonitorStep(benchmark::State& state) {
+  const safety::RuleBasedMonitor monitor;
+  sim::StepRecord rec;
+  rec.sensor_bg = 190.0;
+  rec.d_bg = 0.6;
+  rec.d_iob = -0.002;
+  rec.action = sim::ControlAction::kDecreaseInsulin;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.predict_step(rec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuleMonitorStep);
+
+void BM_BuildDataset(benchmark::State& state) {
+  auto patient = sim::make_patient(sim::Testbed::kGlucosymOpenAps);
+  auto controller = sim::make_controller(sim::Testbed::kGlucosymOpenAps);
+  const auto profiles =
+      sim::testbed_profiles(sim::Testbed::kGlucosymOpenAps, 1, 42);
+  sim::SimConfig cfg;
+  cfg.steps = 150;
+  cfg.inject_fault = true;
+  util::Rng rng(3);
+  std::vector<sim::Trace> traces;
+  for (int i = 0; i < 10; ++i) {
+    traces.push_back(
+        run_closed_loop(*patient, *controller, profiles[0], cfg, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        monitor::build_dataset(traces, monitor::DatasetConfig{}));
+  }
+  state.SetItemsProcessed(state.iterations() * 10 * 145);
+}
+BENCHMARK(BM_BuildDataset);
+
+}  // namespace
+
+BENCHMARK_MAIN();

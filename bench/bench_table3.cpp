@@ -1,0 +1,43 @@
+// Table III: overall performance (ACC, F1) of each monitor on clean data,
+// for both simulators. Paper shape: ML monitors beat the rule-based
+// baseline; MLP-Custom >= MLP; LSTM-Custom comparable to LSTM.
+#include "bench_common.h"
+
+using namespace cpsguard;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  util::set_log_level(util::LogLevel::kInfo);
+  const std::string out = cli.get("out", "table3.csv");
+
+  util::Table table({"Simulator", "Model", "No. Sim.", "No. Sample", "ACC", "F1"});
+  util::CsvWriter csv({"simulator", "model", "sims", "samples", "acc", "f1"});
+
+  for (const sim::Testbed tb : bench::both_testbeds()) {
+    core::Experiment exp(bench::bench_config(tb, cli));
+    exp.train_all();
+    const std::string sims = std::to_string(exp.traces().size());
+    const std::string samples =
+        std::to_string(exp.train_data().size() + exp.test_data().size());
+
+    auto add = [&](const std::string& model, const core::EvalResult& r) {
+      table.add_row({sim::to_string(tb), model, sims, samples,
+                     util::Table::fixed(r.accuracy(), 2),
+                     util::Table::fixed(r.f1(), 2)});
+      csv.add_row({sim::to_string(tb), model, sims, samples,
+                   util::CsvWriter::num(r.accuracy()),
+                   util::CsvWriter::num(r.f1())});
+    };
+
+    add("Rule-based", exp.evaluate_rule_monitor());
+    for (const auto& v : core::all_variants()) {
+      add(v.name(), exp.evaluate_clean(v));
+    }
+  }
+
+  bench::reject_unknown_flags(cli);
+  std::printf("Table III: Overall Performance of Each ML Model without Noises\n");
+  table.print();
+  bench::maybe_write_csv(csv, out);
+  return 0;
+}

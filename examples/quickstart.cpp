@@ -1,0 +1,57 @@
+// Quickstart: the whole pipeline in one page.
+//
+// Simulates a small closed-loop APS campaign, trains a baseline LSTM monitor
+// and its knowledge-augmented LSTM-Custom twin, then compares their accuracy
+// on clean data and their robustness under a white-box FGSM attack.
+//
+//   ./quickstart [--sims 6] [--patients 8] [--epochs 6] [--eps 0.1]
+#include <cstdio>
+
+#include "core/cpsguard.h"
+
+using namespace cpsguard;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  util::set_log_level(util::LogLevel::kInfo);
+
+  core::ExperimentConfig cfg;
+  cfg.campaign.testbed = cli.get("testbed", "glucosym") == "t1d"
+                             ? sim::Testbed::kT1dBasalBolus
+                             : sim::Testbed::kGlucosymOpenAps;
+  cfg.campaign.patients = cli.get_int("patients", 8);
+  cfg.campaign.sims_per_patient = cli.get_int("sims", 6);
+  cfg.epochs = cli.get_int("epochs", 6);
+  cfg.dataset.horizon = cli.get_int("horizon", 12);
+  cfg.semantic_weight_lstm = cli.get_double("w", 1.0);
+  cfg.semantic_weight_mlp = cli.get_double("w", 0.5);
+  cfg.tolerance_delta = cli.get_int("delta", 6);
+  cfg.cache_dir = cli.get("cache", "");  // no caching by default here
+  const double eps = cli.get_double("eps", 0.1);
+
+  core::Experiment exp(cfg);
+  exp.prepare();
+
+  std::printf("campaign: %d traces, train=%d test=%d windows (%.1f%% unsafe)\n",
+              static_cast<int>(exp.traces().size()), exp.train_data().size(),
+              exp.test_data().size(),
+              100.0 * exp.train_data().positive_fraction());
+
+  const core::MonitorVariant baseline{monitor::Arch::kLstm, false};
+  const core::MonitorVariant custom{monitor::Arch::kLstm, true};
+
+  for (const auto& variant : {baseline, custom}) {
+    const auto clean = exp.evaluate_clean(variant);
+    const auto attacked = exp.evaluate_under_fgsm(variant, eps);
+    std::printf(
+        "%-12s clean: ACC=%.3f F1=%.3f | FGSM(eps=%.2f): F1=%.3f "
+        "robustness-error=%.3f\n",
+        variant.name().c_str(), clean.accuracy(), clean.f1(), eps,
+        attacked.f1(), attacked.robustness_err);
+  }
+
+  const auto rule = exp.evaluate_rule_monitor();
+  std::printf("%-12s clean: ACC=%.3f F1=%.3f (knowledge only)\n", "Rule-based",
+              rule.accuracy(), rule.f1());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Transparency demo: the paper argues that integrating domain knowledge
+// "improves ML explainability by offering simple rules to check the output
+// of the ML model". This example makes that concrete: for windows the ML
+// monitor flags as unsafe, it prints which Table I STL formulas fire in the
+// same context — a human-auditable justification — and reports how often the
+// ML monitor and the knowledge base agree.
+//
+//   ./transparency_demo [--testbed glucosym|t1d] [--examples 5]
+#include <cstdio>
+
+#include "core/cpsguard.h"
+
+using namespace cpsguard;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  util::set_log_level(util::LogLevel::kWarn);
+
+  const sim::Testbed tb = cli.get("testbed", "glucosym") == "t1d"
+                              ? sim::Testbed::kT1dBasalBolus
+                              : sim::Testbed::kGlucosymOpenAps;
+  core::ExperimentConfig cfg;
+  cfg.campaign.testbed = tb;
+  cfg.campaign.patients = cli.get_int("patients", 8);
+  cfg.campaign.sims_per_patient = cli.get_int("sims", 5);
+  cfg.epochs = cli.get_int("epochs", 8);
+  cfg.cache_dir = cli.get("cache", "cpsguard_cache");
+  const int max_examples = cli.get_int("examples", 5);
+
+  core::Experiment exp(cfg);
+  const core::MonitorVariant custom{monitor::Arch::kMlp, true};
+  auto& mon = exp.monitor(custom);
+  const auto& test = exp.test_data();
+  const auto preds = mon.predict(test.x);
+
+  // First, the knowledge base itself.
+  std::printf("Table I — context-dependent safety specifications:\n");
+  for (const auto& rule : safety::aps_safety_rules()) {
+    std::printf("  rule %2d [%s]: %s\n", rule.id,
+                to_string(rule.hazard).c_str(), rule.formula->to_string().c_str());
+  }
+
+  // Agreement between the ML monitor and the rule disjunction.
+  int agree = 0, ml_alarms = 0, explained_alarms = 0;
+  for (int i = 0; i < test.size(); ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    const int rule = static_cast<int>(test.semantic[si]);
+    if (preds[si] == rule) ++agree;
+    if (preds[si] == 1) {
+      ++ml_alarms;
+      if (rule == 1) ++explained_alarms;
+    }
+  }
+  std::printf(
+      "\n%s on %d test windows: ML/rule agreement %.1f%%, "
+      "%.1f%% of ML alarms carry a rule-level explanation\n\n",
+      custom.name().c_str(), test.size(),
+      100.0 * agree / std::max(1, test.size()),
+      100.0 * explained_alarms / std::max(1, ml_alarms));
+
+  // A few concrete explanations.
+  int shown = 0;
+  for (int i = 0; i < test.size() && shown < max_examples; ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    if (preds[si] != 1) continue;
+    const auto ctx = monitor::window_context(test.x, i);
+    const auto firing = safety::firing_rules(ctx);
+    if (firing.empty()) continue;
+    ++shown;
+    std::printf(
+        "window %d: BG=%.0f dBG=%+.2f dIOB=%+.4f action=%s -> UNSAFE because",
+        i, ctx.bg, ctx.d_bg, ctx.d_iob, to_string(ctx.action).c_str());
+    for (const int id : firing) std::printf(" [rule %d]", id);
+    std::printf(" (ground truth: %s)\n",
+                test.labels[si] ? "hazard ahead" : "no hazard");
+  }
+  if (shown == 0) {
+    std::printf("no rule-explained alarms in this test slice\n");
+  }
+  return 0;
+}

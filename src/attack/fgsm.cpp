@@ -1,0 +1,31 @@
+#include "attack/fgsm.h"
+
+#include "util/contracts.h"
+
+namespace cpsguard::attack {
+
+nn::Tensor3 fgsm_attack(nn::Classifier& clf, const nn::Tensor3& scaled_x,
+                        std::span<const int> labels, const FgsmConfig& config) {
+  expects(config.epsilon >= 0.0, "epsilon must be non-negative");
+  expects(scaled_x.batch() == static_cast<int>(labels.size()),
+          "one label per window required");
+
+  nn::Tensor3 grad = clf.loss_input_gradient(scaled_x, labels);
+  // Δx = ε · sign(∇x J)
+  auto g = grad.data();
+  const auto eps = static_cast<float>(config.epsilon);
+  for (float& v : g) {
+    v = v > 0.0f ? eps : (v < 0.0f ? -eps : 0.0f);
+  }
+  apply_feature_mask(grad, config.mask);
+
+  nn::Tensor3 adv = scaled_x;
+  auto a = adv.data();
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += g[i];
+
+  ensures(linf_distance(adv, scaled_x) <= config.epsilon + 1e-4,
+          "FGSM must respect the L-infinity budget");
+  return adv;
+}
+
+}  // namespace cpsguard::attack

@@ -1,0 +1,27 @@
+// White-box Fast Gradient Sign Method (Goodfellow et al. 2014), Eq. 3-4 of
+// the paper:
+//     x_adv = x + ε · sign(∇_x J(x, y))
+// applied to the *scaled* model-input space (the space the classifier was
+// trained in), over the full multivariate window — both sensor and command
+// features — unless a narrower mask is requested.
+#pragma once
+
+#include <span>
+
+#include "attack/perturbation.h"
+#include "nn/classifier.h"
+
+namespace cpsguard::attack {
+
+struct FgsmConfig {
+  double epsilon = 0.1;            // L∞ budget per coordinate (scaled units)
+  FeatureMask mask = FeatureMask::kAll;  // paper: sensors + commands
+};
+
+/// Craft adversarial windows against `clf`. `labels` are the true labels
+/// used in the loss J (untargeted attack: move away from the truth).
+/// Postcondition: ‖x_adv − x‖∞ ≤ ε.
+nn::Tensor3 fgsm_attack(nn::Classifier& clf, const nn::Tensor3& scaled_x,
+                        std::span<const int> labels, const FgsmConfig& config);
+
+}  // namespace cpsguard::attack

@@ -1,0 +1,28 @@
+#include "attack/gaussian.h"
+
+#include "util/contracts.h"
+
+namespace cpsguard::attack {
+
+nn::Tensor3 add_gaussian_noise(const nn::Tensor3& raw_windows,
+                               const monitor::StandardScaler& scaler,
+                               const GaussianNoiseConfig& config,
+                               util::Rng& rng) {
+  expects(config.sigma_factor >= 0.0, "sigma factor must be non-negative");
+  expects(raw_windows.features() == scaler.features(), "feature width mismatch");
+  nn::Tensor3 out = raw_windows;
+  for (int b = 0; b < out.batch(); ++b) {
+    for (int t = 0; t < out.time(); ++t) {
+      auto row = out.row(b, t);
+      for (int f = 0; f < out.features(); ++f) {
+        if (!feature_in_mask(f, config.mask)) continue;
+        const double sigma = config.sigma_factor * scaler.std_of(f);
+        row[static_cast<std::size_t>(f)] +=
+            static_cast<float>(rng.gaussian(0.0, sigma));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cpsguard::attack

@@ -1,0 +1,27 @@
+// Accidental-perturbation model: zero-mean Gaussian noise added to the
+// sensor features of raw windows, with σ expressed as a multiple of each
+// feature's training-set standard deviation (the paper sweeps
+// σ ∈ {0.1, 0.25, 0.5, 0.75, 1.0}·std). Deviations beyond ~1 std would be
+// caught by conventional CPS invariant/change detection, so the model stays
+// below that.
+#pragma once
+
+#include "attack/perturbation.h"
+#include "monitor/scaler.h"
+#include "util/rng.h"
+
+namespace cpsguard::attack {
+
+struct GaussianNoiseConfig {
+  double sigma_factor = 0.5;  // σ as a multiple of each feature's std
+  FeatureMask mask = FeatureMask::kSensorsOnly;  // paper: sensors only
+};
+
+/// Perturb raw (unscaled) windows: x' = x + N(0, (σ·std_f)²) on each masked
+/// feature coordinate. The scaler supplies per-feature raw-unit stds.
+nn::Tensor3 add_gaussian_noise(const nn::Tensor3& raw_windows,
+                               const monitor::StandardScaler& scaler,
+                               const GaussianNoiseConfig& config,
+                               util::Rng& rng);
+
+}  // namespace cpsguard::attack

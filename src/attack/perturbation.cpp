@@ -1,0 +1,58 @@
+#include "attack/perturbation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "monitor/features.h"
+#include "util/contracts.h"
+
+namespace cpsguard::attack {
+
+std::string to_string(FeatureMask m) {
+  switch (m) {
+    case FeatureMask::kSensorsOnly: return "sensors";
+    case FeatureMask::kCommandsOnly: return "commands";
+    case FeatureMask::kAll: return "sensors+commands";
+  }
+  return "unknown";
+}
+
+bool feature_in_mask(int f, FeatureMask mask) {
+  using monitor::Features;
+  switch (mask) {
+    case FeatureMask::kSensorsOnly:
+      return Features::is_sensor_feature(f);
+    case FeatureMask::kCommandsOnly:
+      return Features::is_command_feature(f);
+    case FeatureMask::kAll:
+      return true;
+  }
+  return false;
+}
+
+void apply_feature_mask(nn::Tensor3& perturbation, FeatureMask mask) {
+  if (mask == FeatureMask::kAll) return;
+  for (int b = 0; b < perturbation.batch(); ++b) {
+    for (int t = 0; t < perturbation.time(); ++t) {
+      auto row = perturbation.row(b, t);
+      for (int f = 0; f < perturbation.features(); ++f) {
+        if (!feature_in_mask(f, mask)) row[static_cast<std::size_t>(f)] = 0.0f;
+      }
+    }
+  }
+}
+
+double linf_distance(const nn::Tensor3& a, const nn::Tensor3& b) {
+  expects(a.batch() == b.batch() && a.time() == b.time() &&
+              a.features() == b.features(),
+          "shape mismatch");
+  double m = 0.0;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    m = std::max(m, std::fabs(static_cast<double>(da[i]) - db[i]));
+  }
+  return m;
+}
+
+}  // namespace cpsguard::attack

@@ -1,0 +1,29 @@
+// Common vocabulary for input perturbations: which feature groups an attack
+// is allowed to touch. The paper's Gaussian noise hits only sensor data;
+// FGSM hits the full multivariate input (sensors + control commands).
+#pragma once
+
+#include <string>
+
+#include "nn/tensor3.h"
+
+namespace cpsguard::attack {
+
+enum class FeatureMask {
+  kSensorsOnly,
+  kCommandsOnly,
+  kAll,
+};
+
+std::string to_string(FeatureMask m);
+
+/// True iff feature index `f` is attackable under `mask`.
+bool feature_in_mask(int f, FeatureMask mask);
+
+/// Zero out the masked-away feature coordinates of a perturbation tensor.
+void apply_feature_mask(nn::Tensor3& perturbation, FeatureMask mask);
+
+/// L∞ norm of (a - b): the largest per-coordinate change an attack made.
+double linf_distance(const nn::Tensor3& a, const nn::Tensor3& b);
+
+}  // namespace cpsguard::attack

@@ -1,0 +1,368 @@
+#include "core/experiment.h"
+
+#include "monitor/features.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "util/contracts.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace cpsguard::core {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<sim::Trace> generate_campaign(const CampaignConfig& config) {
+  expects(config.patients > 0 && config.sims_per_patient > 0, "bad campaign");
+  expects(config.fault_fraction >= 0.0 && config.fault_fraction <= 1.0,
+          "fault fraction must be in [0,1]");
+
+  const auto profiles =
+      sim::testbed_profiles(config.testbed, config.patients, config.seed);
+  std::vector<std::vector<sim::Trace>> per_patient(
+      static_cast<std::size_t>(config.patients));
+
+  // Derive independent per-patient RNG streams up front so the parallel
+  // loop stays deterministic regardless of scheduling.
+  util::Rng root(config.seed, 0x43414d50u /* 'CAMP' */);
+  std::vector<util::Rng> patient_rngs;
+  patient_rngs.reserve(static_cast<std::size_t>(config.patients));
+  for (int p = 0; p < config.patients; ++p) patient_rngs.push_back(root.split());
+
+  util::parallel_for(config.patients, [&](int p) {
+    util::Rng rng = patient_rngs[static_cast<std::size_t>(p)];
+    auto patient = sim::make_patient(config.testbed);
+    auto controller = sim::make_controller(config.testbed);
+    auto& out = per_patient[static_cast<std::size_t>(p)];
+    out.reserve(static_cast<std::size_t>(config.sims_per_patient));
+    for (int s = 0; s < config.sims_per_patient; ++s) {
+      sim::SimConfig sc;
+      sc.steps = config.trace_steps;
+      sc.inject_fault = rng.bernoulli(config.fault_fraction);
+      sim::Trace trace = run_closed_loop(*patient, *controller,
+                                         profiles[static_cast<std::size_t>(p)],
+                                         sc, rng);
+      trace.simulation_id = s;
+      out.push_back(std::move(trace));
+    }
+  });
+
+  std::vector<sim::Trace> traces;
+  traces.reserve(static_cast<std::size_t>(config.patients) *
+                 static_cast<std::size_t>(config.sims_per_patient));
+  for (auto& batch : per_patient) {
+    for (auto& t : batch) traces.push_back(std::move(t));
+  }
+  return traces;
+}
+
+SplitDatasets build_datasets(std::span<const sim::Trace> traces,
+                             const monitor::DatasetConfig& dataset_config,
+                             double train_fraction, std::uint64_t seed) {
+  expects(train_fraction > 0.0 && train_fraction < 1.0,
+          "train fraction must be in (0,1)");
+  expects(traces.size() >= 2, "need at least two traces to split");
+
+  util::Rng rng(seed, 0x53504c54u /* 'SPLT' */);
+  const std::vector<int> order = rng.permutation(static_cast<int>(traces.size()));
+  const auto train_count = static_cast<std::size_t>(
+      std::max<double>(1.0, train_fraction * static_cast<double>(traces.size())));
+
+  SplitDatasets out;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const sim::Trace& t = traces[static_cast<std::size_t>(order[i])];
+    if (i < train_count) {
+      out.train_traces.push_back(t);
+    } else {
+      out.test_traces.push_back(t);
+    }
+  }
+  ensures(!out.test_traces.empty(), "empty test split");
+  out.train = monitor::build_dataset(out.train_traces, dataset_config);
+  out.test = monitor::build_dataset(out.test_traces, dataset_config);
+  return out;
+}
+
+std::string MonitorVariant::name() const {
+  std::string s = monitor::to_string(arch);
+  if (semantic) s += "-Custom";
+  return s;
+}
+
+std::vector<MonitorVariant> all_variants() {
+  return {
+      {monitor::Arch::kMlp, false},
+      {monitor::Arch::kLstm, false},
+      {monitor::Arch::kMlp, true},
+      {monitor::Arch::kLstm, true},
+  };
+}
+
+Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {}
+
+void Experiment::prepare() {
+  if (prepared_) return;
+  util::log_info("generating campaign for ", sim::to_string(config_.campaign.testbed),
+                 ": ", config_.campaign.patients, " patients x ",
+                 config_.campaign.sims_per_patient, " sims");
+  traces_ = generate_campaign(config_.campaign);
+  data_ = build_datasets(traces_, config_.dataset, config_.train_fraction,
+                         config_.campaign.seed ^ 0x9e3779b97f4a7c15ULL);
+  util::log_info("datasets: train=", data_->train.size(),
+                 " test=", data_->test.size(), " positive-fraction(train)=",
+                 data_->train.positive_fraction());
+  prepared_ = true;
+}
+
+const std::vector<sim::Trace>& Experiment::traces() {
+  prepare();
+  return traces_;
+}
+
+const monitor::Dataset& Experiment::train_data() {
+  prepare();
+  return data_->train;
+}
+
+const monitor::Dataset& Experiment::test_data() {
+  prepare();
+  return data_->test;
+}
+
+const std::vector<sim::Trace>& Experiment::test_traces() {
+  prepare();
+  return data_->test_traces;
+}
+
+monitor::MonitorConfig Experiment::monitor_config(const MonitorVariant& v) const {
+  monitor::MonitorConfig mc;
+  mc.arch = v.arch;
+  mc.semantic = v.semantic;
+  mc.semantic_weight = v.arch == monitor::Arch::kMlp
+                           ? config_.semantic_weight_mlp
+                           : config_.semantic_weight_lstm;
+  mc.epochs = config_.epochs;
+  mc.batch_size = config_.batch_size;
+  mc.learning_rate = config_.learning_rate;
+  mc.seed = config_.campaign.seed ^ (v.semantic ? 0xABCDULL : 0x1234ULL) ^
+            (v.arch == monitor::Arch::kLstm ? 0xBEEF0000ULL : 0ULL);
+  return mc;
+}
+
+std::string Experiment::cache_path(const MonitorVariant& v) const {
+  // Bump whenever simulator/training behaviour changes in ways the config
+  // hash cannot see (otherwise stale cached monitors would be reloaded).
+  constexpr int kCacheSchemaVersion = 3;
+  std::ostringstream key;
+  const auto& c = config_;
+  key << 'v' << kCacheSchemaVersion << '|' << sim::to_string(c.campaign.testbed) << '|' << c.campaign.patients << '|'
+      << c.campaign.sims_per_patient << '|' << c.campaign.fault_fraction << '|'
+      << c.campaign.trace_steps << '|' << c.campaign.seed << '|'
+      << c.dataset.window << '|' << c.dataset.horizon << '|'
+      << c.dataset.bg_target << '|' << c.train_fraction << '|' << c.epochs
+      << '|' << c.batch_size << '|' << c.learning_rate << '|'
+      // Key only the weight this variant actually trains with, so baseline
+      // caches survive semantic-weight tuning.
+      << (v.semantic ? monitor_config(v).semantic_weight : 0.0) << '|'
+      << (v.semantic ? static_cast<int>(monitor_config(v).semantic_mode) : -1)
+      << '|' << v.name();
+  std::ostringstream path;
+  path << config_.cache_dir << '/' << v.name() << '_' << std::hex
+       << fnv1a(key.str()) << ".monitor";
+  return path.str();
+}
+
+monitor::MlMonitor& Experiment::monitor(const MonitorVariant& v) {
+  prepare();
+  const std::string key = v.name();
+  const auto it = monitors_.find(key);
+  if (it != monitors_.end()) return *it->second;
+
+  auto mon = std::make_unique<monitor::MlMonitor>(monitor_config(v));
+  bool loaded = false;
+  if (!config_.cache_dir.empty()) {
+    const std::string path = cache_path(v);
+    if (std::filesystem::exists(path)) {
+      try {
+        mon->load(path, config_.dataset.window, monitor::Features::kNumFeatures);
+        loaded = true;
+        util::log_info("loaded ", key, " from cache: ", path);
+      } catch (const std::exception& e) {
+        util::log_warn("cache load failed for ", key, " (", e.what(),
+                       "), retraining");
+      }
+    }
+  }
+  if (!loaded) {
+    util::log_info("training ", key, " on ", data_->train.size(), " windows");
+    mon->train(data_->train);
+    if (!config_.cache_dir.empty()) {
+      std::filesystem::create_directories(config_.cache_dir);
+      mon->save(cache_path(v));
+    }
+  }
+  auto [ins, _] = monitors_.emplace(key, std::move(mon));
+  return *ins->second;
+}
+
+void Experiment::train_all() {
+  prepare();
+  const auto variants = all_variants();
+  // monitor() mutates shared maps; hydrate sequentially but train the
+  // heavy part in parallel by pre-constructing monitors that miss the cache.
+  std::vector<const MonitorVariant*> missing;
+  for (const auto& v : variants) {
+    if (!monitors_.contains(v.name()) &&
+        (config_.cache_dir.empty() ||
+         !std::filesystem::exists(cache_path(v)))) {
+      missing.push_back(&v);
+    }
+  }
+  if (!missing.empty()) {
+    std::vector<std::unique_ptr<monitor::MlMonitor>> fresh(missing.size());
+    util::parallel_for(static_cast<int>(missing.size()), [&](int i) {
+      auto mon = std::make_unique<monitor::MlMonitor>(
+          monitor_config(*missing[static_cast<std::size_t>(i)]));
+      mon->train(data_->train);
+      fresh[static_cast<std::size_t>(i)] = std::move(mon);
+    });
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      if (!config_.cache_dir.empty()) {
+        std::filesystem::create_directories(config_.cache_dir);
+        fresh[i]->save(cache_path(*missing[i]));
+      }
+      monitors_.emplace(missing[i]->name(), std::move(fresh[i]));
+    }
+  }
+  for (const auto& v : variants) monitor(v);  // hydrate cache hits
+}
+
+safety::RuleBasedMonitor& Experiment::rule_monitor() {
+  if (!rule_monitor_) {
+    rule_monitor_.emplace(config_.dataset.bg_target);
+  }
+  return *rule_monitor_;
+}
+
+const std::vector<int>& Experiment::clean_predictions(const MonitorVariant& v) {
+  const std::string key = v.name();
+  const auto it = clean_preds_.find(key);
+  if (it != clean_preds_.end()) return it->second;
+  auto& mon = monitor(v);
+  auto [ins, _] = clean_preds_.emplace(key, mon.predict(data_->test.x));
+  return ins->second;
+}
+
+eval::ConfusionCounts Experiment::evaluate(std::span<const int> predictions) {
+  prepare();
+  return eval::evaluate_with_tolerance(data_->test, predictions,
+                                       config_.tolerance_delta);
+}
+
+EvalResult Experiment::evaluate_clean(const MonitorVariant& v) {
+  EvalResult r;
+  r.confusion = evaluate(clean_predictions(v));
+  r.robustness_err = 0.0;
+  return r;
+}
+
+EvalResult Experiment::evaluate_rule_monitor() {
+  prepare();
+  const auto& ds = data_->test;
+  std::vector<int> preds(static_cast<std::size_t>(ds.size()), 0);
+  auto& rm = rule_monitor();
+  for (int i = 0; i < ds.size(); ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    const sim::Trace& trace =
+        data_->test_traces[static_cast<std::size_t>(ds.trace_id[si])];
+    preds[si] = rm.predict_step(
+        trace.steps[static_cast<std::size_t>(ds.step_index[si])]);
+  }
+  EvalResult r;
+  r.confusion = evaluate(preds);
+  return r;
+}
+
+const nn::Tensor3& Experiment::scaled_test_input(const MonitorVariant& v) {
+  const std::string key = v.name();
+  const auto it = scaled_test_.find(key);
+  if (it != scaled_test_.end()) return it->second;
+  auto& mon = monitor(v);
+  auto [ins, _] = scaled_test_.emplace(key, mon.scaler().transform(data_->test.x));
+  return ins->second;
+}
+
+EvalResult Experiment::evaluate_under_gaussian(const MonitorVariant& v,
+                                               double sigma_factor,
+                                               std::uint64_t noise_seed) {
+  auto& mon = monitor(v);
+  attack::GaussianNoiseConfig gc;
+  gc.sigma_factor = sigma_factor;
+  util::Rng rng(noise_seed, 0x4e4f4953u /* 'NOIS' */);
+  const nn::Tensor3 noisy =
+      attack::add_gaussian_noise(data_->test.x, mon.scaler(), gc, rng);
+  const std::vector<int> preds = mon.predict(noisy);
+  EvalResult r;
+  r.confusion = evaluate(preds);
+  r.robustness_err = eval::robustness_error(clean_predictions(v), preds);
+  return r;
+}
+
+EvalResult Experiment::evaluate_under_fgsm(const MonitorVariant& v,
+                                           double epsilon,
+                                           attack::FeatureMask mask) {
+  auto& mon = monitor(v);
+  attack::FgsmConfig fc;
+  fc.epsilon = epsilon;
+  fc.mask = mask;
+  const nn::Tensor3 adv = attack::fgsm_attack(
+      mon.classifier(), scaled_test_input(v), data_->test.labels, fc);
+  const std::vector<int> preds = mon.predict_scaled(adv);
+  EvalResult r;
+  r.confusion = evaluate(preds);
+  r.robustness_err = eval::robustness_error(clean_predictions(v), preds);
+  return r;
+}
+
+attack::SubstituteAttack& Experiment::substitute_for(const MonitorVariant& v) {
+  const std::string key = v.name();
+  const auto it = substitutes_.find(key);
+  if (it != substitutes_.end()) return *it->second;
+  auto& mon = monitor(v);
+  auto sub = std::make_unique<attack::SubstituteAttack>(attack::SubstituteConfig{});
+  // The attacker queries the target on the training distribution.
+  const nn::Tensor3 queries = mon.scaler().transform(data_->train.x);
+  sub->fit(mon.classifier(), queries);
+  auto [ins, _] = substitutes_.emplace(key, std::move(sub));
+  return *ins->second;
+}
+
+EvalResult Experiment::evaluate_under_blackbox(const MonitorVariant& v,
+                                               double epsilon) {
+  auto& mon = monitor(v);
+  auto& sub = substitute_for(v);
+  attack::FgsmConfig fc;
+  fc.epsilon = epsilon;
+  const nn::Tensor3 adv =
+      sub.craft(scaled_test_input(v), clean_predictions(v), fc);
+  const std::vector<int> preds = mon.predict_scaled(adv);
+  EvalResult r;
+  r.confusion = evaluate(preds);
+  r.robustness_err = eval::robustness_error(clean_predictions(v), preds);
+  return r;
+}
+
+}  // namespace cpsguard::core

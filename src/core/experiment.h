@@ -1,0 +1,155 @@
+// Experiment harness — the top-level API that wires the whole reproduction
+// together: simulation campaigns → windowed datasets → trained monitors →
+// perturbations → metrics. Every bench binary and example is a thin client
+// of this header.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/blackbox.h"
+#include "attack/fgsm.h"
+#include "attack/gaussian.h"
+#include "eval/metrics.h"
+#include "eval/robustness.h"
+#include "monitor/ml_monitor.h"
+#include "safety/rule_monitor.h"
+#include "sim/closed_loop.h"
+
+namespace cpsguard::core {
+
+/// A simulation campaign: many closed-loop runs across patient profiles,
+/// a fraction of them with injected faults (the hazard-producing runs).
+struct CampaignConfig {
+  sim::Testbed testbed = sim::Testbed::kGlucosymOpenAps;
+  int patients = 20;
+  int sims_per_patient = 10;
+  double fault_fraction = 0.6;
+  int trace_steps = 150;  // 12.5 h at 5-min cycles, as in the paper
+  std::uint64_t seed = 42;
+};
+
+/// Run the campaign (parallel across patients). Deterministic in the seed.
+std::vector<sim::Trace> generate_campaign(const CampaignConfig& config);
+
+struct SplitDatasets {
+  monitor::Dataset train;
+  monitor::Dataset test;
+  std::vector<sim::Trace> train_traces;  // aligned with train.trace_id
+  std::vector<sim::Trace> test_traces;   // aligned with test.trace_id
+};
+
+/// Build windowed datasets with a by-trace train/test split (no window of a
+/// test trace ever appears in training).
+SplitDatasets build_datasets(std::span<const sim::Trace> traces,
+                             const monitor::DatasetConfig& dataset_config,
+                             double train_fraction, std::uint64_t seed);
+
+/// One of the paper's four ML monitor variants.
+struct MonitorVariant {
+  monitor::Arch arch = monitor::Arch::kMlp;
+  bool semantic = false;
+
+  [[nodiscard]] std::string name() const;  // Table III row name
+};
+
+/// The four variants in the paper's reporting order:
+/// MLP, LSTM, MLP-Custom, LSTM-Custom.
+std::vector<MonitorVariant> all_variants();
+
+struct ExperimentConfig {
+  CampaignConfig campaign;
+  monitor::DatasetConfig dataset;
+  double train_fraction = 0.7;
+  int tolerance_delta = 6;        // δ of the Table II metric (30 min)
+  int epochs = 8;
+  int batch_size = 64;
+  double learning_rate = 0.001;
+  // The w of Eq. 2, tuned per architecture (see bench_ablation_semantic_weight):
+  // the MLP keeps clean F1 only up to w ~ 0.5; the LSTM tolerates more
+  // interference (mirroring the paper's Table III, where LSTM-Custom trades
+  // clean F1 for robustness). Larger w collapses monitors onto the rule
+  // base — robust but only in the trivial, gradient-masked sense.
+  double semantic_weight_mlp = 0.5;
+  double semantic_weight_lstm = 1.0;
+  std::string cache_dir = "cpsguard_cache";  // "" disables model caching
+};
+
+/// Metrics of one evaluation (clean or under perturbation).
+struct EvalResult {
+  eval::ConfusionCounts confusion;
+  double robustness_err = 0.0;  // vs. the clean predictions (0 when clean)
+
+  [[nodiscard]] double f1() const { return confusion.f1(); }
+  [[nodiscard]] double accuracy() const { return confusion.accuracy(); }
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+
+  /// Generate the campaign and datasets (idempotent).
+  void prepare();
+
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  const std::vector<sim::Trace>& traces();
+  const monitor::Dataset& train_data();
+  const monitor::Dataset& test_data();
+  /// The traces behind the test split (aligned with test_data().trace_id).
+  const std::vector<sim::Trace>& test_traces();
+
+  /// Trained (or cache-loaded) monitor for a variant; lazily constructed.
+  monitor::MlMonitor& monitor(const MonitorVariant& variant);
+
+  /// Train all four variants (parallel). Call before timing-sensitive
+  /// sweeps so laziness doesn't skew measurements.
+  void train_all();
+
+  safety::RuleBasedMonitor& rule_monitor();
+
+  /// Clean predictions of a variant on the test set (memoized).
+  const std::vector<int>& clean_predictions(const MonitorVariant& variant);
+
+  /// Tolerance-window metrics for arbitrary per-window test predictions.
+  eval::ConfusionCounts evaluate(std::span<const int> predictions);
+
+  /// Clean evaluation of one variant.
+  EvalResult evaluate_clean(const MonitorVariant& variant);
+  /// Clean evaluation of the rule-based monitor.
+  EvalResult evaluate_rule_monitor();
+
+  /// Gaussian-noise evaluation (Fig. 5/6/9): σ·std noise on sensor features.
+  EvalResult evaluate_under_gaussian(const MonitorVariant& variant,
+                                     double sigma_factor,
+                                     std::uint64_t noise_seed = 1234);
+
+  /// White-box FGSM evaluation (Fig. 8/9): ε on the full multivariate input.
+  EvalResult evaluate_under_fgsm(const MonitorVariant& variant, double epsilon,
+                                 attack::FeatureMask mask = attack::FeatureMask::kAll);
+
+  /// Black-box substitute FGSM evaluation (Fig. 10). The substitute is
+  /// trained once per target variant and memoized.
+  EvalResult evaluate_under_blackbox(const MonitorVariant& variant,
+                                     double epsilon);
+
+ private:
+  std::string cache_path(const MonitorVariant& variant) const;
+  monitor::MonitorConfig monitor_config(const MonitorVariant& variant) const;
+  attack::SubstituteAttack& substitute_for(const MonitorVariant& variant);
+  const nn::Tensor3& scaled_test_input(const MonitorVariant& variant);
+
+  ExperimentConfig config_;
+  bool prepared_ = false;
+  std::vector<sim::Trace> traces_;
+  std::optional<SplitDatasets> data_;
+  std::map<std::string, std::unique_ptr<monitor::MlMonitor>> monitors_;
+  std::map<std::string, std::vector<int>> clean_preds_;
+  std::map<std::string, nn::Tensor3> scaled_test_;
+  std::map<std::string, std::unique_ptr<attack::SubstituteAttack>> substitutes_;
+  std::optional<safety::RuleBasedMonitor> rule_monitor_;
+};
+
+}  // namespace cpsguard::core

@@ -1,0 +1,41 @@
+// Deployment wrapper: an OnlineMonitor feeds a trained MlMonitor one control
+// cycle at a time, maintaining the sliding feature window internally — the
+// way the monitor runs inside a real APS controller loop (paper Fig. 1a).
+#pragma once
+
+#include <deque>
+
+#include "monitor/ml_monitor.h"
+#include "sim/trace.h"
+
+namespace cpsguard::core {
+
+struct OnlineVerdict {
+  bool ready = false;       // false until the window has filled
+  int prediction = 0;       // 1 = unsafe control action
+  double p_unsafe = 0.0;    // monitor confidence
+};
+
+class OnlineMonitor {
+ public:
+  /// `monitor` must outlive this wrapper and already be trained.
+  OnlineMonitor(monitor::MlMonitor& monitor, int window);
+
+  /// Feed the record of the cycle that just executed; returns the verdict
+  /// for the current window (not ready until `window` cycles have arrived).
+  OnlineVerdict step(const sim::StepRecord& record);
+
+  /// Forget all history (e.g., on sensor reconnect).
+  void reset();
+
+  [[nodiscard]] int window() const { return window_; }
+  [[nodiscard]] int cycles_seen() const { return cycles_seen_; }
+
+ private:
+  monitor::MlMonitor& monitor_;
+  int window_;
+  int cycles_seen_ = 0;
+  std::deque<std::vector<float>> history_;
+};
+
+}  // namespace cpsguard::core

@@ -1,0 +1,149 @@
+#include "eval/extended_metrics.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/stats.h"
+
+namespace cpsguard::eval {
+
+double roc_auc(std::span<const double> scores, std::span<const int> labels) {
+  expects(scores.size() == labels.size(), "one score per label required");
+  // Rank-sum (Mann-Whitney U) formulation with midranks for ties.
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  double rank_sum_pos = 0.0;
+  std::size_t positives = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] > 0) {
+        rank_sum_pos += midrank;
+        ++positives;
+      }
+    }
+    i = j + 1;
+  }
+  const std::size_t negatives = scores.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double u = rank_sum_pos - static_cast<double>(positives) *
+                                      (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+std::vector<EpisodeOutcome> detection_latencies(
+    const monitor::Dataset& ds, std::span<const int> predictions,
+    std::span<const sim::Trace> traces, int max_lead) {
+  expects(predictions.size() == static_cast<std::size_t>(ds.size()),
+          "one prediction per window required");
+  expects(traces.size() == ds.trace_labels.size(),
+          "traces must match the dataset's trace set");
+  expects(max_lead >= 0, "max lead must be non-negative");
+
+  // Index predictions by (trace, step).
+  std::vector<std::vector<int>> pred_at(traces.size());
+  for (std::size_t tr = 0; tr < traces.size(); ++tr) {
+    pred_at[tr].assign(static_cast<std::size_t>(traces[tr].length()), 0);
+  }
+  for (int i = 0; i < ds.size(); ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    pred_at[static_cast<std::size_t>(ds.trace_id[si])]
+           [static_cast<std::size_t>(ds.step_index[si])] = predictions[si];
+  }
+
+  std::vector<EpisodeOutcome> outcomes;
+  for (std::size_t tr = 0; tr < traces.size(); ++tr) {
+    const sim::Trace& trace = traces[tr];
+    bool in_episode = false;
+    for (int t = 0; t < trace.length(); ++t) {
+      const bool hazardous = sim::in_hazard(trace.steps[static_cast<std::size_t>(t)]);
+      if (hazardous && !in_episode) {
+        EpisodeOutcome ep;
+        ep.trace_index = static_cast<int>(tr);
+        ep.hazard_onset = t;
+        for (int u = std::max(0, t - max_lead); u <= t; ++u) {
+          if (pred_at[tr][static_cast<std::size_t>(u)] > 0) {
+            ep.first_alarm = u;
+            break;
+          }
+        }
+        outcomes.push_back(ep);
+      }
+      in_episode = hazardous;
+    }
+  }
+  return outcomes;
+}
+
+LatencySummary summarize_latencies(std::span<const EpisodeOutcome> outcomes) {
+  LatencySummary s;
+  s.episodes = static_cast<int>(outcomes.size());
+  std::vector<double> leads;
+  for (const auto& ep : outcomes) {
+    if (ep.detected()) {
+      ++s.detected;
+      leads.push_back(ep.lead_steps() * sim::kControlPeriodMin);
+    }
+  }
+  s.detection_rate =
+      s.episodes == 0 ? 0.0 : static_cast<double>(s.detected) / s.episodes;
+  if (!leads.empty()) {
+    s.mean_lead_minutes = util::mean(leads);
+    s.median_lead_minutes = util::quantile(leads, 0.5);
+  }
+  return s;
+}
+
+double HazardBreakdown::h1_recall() const {
+  return h1_positives == 0
+             ? 0.0
+             : static_cast<double>(h1_detected) / static_cast<double>(h1_positives);
+}
+
+double HazardBreakdown::h2_recall() const {
+  return h2_positives == 0
+             ? 0.0
+             : static_cast<double>(h2_detected) / static_cast<double>(h2_positives);
+}
+
+HazardBreakdown hazard_breakdown(const monitor::Dataset& ds,
+                                 std::span<const int> predictions,
+                                 std::span<const sim::Trace> traces) {
+  expects(predictions.size() == static_cast<std::size_t>(ds.size()),
+          "one prediction per window required");
+  expects(traces.size() == ds.trace_labels.size(),
+          "traces must match the dataset's trace set");
+
+  HazardBreakdown out;
+  const int horizon = ds.config.horizon;
+  for (int i = 0; i < ds.size(); ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    if (ds.labels[si] == 0) continue;
+    const sim::Trace& trace = traces[static_cast<std::size_t>(ds.trace_id[si])];
+    const int t = ds.step_index[si];
+    // The hazard that made this window positive: the first hazardous step
+    // within the label horizon.
+    safety::HazardType type = safety::HazardType::kNone;
+    for (int u = t; u <= std::min(t + horizon, trace.length() - 1); ++u) {
+      type = safety::hazard_at(trace.steps[static_cast<std::size_t>(u)]);
+      if (type != safety::HazardType::kNone) break;
+    }
+    const bool detected = predictions[si] > 0;
+    if (type == safety::HazardType::kH1TooMuchInsulin) {
+      ++out.h1_positives;
+      out.h1_detected += detected ? 1 : 0;
+    } else if (type == safety::HazardType::kH2TooLittleInsulin) {
+      ++out.h2_positives;
+      out.h2_detected += detected ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace cpsguard::eval

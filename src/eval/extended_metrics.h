@@ -1,0 +1,66 @@
+// Extended evaluation beyond the paper's ACC/F1/robustness-error: threshold-
+// free ranking quality (ROC-AUC), alarm lead time before hazard onset (what
+// a mitigation system actually needs), and per-hazard-type recall (H1
+// hypoglycemia vs H2 hyperglycemia are clinically very different misses).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "monitor/dataset.h"
+#include "safety/hazard.h"
+
+namespace cpsguard::eval {
+
+/// Area under the ROC curve via the rank statistic (ties get half credit).
+/// `scores` are P(unsafe); `labels` the binary ground truth. Returns 0.5
+/// when either class is empty.
+double roc_auc(std::span<const double> scores, std::span<const int> labels);
+
+/// One hazard episode (maximal run of hazardous true-BG steps) and how the
+/// monitor handled it.
+struct EpisodeOutcome {
+  int trace_index = 0;
+  int hazard_onset = 0;   // first hazardous step of the episode
+  int first_alarm = -1;   // earliest alarm in [onset - max_lead, onset]; -1 = missed
+
+  [[nodiscard]] bool detected() const { return first_alarm >= 0; }
+  [[nodiscard]] int lead_steps() const {
+    return detected() ? hazard_onset - first_alarm : -1;
+  }
+};
+
+/// Match per-window predictions against hazard episodes of the test traces.
+/// `max_lead` bounds how early an alarm may claim an episode (in cycles).
+std::vector<EpisodeOutcome> detection_latencies(
+    const monitor::Dataset& ds, std::span<const int> predictions,
+    std::span<const sim::Trace> traces, int max_lead);
+
+struct LatencySummary {
+  int episodes = 0;
+  int detected = 0;
+  double detection_rate = 0.0;
+  double mean_lead_minutes = 0.0;    // over detected episodes
+  double median_lead_minutes = 0.0;  // over detected episodes
+};
+
+LatencySummary summarize_latencies(std::span<const EpisodeOutcome> outcomes);
+
+/// Recall split by the hazard type that makes a window ground-truth
+/// positive (the first hazard within [t, t+δ] on the true state).
+struct HazardBreakdown {
+  long h1_positives = 0;  // hypoglycemia-bound windows
+  long h1_detected = 0;
+  long h2_positives = 0;  // hyperglycemia-bound windows
+  long h2_detected = 0;
+
+  [[nodiscard]] double h1_recall() const;
+  [[nodiscard]] double h2_recall() const;
+};
+
+HazardBreakdown hazard_breakdown(const monitor::Dataset& ds,
+                                 std::span<const int> predictions,
+                                 std::span<const sim::Trace> traces);
+
+}  // namespace cpsguard::eval

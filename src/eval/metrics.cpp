@@ -1,0 +1,124 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace cpsguard::eval {
+
+double ConfusionCounts::accuracy() const {
+  const long t = total();
+  return t == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(t);
+}
+
+double ConfusionCounts::precision() const {
+  const long denom = tp + fp;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::recall() const {
+  const long denom = tp + fn;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+ConfusionCounts& ConfusionCounts::operator+=(const ConfusionCounts& other) {
+  tp += other.tp;
+  fp += other.fp;
+  tn += other.tn;
+  fn += other.fn;
+  return *this;
+}
+
+std::string ConfusionCounts::summary() const {
+  std::ostringstream os;
+  os << "tp=" << tp << " fp=" << fp << " tn=" << tn << " fn=" << fn
+     << " acc=" << accuracy() << " f1=" << f1();
+  return os.str();
+}
+
+ConfusionCounts evaluate_with_tolerance(const monitor::Dataset& ds,
+                                        std::span<const int> predictions,
+                                        int tolerance_delta) {
+  expects(predictions.size() == static_cast<std::size_t>(ds.size()),
+          "one prediction per window required");
+  expects(tolerance_delta >= 0, "tolerance must be non-negative");
+
+  // Index predictions by (trace, step): -1 marks "no window ends here".
+  std::vector<std::vector<int>> pred_at(ds.trace_labels.size());
+  for (std::size_t tr = 0; tr < ds.trace_labels.size(); ++tr) {
+    pred_at[tr].assign(ds.trace_labels[tr].size(), -1);
+  }
+  for (int i = 0; i < ds.size(); ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    pred_at[static_cast<std::size_t>(ds.trace_id[si])]
+           [static_cast<std::size_t>(ds.step_index[si])] = predictions[si];
+  }
+
+  ConfusionCounts counts;
+  for (int i = 0; i < ds.size(); ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    const auto tr = static_cast<std::size_t>(ds.trace_id[si]);
+    const int t = ds.step_index[si];
+    const auto& g = ds.trace_labels[tr];
+    const auto& p = pred_at[tr];
+    const int n = static_cast<int>(g.size());
+
+    // Ground truth positive within the forward tolerance window [t, t+δ]?
+    // `g_step` is the first such step — the anchor of Table II's δ window.
+    int g_step = -1;
+    for (int u = t; u <= std::min(t + tolerance_delta, n - 1); ++u) {
+      if (g[static_cast<std::size_t>(u)] > 0) {
+        g_step = u;
+        break;
+      }
+    }
+
+    if (g_step >= 0) {
+      // Table II credits any alarm inside the δ window that *ends at the
+      // positive ground truth and includes t*: [g_step - δ, g_step].
+      bool alarmed = false;
+      for (int u = std::max(0, g_step - tolerance_delta); u <= g_step; ++u) {
+        if (p[static_cast<std::size_t>(u)] > 0) {
+          alarmed = true;
+          break;
+        }
+      }
+      if (alarmed) {
+        ++counts.tp;
+      } else {
+        ++counts.fn;
+      }
+    } else {
+      if (predictions[si] > 0) {
+        ++counts.fp;
+      } else {
+        ++counts.tn;
+      }
+    }
+  }
+  return counts;
+}
+
+ConfusionCounts evaluate_samplewise(std::span<const int> labels,
+                                    std::span<const int> predictions) {
+  expects(labels.size() == predictions.size(), "label/prediction size mismatch");
+  ConfusionCounts counts;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const bool y = labels[i] > 0;
+    const bool p = predictions[i] > 0;
+    if (y && p) ++counts.tp;
+    if (y && !p) ++counts.fn;
+    if (!y && p) ++counts.fp;
+    if (!y && !p) ++counts.tn;
+  }
+  return counts;
+}
+
+}  // namespace cpsguard::eval

@@ -1,0 +1,43 @@
+// Prediction-accuracy metrics with the paper's "Sample Level with Tolerance
+// Window" semantics (Table II): a positive prediction anywhere in the δ
+// window before a ground-truth-positive step counts as a true positive —
+// an early alarm is a correct alarm.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "monitor/dataset.h"
+
+namespace cpsguard::eval {
+
+struct ConfusionCounts {
+  long tp = 0;
+  long fp = 0;
+  long tn = 0;
+  long fn = 0;
+
+  [[nodiscard]] long total() const { return tp + fp + tn + fn; }
+  [[nodiscard]] double accuracy() const;
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double recall() const;
+  [[nodiscard]] double f1() const;
+
+  ConfusionCounts& operator+=(const ConfusionCounts& other);
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Table II evaluation: `predictions` holds one prediction per dataset
+/// window (aligned with ds.trace_id / ds.step_index); `tolerance_delta` is δ
+/// in control cycles.
+ConfusionCounts evaluate_with_tolerance(const monitor::Dataset& ds,
+                                        std::span<const int> predictions,
+                                        int tolerance_delta);
+
+/// Plain per-sample confusion (δ = 0 with no look-back), for unit testing
+/// and ablation against the tolerance-window metric.
+ConfusionCounts evaluate_samplewise(std::span<const int> labels,
+                                    std::span<const int> predictions);
+
+}  // namespace cpsguard::eval

@@ -1,0 +1,75 @@
+#include "eval/pr_curve.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace cpsguard::eval {
+
+std::vector<PrPoint> precision_recall_curve(std::span<const double> scores,
+                                            std::span<const int> labels) {
+  expects(scores.size() == labels.size(), "one score per label required");
+  expects(!scores.empty(), "empty input");
+
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+  long total_positives = 0;
+  for (const int y : labels) total_positives += y > 0 ? 1 : 0;
+
+  std::vector<PrPoint> curve;
+  long tp = 0, fp = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    // Consume all samples sharing this threshold before emitting a point.
+    const double threshold = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == threshold) {
+      if (labels[order[i]] > 0) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    PrPoint p;
+    p.threshold = threshold;
+    p.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+    p.recall = total_positives == 0
+                   ? 0.0
+                   : static_cast<double>(tp) / static_cast<double>(total_positives);
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+double average_precision(std::span<const double> scores,
+                         std::span<const int> labels) {
+  const auto curve = precision_recall_curve(scores, labels);
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  for (const auto& p : curve) {
+    ap += (p.recall - prev_recall) * p.precision;
+    prev_recall = p.recall;
+  }
+  return ap;
+}
+
+double best_f1_threshold(std::span<const double> scores,
+                         std::span<const int> labels) {
+  const auto curve = precision_recall_curve(scores, labels);
+  double best_f1 = -1.0;
+  double best_threshold = 0.5;
+  for (const auto& p : curve) {
+    if (p.precision + p.recall == 0.0) continue;
+    const double f1 = 2.0 * p.precision * p.recall / (p.precision + p.recall);
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_threshold = p.threshold;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace cpsguard::eval

@@ -1,0 +1,31 @@
+// Precision-recall analysis over monitor confidence scores: the PR curve
+// and average precision (AP). On the heavily imbalanced side of safety
+// monitoring (rare hazards), PR analysis is more informative than ROC.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cpsguard::eval {
+
+struct PrPoint {
+  double threshold = 0.0;  // classify unsafe when score >= threshold
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+/// PR curve over all distinct score thresholds, sorted by descending
+/// threshold (recall non-decreasing along the vector).
+std::vector<PrPoint> precision_recall_curve(std::span<const double> scores,
+                                            std::span<const int> labels);
+
+/// Average precision: Σ (R_i − R_{i−1}) · P_i over the curve.
+double average_precision(std::span<const double> scores,
+                         std::span<const int> labels);
+
+/// The threshold maximizing F1 on the given scores/labels — used to
+/// calibrate a monitor's decision threshold on validation data.
+double best_f1_threshold(std::span<const double> scores,
+                         std::span<const int> labels);
+
+}  // namespace cpsguard::eval

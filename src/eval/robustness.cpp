@@ -1,0 +1,31 @@
+#include "eval/robustness.h"
+
+#include "util/contracts.h"
+
+namespace cpsguard::eval {
+
+double robustness_error(std::span<const int> clean,
+                        std::span<const int> perturbed) {
+  expects(clean.size() == perturbed.size(), "prediction size mismatch");
+  if (clean.empty()) return 0.0;
+  std::size_t flips = 0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    flips += (clean[i] != perturbed[i]) ? 1u : 0u;
+  }
+  return static_cast<double>(flips) / static_cast<double>(clean.size());
+}
+
+double robustness_error_for_class(std::span<const int> clean,
+                                  std::span<const int> perturbed, int cls) {
+  expects(clean.size() == perturbed.size(), "prediction size mismatch");
+  std::size_t flips = 0, members = 0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    if (clean[i] != cls) continue;
+    ++members;
+    flips += (clean[i] != perturbed[i]) ? 1u : 0u;
+  }
+  return members == 0 ? 0.0
+                      : static_cast<double>(flips) / static_cast<double>(members);
+}
+
+}  // namespace cpsguard::eval

@@ -1,0 +1,20 @@
+// Prediction robustness error (Eq. 5 of the paper): the fraction of samples
+// whose predicted class flips when the input is perturbed.
+#pragma once
+
+#include <span>
+
+namespace cpsguard::eval {
+
+/// Eq. 5: |{i : f(x_i) != f(x_i + Δ)}| / N.
+double robustness_error(std::span<const int> clean_predictions,
+                        std::span<const int> perturbed_predictions);
+
+/// Per-class variant: flips among samples whose *clean* prediction was
+/// `cls`, over the count of such samples. Useful for diagnosing whether an
+/// attack mostly suppresses alarms (unsafe→safe) or fabricates them.
+double robustness_error_for_class(std::span<const int> clean_predictions,
+                                  std::span<const int> perturbed_predictions,
+                                  int cls);
+
+}  // namespace cpsguard::eval

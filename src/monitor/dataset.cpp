@@ -1,0 +1,104 @@
+#include "monitor/dataset.h"
+
+#include "monitor/features.h"
+#include "safety/hazard.h"
+#include "util/contracts.h"
+
+namespace cpsguard::monitor {
+
+double Dataset::positive_fraction() const {
+  if (labels.empty()) return 0.0;
+  std::size_t pos = 0;
+  for (int y : labels) pos += static_cast<std::size_t>(y);
+  return static_cast<double>(pos) / static_cast<double>(labels.size());
+}
+
+Dataset Dataset::subset(std::span<const int> indices) const {
+  Dataset out;
+  out.config = config;
+  out.trace_labels = trace_labels;  // keep full per-trace ground truth
+  out.x = x.gather(indices);
+  out.labels.reserve(indices.size());
+  out.semantic.reserve(indices.size());
+  out.trace_id.reserve(indices.size());
+  out.step_index.reserve(indices.size());
+  for (int i : indices) {
+    expects(i >= 0 && i < size(), "subset index out of range");
+    const auto si = static_cast<std::size_t>(i);
+    out.labels.push_back(labels[si]);
+    out.semantic.push_back(semantic[si]);
+    out.trace_id.push_back(trace_id[si]);
+    out.step_index.push_back(step_index[si]);
+  }
+  return out;
+}
+
+safety::WindowContext window_context(const nn::Tensor3& x, int sample) {
+  expects(sample >= 0 && sample < x.batch(), "sample out of range");
+  safety::WindowContext ctx;
+  double bg = 0.0, dbg = 0.0, diob = 0.0;
+  for (int t = 0; t < x.time(); ++t) {
+    const auto row = x.row(sample, t);
+    bg += row[Features::kBg];
+    dbg += row[Features::kDbg];
+    diob += row[Features::kDiob];
+  }
+  const double inv_t = 1.0 / x.time();
+  ctx.bg = bg * inv_t;
+  ctx.d_bg = dbg * inv_t;
+  ctx.d_iob = diob * inv_t;
+
+  const auto last = x.row(sample, x.time() - 1);
+  int best = 0;
+  for (int a = 1; a < sim::kNumActions; ++a) {
+    if (last[static_cast<std::size_t>(Features::kActionBase + a)] >
+        last[static_cast<std::size_t>(Features::kActionBase + best)]) {
+      best = a;
+    }
+  }
+  ctx.action = static_cast<sim::ControlAction>(best);
+  return ctx;
+}
+
+Dataset build_dataset(std::span<const sim::Trace> traces,
+                      const DatasetConfig& config) {
+  expects(config.window > 0 && config.horizon >= 0, "bad dataset config");
+
+  int total_windows = 0;
+  for (const auto& trace : traces) {
+    total_windows += std::max(0, trace.length() - config.window + 1);
+  }
+
+  Dataset ds;
+  ds.config = config;
+  ds.x = nn::Tensor3(total_windows, config.window, Features::kNumFeatures);
+  ds.labels.reserve(static_cast<std::size_t>(total_windows));
+  ds.semantic.reserve(static_cast<std::size_t>(total_windows));
+  ds.trace_id.reserve(static_cast<std::size_t>(total_windows));
+  ds.step_index.reserve(static_cast<std::size_t>(total_windows));
+
+  int sample = 0;
+  for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+    const sim::Trace& trace = traces[ti];
+    ds.trace_labels.push_back(safety::label_trace(trace, config.horizon));
+    const auto& labels = ds.trace_labels.back();
+    for (int end = config.window - 1; end < trace.length(); ++end) {
+      for (int k = 0; k < config.window; ++k) {
+        const int step = end - config.window + 1 + k;
+        fill_features(trace.steps[static_cast<std::size_t>(step)],
+                      ds.x.row(sample, k));
+      }
+      ds.labels.push_back(labels[static_cast<std::size_t>(end)]);
+      const safety::WindowContext ctx = window_context(ds.x, sample);
+      ds.semantic.push_back(static_cast<float>(
+          safety::semantic_indicator(ctx, config.bg_target)));
+      ds.trace_id.push_back(static_cast<int>(ti));
+      ds.step_index.push_back(end);
+      ++sample;
+    }
+  }
+  ensures(sample == total_windows, "window count mismatch");
+  return ds;
+}
+
+}  // namespace cpsguard::monitor

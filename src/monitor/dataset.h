@@ -1,0 +1,48 @@
+// Windowed datasets: traces → [N, window, features] tensors plus ground-truth
+// labels (Eq. 1), semantic-loss targets (Eq. 2's indicator), and enough
+// bookkeeping to map every window back to its trace step for the
+// tolerance-window metrics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/tensor3.h"
+#include "safety/rules_aps.h"
+#include "sim/trace.h"
+
+namespace cpsguard::monitor {
+
+struct DatasetConfig {
+  int window = 6;        // timesteps per sample (30 min)
+  int horizon = 12;      // hazard prediction horizon T (60 min)
+  double bg_target = sim::kTargetBg;
+};
+
+struct Dataset {
+  nn::Tensor3 x;                 // raw (unscaled) windows [N, window, F]
+  std::vector<int> labels;       // ground-truth unsafe (Eq. 1)
+  std::vector<float> semantic;   // I(∨Φ_h) per window (Eq. 2)
+  std::vector<int> trace_id;     // source trace per window
+  std::vector<int> step_index;   // window-end step t in the source trace
+  std::vector<std::vector<int>> trace_labels;  // full per-step ground truth
+  DatasetConfig config;
+
+  [[nodiscard]] int size() const { return x.batch(); }
+  [[nodiscard]] int num_traces() const { return static_cast<int>(trace_labels.size()); }
+  [[nodiscard]] double positive_fraction() const;
+
+  /// Subset by window indices (labels/semantic/bookkeeping follow).
+  [[nodiscard]] Dataset subset(std::span<const int> indices) const;
+};
+
+/// Aggregated window context for the semantic indicator: mean BG / dBG /
+/// dIOB over the window and the action of the final step.
+safety::WindowContext window_context(const nn::Tensor3& x, int sample);
+
+/// Build a dataset from traces. Each trace contributes windows ending at
+/// steps window-1 .. length-1.
+Dataset build_dataset(std::span<const sim::Trace> traces,
+                      const DatasetConfig& config);
+
+}  // namespace cpsguard::monitor

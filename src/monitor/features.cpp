@@ -1,0 +1,42 @@
+#include "monitor/features.h"
+
+#include "util/contracts.h"
+
+namespace cpsguard::monitor {
+
+bool Features::is_sensor_feature(int f) { return f >= kBg && f <= kDiob; }
+
+bool Features::is_command_feature(int f) {
+  return f == kRate || (f >= kActionBase && f < kNumFeatures);
+}
+
+const char* Features::name(int f) {
+  switch (f) {
+    case kBg: return "BG";
+    case kIob: return "IOB";
+    case kDbg: return "dBG";
+    case kDiob: return "dIOB";
+    case kRate: return "RATE";
+    case kActionBase + 0: return "u1_decrease";
+    case kActionBase + 1: return "u2_increase";
+    case kActionBase + 2: return "u3_stop";
+    case kActionBase + 3: return "u4_keep";
+    default: return "?";
+  }
+}
+
+void fill_features(const sim::StepRecord& r, std::span<float> out) {
+  expects(out.size() == static_cast<std::size_t>(Features::kNumFeatures),
+          "feature row width mismatch");
+  out[Features::kBg] = static_cast<float>(r.sensor_bg);
+  out[Features::kIob] = static_cast<float>(r.iob);
+  out[Features::kDbg] = static_cast<float>(r.d_bg);
+  out[Features::kDiob] = static_cast<float>(r.d_iob);
+  out[Features::kRate] = static_cast<float>(r.commanded_rate);
+  for (int a = 0; a < sim::kNumActions; ++a) {
+    out[static_cast<std::size_t>(Features::kActionBase + a)] =
+        a == static_cast<int>(r.action) ? 1.0f : 0.0f;
+  }
+}
+
+}  // namespace cpsguard::monitor

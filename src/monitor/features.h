@@ -1,0 +1,44 @@
+// Feature extraction: how a trace step becomes the multivariate input of the
+// ML monitors. One row per 5-minute step; monitors consume windows of
+// `window` consecutive rows (the paper uses 6 = 30 minutes).
+//
+// Layout (kNumFeatures = 9):
+//   0 BG        sensor blood glucose (mg/dL)          [sensor]
+//   1 IOB       insulin on board (U)                  [sensor]
+//   2 dBG       BG trend (mg/dL per min)              [sensor]
+//   3 dIOB      IOB trend (U per min)                 [sensor]
+//   4 RATE      commanded infusion rate (U/h)         [command]
+//   5..8        one-hot control action u1..u4         [command]
+//
+// The sensor/command split matters for the attack models: the paper's
+// Gaussian noise hits only sensor data, while FGSM hits everything.
+#pragma once
+
+#include <span>
+
+#include "sim/trace.h"
+
+namespace cpsguard::monitor {
+
+struct Features {
+  static constexpr int kBg = 0;
+  static constexpr int kIob = 1;
+  static constexpr int kDbg = 2;
+  static constexpr int kDiob = 3;
+  static constexpr int kRate = 4;
+  static constexpr int kActionBase = 5;
+  static constexpr int kNumFeatures = kActionBase + sim::kNumActions;
+
+  /// True for features derived from sensing (BG, IOB and their trends).
+  static bool is_sensor_feature(int f);
+  /// True for features carrying the control command (rate + action one-hot).
+  static bool is_command_feature(int f);
+
+  static const char* name(int f);
+};
+
+/// Fill one feature row from a step record. `out.size()` must be
+/// kNumFeatures.
+void fill_features(const sim::StepRecord& r, std::span<float> out);
+
+}  // namespace cpsguard::monitor

@@ -1,0 +1,28 @@
+// Fully connected layer: y = x W + b.
+#pragma once
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace cpsguard::nn {
+
+class Dense : public Layer {
+ public:
+  /// Glorot-uniform weights, zero bias.
+  Dense(int in, int out, util::Rng& rng);
+
+  Matrix forward(const Matrix& x, bool training) override;
+  Matrix backward(const Matrix& dy) override;
+  std::vector<Param*> params() override;
+
+  [[nodiscard]] std::string name() const override { return "Dense"; }
+  [[nodiscard]] int input_size() const override { return w_.value.rows(); }
+  [[nodiscard]] int output_size() const override { return w_.value.cols(); }
+
+ private:
+  Param w_;
+  Param b_;
+  Matrix cached_input_;
+};
+
+}  // namespace cpsguard::nn

@@ -1,0 +1,102 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cpsguard::nn {
+
+namespace {
+
+void update_errors(double analytic, double numeric, GradCheckResult& out) {
+  const double abs_err = std::fabs(analytic - numeric);
+  out.max_abs_error = std::max(out.max_abs_error, abs_err);
+  // Relative error is meaningless for near-zero gradients: float32 forward
+  // passes leave ~1e-6 noise that would dominate the ratio.
+  const double magnitude = std::max(std::fabs(analytic), std::fabs(numeric));
+  if (magnitude > 1e-4) {
+    out.max_rel_error = std::max(out.max_rel_error, abs_err / magnitude);
+  }
+}
+
+double loss_at(Classifier& clf, const Tensor3& x, std::span<const int> labels,
+               std::span<const float> semantic_targets, const Loss& loss) {
+  clf.zero_grad();
+  const double l = clf.accumulate_gradients(x, labels, semantic_targets, loss);
+  clf.zero_grad();
+  return l;
+}
+
+}  // namespace
+
+GradCheckResult check_input_gradient(Classifier& clf, const Tensor3& x,
+                                     std::span<const int> labels,
+                                     util::Rng& rng, int probes, double eps) {
+  const SoftmaxCrossEntropy ce;
+  const Tensor3 analytic = clf.loss_input_gradient(x, labels);
+  GradCheckResult out;
+
+  const int total = x.size();
+  expects(total > 0, "empty input");
+  const int n_probes = probes <= 0 ? total : std::min(probes, total);
+
+  Tensor3 work = x;
+  auto data = work.data();
+  const auto grad = analytic.data();
+  for (int k = 0; k < n_probes; ++k) {
+    const int idx = probes <= 0 ? k : rng.uniform_int(0, total - 1);
+    const float original = data[static_cast<std::size_t>(idx)];
+    data[static_cast<std::size_t>(idx)] = original + static_cast<float>(eps);
+    const double lp = loss_at(clf, work, labels, {}, ce);
+    data[static_cast<std::size_t>(idx)] = original - static_cast<float>(eps);
+    const double lm = loss_at(clf, work, labels, {}, ce);
+    data[static_cast<std::size_t>(idx)] = original;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    update_errors(grad[static_cast<std::size_t>(idx)], numeric, out);
+  }
+  return out;
+}
+
+GradCheckResult check_param_gradients(
+    Classifier& clf, const Tensor3& x, std::span<const int> labels,
+    std::span<const float> semantic_targets, const Loss& loss, util::Rng& rng,
+    int probes, double eps) {
+  clf.zero_grad();
+  clf.accumulate_gradients(x, labels, semantic_targets, loss);
+
+  // Snapshot analytic gradients before the numeric probing perturbs state.
+  const auto ps = clf.params();
+  std::vector<Matrix> analytic;
+  analytic.reserve(ps.size());
+  for (const Param* p : ps) analytic.push_back(p->grad);
+  clf.zero_grad();
+
+  GradCheckResult out;
+  int total = 0;
+  for (const Param* p : ps) total += p->value.size();
+  expects(total > 0, "model has no parameters");
+  const int n_probes = probes <= 0 ? total : std::min(probes, total);
+
+  for (int k = 0; k < n_probes; ++k) {
+    int idx = probes <= 0 ? k : rng.uniform_int(0, total - 1);
+    // Locate (param, offset) for the flat index.
+    std::size_t pi = 0;
+    while (idx >= ps[pi]->value.size()) {
+      idx -= ps[pi]->value.size();
+      ++pi;
+    }
+    auto data = ps[pi]->value.data();
+    const float original = data[static_cast<std::size_t>(idx)];
+    data[static_cast<std::size_t>(idx)] = original + static_cast<float>(eps);
+    const double lp = loss_at(clf, x, labels, semantic_targets, loss);
+    data[static_cast<std::size_t>(idx)] = original - static_cast<float>(eps);
+    const double lm = loss_at(clf, x, labels, semantic_targets, loss);
+    data[static_cast<std::size_t>(idx)] = original;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    update_errors(analytic[pi].data()[static_cast<std::size_t>(idx)], numeric, out);
+  }
+  return out;
+}
+
+}  // namespace cpsguard::nn

@@ -1,0 +1,138 @@
+#include "nn/gru.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/init.h"
+#include "util/contracts.h"
+
+namespace cpsguard::nn {
+
+GruLayer::GruLayer(int input, int hidden, util::Rng& rng)
+    : input_(input), hidden_(hidden),
+      wx_("Wx", glorot_uniform(input, 3 * hidden, rng)),
+      wh_("Wh", recurrent_normal(hidden, 3 * hidden, rng)),
+      bx_("bx", Matrix::zeros(1, 3 * hidden)),
+      bh_("bh", Matrix::zeros(1, 3 * hidden)) {
+  expects(input > 0 && hidden > 0, "GRU sizes must be positive");
+}
+
+Tensor3 GruLayer::forward(const Tensor3& x) {
+  expects(x.features() == input_, "GRU: input feature width mismatch");
+  const int batch = x.batch();
+  const int steps = x.time();
+  cache_.clear();
+  cache_.reserve(static_cast<std::size_t>(steps));
+  cached_batch_ = batch;
+
+  Tensor3 out(batch, steps, hidden_);
+  Matrix h = Matrix::zeros(batch, hidden_);
+
+  for (int t = 0; t < steps; ++t) {
+    StepCache sc;
+    sc.x = x.time_slice(t);
+    sc.h_prev = h;
+
+    Matrix a = matmul(sc.x, wx_.value);
+    a.add_row_vector(bx_.value.row(0));
+    Matrix ah = matmul(h, wh_.value);
+    ah.add_row_vector(bh_.value.row(0));
+
+    sc.z = Matrix(batch, hidden_);
+    sc.r = Matrix(batch, hidden_);
+    sc.n = Matrix(batch, hidden_);
+    sc.ah_n = Matrix(batch, hidden_);
+    Matrix h_next(batch, hidden_);
+
+    for (int bi = 0; bi < batch; ++bi) {
+      const auto arow = a.row(bi);
+      const auto ahrow = ah.row(bi);
+      const auto hrow = h.row(bi);
+      auto zrow = sc.z.row(bi);
+      auto rrow = sc.r.row(bi);
+      auto nrow = sc.n.row(bi);
+      auto qrow = sc.ah_n.row(bi);
+      auto hnrow = h_next.row(bi);
+      for (int j = 0; j < hidden_; ++j) {
+        const auto ji = static_cast<std::size_t>(j);
+        const auto jr = ji + static_cast<std::size_t>(hidden_);
+        const auto jn = ji + static_cast<std::size_t>(2 * hidden_);
+        zrow[ji] = sigmoid(arow[ji] + ahrow[ji]);
+        rrow[ji] = sigmoid(arow[jr] + ahrow[jr]);
+        qrow[ji] = ahrow[jn];
+        nrow[ji] = std::tanh(arow[jn] + rrow[ji] * qrow[ji]);
+        hnrow[ji] = (1.0f - zrow[ji]) * nrow[ji] + zrow[ji] * hrow[ji];
+      }
+    }
+
+    h = h_next;
+    out.set_time_slice(t, h);
+    cache_.push_back(std::move(sc));
+  }
+  return out;
+}
+
+Tensor3 GruLayer::backward(const Tensor3& dh_all) {
+  const int steps = static_cast<int>(cache_.size());
+  expects(steps > 0, "GRU backward requires a prior forward");
+  expects(dh_all.batch() == cached_batch_ && dh_all.time() == steps &&
+              dh_all.features() == hidden_,
+          "GRU: hidden-grad shape mismatch");
+  const int batch = cached_batch_;
+
+  Tensor3 dx(batch, steps, input_);
+  Matrix dh_next = Matrix::zeros(batch, hidden_);
+
+  for (int t = steps - 1; t >= 0; --t) {
+    const StepCache& sc = cache_[static_cast<std::size_t>(t)];
+    Matrix dh = dh_all.time_slice(t);
+    dh.add_in_place(dh_next);
+
+    // Pre-activation gradients for the input path (dA = [dz, dr, dn]) and
+    // the hidden path (dAh = [dz, dr, dn ⊙ r]).
+    Matrix da(batch, 3 * hidden_);
+    Matrix dah(batch, 3 * hidden_);
+    Matrix dh_prev(batch, hidden_);
+    for (int bi = 0; bi < batch; ++bi) {
+      const auto zrow = sc.z.row(bi);
+      const auto rrow = sc.r.row(bi);
+      const auto nrow = sc.n.row(bi);
+      const auto qrow = sc.ah_n.row(bi);
+      const auto hrow = sc.h_prev.row(bi);
+      const auto dhrow = dh.row(bi);
+      auto darow = da.row(bi);
+      auto dahrow = dah.row(bi);
+      auto dhprow = dh_prev.row(bi);
+      for (int j = 0; j < hidden_; ++j) {
+        const auto ji = static_cast<std::size_t>(j);
+        const auto jr = ji + static_cast<std::size_t>(hidden_);
+        const auto jn = ji + static_cast<std::size_t>(2 * hidden_);
+        const float z = zrow[ji], r = rrow[ji], n = nrow[ji];
+        const float dz_pre = dhrow[ji] * (hrow[ji] - n) * dsigmoid_from_y(z);
+        const float dn_pre = dhrow[ji] * (1.0f - z) * dtanh_from_y(n);
+        const float dr_pre = dn_pre * qrow[ji] * dsigmoid_from_y(r);
+        darow[ji] = dz_pre;
+        darow[jr] = dr_pre;
+        darow[jn] = dn_pre;
+        dahrow[ji] = dz_pre;
+        dahrow[jr] = dr_pre;
+        dahrow[jn] = dn_pre * r;
+        dhprow[ji] = dhrow[ji] * z;
+      }
+    }
+
+    wx_.grad.add_in_place(matmul_tn(sc.x, da));
+    bx_.grad.add_in_place(da.column_sums());
+    wh_.grad.add_in_place(matmul_tn(sc.h_prev, dah));
+    bh_.grad.add_in_place(dah.column_sums());
+
+    dx.set_time_slice(t, matmul_nt(da, wx_.value));
+    dh_prev.add_in_place(matmul_nt(dah, wh_.value));
+    dh_next = std::move(dh_prev);
+  }
+  return dx;
+}
+
+std::vector<Param*> GruLayer::params() { return {&wx_, &wh_, &bx_, &bh_}; }
+
+}  // namespace cpsguard::nn

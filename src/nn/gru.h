@@ -1,0 +1,58 @@
+// GRU layer (Cho et al. 2014, PyTorch/cuDNN gate formulation) with full
+// backpropagation-through-time. A second recurrent architecture for testing
+// whether the paper's conclusions (semantic-loss robustness gains, FGSM
+// sensitivity of recurrent monitors) generalize beyond the LSTM.
+//
+// Gate layout inside the fused weights is [z | r | n]:
+//   a  = x Wx + bx          (input contribution,  [B, 3H])
+//   ah = h Wh + bh          (hidden contribution, [B, 3H])
+//   z = σ(a_z + ah_z)       update gate
+//   r = σ(a_r + ah_r)       reset gate
+//   n = tanh(a_n + r ⊙ ah_n)
+//   h' = (1 - z) ⊙ n + z ⊙ h
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/tensor3.h"
+#include "util/rng.h"
+
+namespace cpsguard::nn {
+
+class GruLayer {
+ public:
+  GruLayer(int input, int hidden, util::Rng& rng);
+
+  /// Forward over the whole sequence; caches per-step state for backward.
+  Tensor3 forward(const Tensor3& x);
+
+  /// BPTT. `dh` holds dLoss/dh_t for every timestep; returns dLoss/dx.
+  Tensor3 backward(const Tensor3& dh);
+
+  [[nodiscard]] std::vector<Param*> params();
+
+  [[nodiscard]] int input_size() const { return input_; }
+  [[nodiscard]] int hidden_size() const { return hidden_; }
+
+ private:
+  int input_;
+  int hidden_;
+  Param wx_;  // [input, 3*hidden]
+  Param wh_;  // [hidden, 3*hidden]
+  Param bx_;  // [1, 3*hidden]
+  Param bh_;  // [1, 3*hidden]
+
+  struct StepCache {
+    Matrix x;       // [B, input]
+    Matrix h_prev;  // [B, hidden]
+    Matrix z;       // [B, hidden] post-activation
+    Matrix r;       // [B, hidden] post-activation
+    Matrix n;       // [B, hidden] post-activation
+    Matrix ah_n;    // [B, hidden] the hidden contribution gated by r
+  };
+  std::vector<StepCache> cache_;
+  int cached_batch_ = 0;
+};
+
+}  // namespace cpsguard::nn

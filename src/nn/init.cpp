@@ -1,0 +1,33 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cpsguard::nn {
+
+Matrix glorot_uniform(int fan_in, int fan_out, util::Rng& rng) {
+  expects(fan_in > 0 && fan_out > 0, "fan sizes must be positive");
+  const double limit = std::sqrt(6.0 / (fan_in + fan_out));
+  Matrix m(fan_in, fan_out);
+  for (float& v : m.data()) v = static_cast<float>(rng.uniform(-limit, limit));
+  return m;
+}
+
+Matrix he_normal(int fan_in, int fan_out, util::Rng& rng) {
+  expects(fan_in > 0 && fan_out > 0, "fan sizes must be positive");
+  const double stddev = std::sqrt(2.0 / fan_in);
+  Matrix m(fan_in, fan_out);
+  for (float& v : m.data()) v = static_cast<float>(rng.gaussian(0.0, stddev));
+  return m;
+}
+
+Matrix recurrent_normal(int rows, int cols, util::Rng& rng) {
+  expects(rows > 0 && cols > 0, "matrix sizes must be positive");
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(rows));
+  Matrix m(rows, cols);
+  for (float& v : m.data()) v = static_cast<float>(rng.gaussian(0.0, stddev));
+  return m;
+}
+
+}  // namespace cpsguard::nn

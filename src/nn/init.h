@@ -1,0 +1,20 @@
+// Weight initialization schemes (Glorot/Xavier uniform and He normal),
+// driven by an explicit Rng for reproducibility.
+#pragma once
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace cpsguard::nn {
+
+/// Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6/(fan_in+fan_out)).
+Matrix glorot_uniform(int fan_in, int fan_out, util::Rng& rng);
+
+/// He normal: N(0, sqrt(2/fan_in)) — suited to ReLU stacks.
+Matrix he_normal(int fan_in, int fan_out, util::Rng& rng);
+
+/// Orthogonal-ish recurrent init: scaled Gaussian (practical stand-in that
+/// keeps LSTM recurrence well-conditioned at our sizes).
+Matrix recurrent_normal(int rows, int cols, util::Rng& rng);
+
+}  // namespace cpsguard::nn

@@ -1,0 +1,139 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/init.h"
+#include "util/contracts.h"
+
+namespace cpsguard::nn {
+
+LstmLayer::LstmLayer(int input, int hidden, util::Rng& rng)
+    : input_(input), hidden_(hidden),
+      wx_("Wx", glorot_uniform(input, 4 * hidden, rng)),
+      wh_("Wh", recurrent_normal(hidden, 4 * hidden, rng)),
+      b_("b", Matrix::zeros(1, 4 * hidden)) {
+  expects(input > 0 && hidden > 0, "LSTM sizes must be positive");
+  // Forget-gate bias starts at 1 (standard trick: remember by default).
+  for (int j = hidden; j < 2 * hidden; ++j) b_.value.at(0, j) = 1.0f;
+}
+
+Tensor3 LstmLayer::forward(const Tensor3& x) {
+  expects(x.features() == input_, "LSTM: input feature width mismatch");
+  const int batch = x.batch();
+  const int steps = x.time();
+  cache_.clear();
+  cache_.reserve(static_cast<std::size_t>(steps));
+  cached_batch_ = batch;
+
+  Tensor3 out(batch, steps, hidden_);
+  Matrix h = Matrix::zeros(batch, hidden_);
+  Matrix c = Matrix::zeros(batch, hidden_);
+
+  for (int t = 0; t < steps; ++t) {
+    StepCache sc;
+    sc.x = x.time_slice(t);
+    sc.h_prev = h;
+    sc.c_prev = c;
+
+    Matrix a = matmul(sc.x, wx_.value);
+    a.add_in_place(matmul(h, wh_.value));
+    a.add_row_vector(b_.value.row(0));
+
+    sc.gates = Matrix(batch, 4 * hidden_);
+    sc.c = Matrix(batch, hidden_);
+    sc.tanh_c = Matrix(batch, hidden_);
+    Matrix h_next(batch, hidden_);
+
+    for (int bi = 0; bi < batch; ++bi) {
+      const auto arow = a.row(bi);
+      auto grow = sc.gates.row(bi);
+      const auto cprev = sc.c_prev.row(bi);
+      auto crow = sc.c.row(bi);
+      auto tcrow = sc.tanh_c.row(bi);
+      auto hrow = h_next.row(bi);
+      for (int j = 0; j < hidden_; ++j) {
+        const auto ji = static_cast<std::size_t>(j);
+        const float ig = sigmoid(arow[ji]);
+        const float fg = sigmoid(arow[ji + static_cast<std::size_t>(hidden_)]);
+        const float gg = std::tanh(arow[ji + static_cast<std::size_t>(2 * hidden_)]);
+        const float og = sigmoid(arow[ji + static_cast<std::size_t>(3 * hidden_)]);
+        grow[ji] = ig;
+        grow[ji + static_cast<std::size_t>(hidden_)] = fg;
+        grow[ji + static_cast<std::size_t>(2 * hidden_)] = gg;
+        grow[ji + static_cast<std::size_t>(3 * hidden_)] = og;
+        crow[ji] = fg * cprev[ji] + ig * gg;
+        tcrow[ji] = std::tanh(crow[ji]);
+        hrow[ji] = og * tcrow[ji];
+      }
+    }
+
+    h = h_next;
+    c = sc.c;
+    out.set_time_slice(t, h);
+    cache_.push_back(std::move(sc));
+  }
+  return out;
+}
+
+Tensor3 LstmLayer::backward(const Tensor3& dh_all) {
+  const int steps = static_cast<int>(cache_.size());
+  expects(steps > 0, "LSTM backward requires a prior forward");
+  expects(dh_all.batch() == cached_batch_ && dh_all.time() == steps &&
+              dh_all.features() == hidden_,
+          "LSTM: hidden-grad shape mismatch");
+  const int batch = cached_batch_;
+
+  Tensor3 dx(batch, steps, input_);
+  Matrix dh_next = Matrix::zeros(batch, hidden_);
+  Matrix dc_next = Matrix::zeros(batch, hidden_);
+
+  for (int t = steps - 1; t >= 0; --t) {
+    const StepCache& sc = cache_[static_cast<std::size_t>(t)];
+    Matrix dh = dh_all.time_slice(t);
+    dh.add_in_place(dh_next);
+
+    // Pre-activation gate gradients: da = [di, df, dg, do] pre-nonlinearity.
+    Matrix da(batch, 4 * hidden_);
+    Matrix dc_prev(batch, hidden_);
+    for (int bi = 0; bi < batch; ++bi) {
+      const auto grow = sc.gates.row(bi);
+      const auto cprev = sc.c_prev.row(bi);
+      const auto tcrow = sc.tanh_c.row(bi);
+      const auto dhrow = dh.row(bi);
+      const auto dcnrow = dc_next.row(bi);
+      auto darow = da.row(bi);
+      auto dcprow = dc_prev.row(bi);
+      for (int j = 0; j < hidden_; ++j) {
+        const auto ji = static_cast<std::size_t>(j);
+        const float ig = grow[ji];
+        const float fg = grow[ji + static_cast<std::size_t>(hidden_)];
+        const float gg = grow[ji + static_cast<std::size_t>(2 * hidden_)];
+        const float og = grow[ji + static_cast<std::size_t>(3 * hidden_)];
+        const float dc = dhrow[ji] * og * dtanh_from_y(tcrow[ji]) + dcnrow[ji];
+        const float do_ = dhrow[ji] * tcrow[ji];
+        darow[ji] = dc * gg * dsigmoid_from_y(ig);
+        darow[ji + static_cast<std::size_t>(hidden_)] =
+            dc * cprev[ji] * dsigmoid_from_y(fg);
+        darow[ji + static_cast<std::size_t>(2 * hidden_)] =
+            dc * ig * dtanh_from_y(gg);
+        darow[ji + static_cast<std::size_t>(3 * hidden_)] =
+            do_ * dsigmoid_from_y(og);
+        dcprow[ji] = dc * fg;
+      }
+    }
+
+    wx_.grad.add_in_place(matmul_tn(sc.x, da));
+    wh_.grad.add_in_place(matmul_tn(sc.h_prev, da));
+    b_.grad.add_in_place(da.column_sums());
+
+    dx.set_time_slice(t, matmul_nt(da, wx_.value));
+    dh_next = matmul_nt(da, wh_.value);
+    dc_next = dc_prev;
+  }
+  return dx;
+}
+
+std::vector<Param*> LstmLayer::params() { return {&wx_, &wh_, &b_}; }
+
+}  // namespace cpsguard::nn

@@ -1,0 +1,225 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cpsguard::nn {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0f) {
+  expects(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+}
+
+Matrix::Matrix(int rows, int cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  expects(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+  expects(data_.size() == static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+          "matrix data size must match dimensions");
+}
+
+Matrix Matrix::zeros(int rows, int cols) { return Matrix(rows, cols); }
+
+Matrix Matrix::full(int rows, int cols, float value) {
+  Matrix m(rows, cols);
+  m.fill(value);
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return {};
+  const int r = static_cast<int>(rows.size());
+  const int c = static_cast<int>(rows.front().size());
+  Matrix m(r, c);
+  for (int i = 0; i < r; ++i) {
+    expects(static_cast<int>(rows[static_cast<std::size_t>(i)].size()) == c,
+            "ragged rows in from_rows");
+    std::copy(rows[static_cast<std::size_t>(i)].begin(),
+              rows[static_cast<std::size_t>(i)].end(), m.row(i).begin());
+  }
+  return m;
+}
+
+float& Matrix::at(int r, int c) {
+  expects(r >= 0 && r < rows_ && c >= 0 && c < cols_, "matrix index out of range");
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+               static_cast<std::size_t>(c)];
+}
+
+float Matrix::at(int r, int c) const {
+  expects(r >= 0 && r < rows_ && c >= 0 && c < cols_, "matrix index out of range");
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+               static_cast<std::size_t>(c)];
+}
+
+std::span<float> Matrix::row(int r) {
+  expects(r >= 0 && r < rows_, "row index out of range");
+  return std::span<float>(data_).subspan(
+      static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_),
+      static_cast<std::size_t>(cols_));
+}
+
+std::span<const float> Matrix::row(int r) const {
+  expects(r >= 0 && r < rows_, "row index out of range");
+  return std::span<const float>(data_).subspan(
+      static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_),
+      static_cast<std::size_t>(cols_));
+}
+
+void Matrix::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Matrix::add_in_place(const Matrix& other) { axpy(1.0f, other); }
+
+void Matrix::axpy(float alpha, const Matrix& other) {
+  expects(rows_ == other.rows_ && cols_ == other.cols_, "axpy shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::scale(float alpha) {
+  for (float& v : data_) v *= alpha;
+}
+
+void Matrix::hadamard_in_place(const Matrix& other) {
+  expects(rows_ == other.rows_ && cols_ == other.cols_, "hadamard shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Matrix::add_row_vector(std::span<const float> v) {
+  expects(static_cast<int>(v.size()) == cols_, "row-vector length must equal cols");
+  for (int r = 0; r < rows_; ++r) {
+    auto dst = row(r);
+    for (int c = 0; c < cols_; ++c) dst[static_cast<std::size_t>(c)] += v[static_cast<std::size_t>(c)];
+  }
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::column_sums() const {
+  Matrix s(1, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    const auto src = row(r);
+    auto dst = s.row(0);
+    for (int c = 0; c < cols_; ++c) dst[static_cast<std::size_t>(c)] += src[static_cast<std::size_t>(c)];
+  }
+  return s;
+}
+
+float Matrix::max_abs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float Matrix::sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+std::string Matrix::shape_str() const {
+  return "[" + std::to_string(rows_) + "x" + std::to_string(cols_) + "]";
+}
+
+bool operator==(const Matrix& a, const Matrix& b) {
+  return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  cpsguard::expects(a.cols() == b.rows(), "matmul inner dimensions must match");
+  Matrix c(a.rows(), b.cols());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  for (int i = 0; i < n; ++i) {
+    const auto arow = a.row(i);
+    auto crow = c.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[static_cast<std::size_t>(p)];
+      if (av == 0.0f) continue;
+      const auto brow = b.row(p);
+      for (int j = 0; j < m; ++j) crow[static_cast<std::size_t>(j)] += av * brow[static_cast<std::size_t>(j)];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  cpsguard::expects(a.rows() == b.rows(), "matmul_tn: A^T B needs equal row counts");
+  Matrix c(a.cols(), b.cols());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  for (int i = 0; i < n; ++i) {
+    const auto arow = a.row(i);
+    const auto brow = b.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[static_cast<std::size_t>(p)];
+      if (av == 0.0f) continue;
+      auto crow = c.row(p);
+      for (int j = 0; j < m; ++j) crow[static_cast<std::size_t>(j)] += av * brow[static_cast<std::size_t>(j)];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  cpsguard::expects(a.cols() == b.cols(), "matmul_nt: A B^T needs equal col counts");
+  Matrix c(a.rows(), b.rows());
+  const int n = a.rows(), k = a.cols(), m = b.rows();
+  for (int i = 0; i < n; ++i) {
+    const auto arow = a.row(i);
+    auto crow = c.row(i);
+    for (int j = 0; j < m; ++j) {
+      const auto brow = b.row(j);
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p)
+        acc += static_cast<double>(arow[static_cast<std::size_t>(p)]) * brow[static_cast<std::size_t>(p)];
+      crow[static_cast<std::size_t>(j)] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Matrix subtract(const Matrix& a, const Matrix& b) {
+  cpsguard::expects(a.rows() == b.rows() && a.cols() == b.cols(), "subtract shape mismatch");
+  Matrix c = a;
+  c.axpy(-1.0f, b);
+  return c;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  cpsguard::expects(a.rows() == b.rows() && a.cols() == b.cols(), "add shape mismatch");
+  Matrix c = a;
+  c.add_in_place(b);
+  return c;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c.hadamard_in_place(b);
+  return c;
+}
+
+Matrix softmax_rows(const Matrix& logits) {
+  Matrix probs(logits.rows(), logits.cols());
+  for (int r = 0; r < logits.rows(); ++r) {
+    const auto src = logits.row(r);
+    auto dst = probs.row(r);
+    float mx = src.empty() ? 0.0f : src[0];
+    for (float v : src) mx = std::max(mx, v);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < src.size(); ++j) {
+      dst[j] = std::exp(src[j] - mx);
+      denom += dst[j];
+    }
+    for (std::size_t j = 0; j < src.size(); ++j)
+      dst[j] = static_cast<float>(dst[j] / denom);
+  }
+  return probs;
+}
+
+}  // namespace cpsguard::nn

@@ -1,0 +1,86 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cpsguard::nn {
+
+Sgd::Sgd(double lr, double momentum) : lr_(lr), momentum_(momentum) {
+  expects(lr > 0.0, "learning rate must be positive");
+  expects(momentum >= 0.0 && momentum < 1.0, "momentum must be in [0,1)");
+}
+
+void Sgd::step(std::span<Param* const> params) {
+  for (Param* p : params) {
+    expects(p != nullptr, "null param");
+    if (momentum_ == 0.0) {
+      p->value.axpy(static_cast<float>(-lr_), p->grad);
+      continue;
+    }
+    auto [it, inserted] = velocity_.try_emplace(
+        p, Matrix::zeros(p->value.rows(), p->value.cols()));
+    Matrix& v = it->second;
+    v.scale(static_cast<float>(momentum_));
+    v.axpy(1.0f, p->grad);
+    p->value.axpy(static_cast<float>(-lr_), v);
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  expects(lr > 0.0, "learning rate must be positive");
+  expects(beta1 >= 0.0 && beta1 < 1.0, "beta1 must be in [0,1)");
+  expects(beta2 >= 0.0 && beta2 < 1.0, "beta2 must be in [0,1)");
+  expects(eps > 0.0, "eps must be positive");
+}
+
+Adam& Adam::with_weight_decay(double decay) {
+  expects(decay >= 0.0, "weight decay must be non-negative");
+  weight_decay_ = decay;
+  return *this;
+}
+
+Adam& Adam::with_gradient_clipping(double max_norm) {
+  expects(max_norm > 0.0, "clip norm must be positive");
+  clip_norm_ = max_norm;
+  return *this;
+}
+
+void Adam::step(std::span<Param* const> params) {
+  ++t_;
+  double clip_scale = 1.0;
+  if (clip_norm_ > 0.0) {
+    double sq = 0.0;
+    for (const Param* p : params) {
+      expects(p != nullptr, "null param");
+      for (const float g : p->grad.data()) sq += static_cast<double>(g) * g;
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > clip_norm_) clip_scale = clip_norm_ / norm;
+  }
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (Param* p : params) {
+    expects(p != nullptr, "null param");
+    auto [it, inserted] = state_.try_emplace(
+        p, State{Matrix::zeros(p->value.rows(), p->value.cols()),
+                 Matrix::zeros(p->value.rows(), p->value.cols())});
+    State& s = it->second;
+    auto m = s.m.data();
+    auto v = s.v.data();
+    auto g = p->grad.data();
+    auto w = p->value.data();
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double gi = clip_scale * g[i];
+      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * gi);
+      v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * gi * gi);
+      const double m_hat = m[i] / bc1;
+      const double v_hat = v[i] / bc2;
+      w[i] -= static_cast<float>(lr_ * m_hat / (std::sqrt(v_hat) + eps_) +
+                                 lr_ * weight_decay_ * w[i]);
+    }
+  }
+}
+
+}  // namespace cpsguard::nn

@@ -1,0 +1,62 @@
+// First-order optimizers over Param sets. State (momenta) is keyed by the
+// Param pointer, which is stable for the lifetime of a model.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace cpsguard::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Apply one update using each param's accumulated grad, then the caller
+  /// normally zeroes the grads.
+  virtual void step(std::span<Param* const> params) = 0;
+};
+
+/// SGD with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0);
+
+  void step(std::span<Param* const> params) override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::unordered_map<const Param*, Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction — the paper's optimizer,
+/// default lr 0.001 as in the paper. Optional decoupled weight decay
+/// (AdamW, Loshchilov & Hutter 2019) and global-norm gradient clipping.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr = 0.001, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+
+  /// AdamW-style decay: w -= lr * decay * w, applied outside the moments.
+  Adam& with_weight_decay(double decay);
+  /// Scale all gradients down when their global L2 norm exceeds `max_norm`.
+  Adam& with_gradient_clipping(double max_norm);
+
+  void step(std::span<Param* const> params) override;
+
+ private:
+  struct State {
+    Matrix m;
+    Matrix v;
+  };
+  double lr_, beta1_, beta2_, eps_;
+  double weight_decay_ = 0.0;
+  double clip_norm_ = 0.0;  // 0 disables clipping
+  long t_ = 0;
+  std::unordered_map<const Param*, State> state_;
+};
+
+}  // namespace cpsguard::nn

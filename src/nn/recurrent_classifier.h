@@ -1,0 +1,114 @@
+// Generic stacked-recurrent classifier: any cell layer exposing
+//   Tensor3 forward(const Tensor3&), Tensor3 backward(const Tensor3&),
+//   std::vector<Param*> params(), int hidden_size()
+// can be stacked under a dense softmax head. Instantiated for the GRU; the
+// LSTM keeps its dedicated class (the paper's primary recurrent monitor).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/classifier.h"
+#include "nn/dense.h"
+#include "util/contracts.h"
+
+namespace cpsguard::nn {
+
+template <typename Cell>
+class RecurrentClassifier : public Classifier {
+ public:
+  RecurrentClassifier(std::string arch_prefix, int time_steps, int features,
+                      std::vector<int> hidden, int classes, util::Rng& rng)
+      : arch_prefix_(std::move(arch_prefix)), time_steps_(time_steps),
+        features_(features), classes_(classes), hidden_(std::move(hidden)) {
+    expects(time_steps > 0 && features > 0 && classes >= 2,
+            "bad recurrent-classifier dimensions");
+    expects(!hidden_.empty(), "recurrent stack needs at least one layer");
+    int in = features;
+    for (const int h : hidden_) {
+      expects(h > 0, "hidden size must be positive");
+      cells_.push_back(std::make_unique<Cell>(in, h, rng));
+      in = h;
+    }
+    head_.add(std::make_unique<Dense>(in, classes, rng));
+  }
+
+  [[nodiscard]] int num_classes() const override { return classes_; }
+  [[nodiscard]] int time_steps() const override { return time_steps_; }
+  [[nodiscard]] int features() const override { return features_; }
+
+  [[nodiscard]] std::string arch() const override {
+    std::string s = arch_prefix_ + "(";
+    for (std::size_t i = 0; i < hidden_.size(); ++i) {
+      if (i) s += '-';
+      s += std::to_string(hidden_[i]);
+    }
+    return s + ")";
+  }
+
+  Matrix predict_proba(const Tensor3& x) override {
+    return softmax_rows(head_.forward(encode(x), /*training=*/false));
+  }
+
+  double accumulate_gradients(const Tensor3& x, std::span<const int> labels,
+                              std::span<const float> semantic_targets,
+                              const Loss& loss) override {
+    expects(x.batch() == static_cast<int>(labels.size()), "batch/label mismatch");
+    const Matrix logits = head_.forward(encode(x), /*training=*/true);
+    const LossResult lr = loss.compute(logits, labels, semantic_targets);
+    const Matrix dh_last = head_.backward(lr.dlogits);
+    decode_gradient(dh_last);
+    return lr.loss;
+  }
+
+  Tensor3 loss_input_gradient(const Tensor3& x,
+                              std::span<const int> labels) override {
+    expects(x.batch() == static_cast<int>(labels.size()), "batch/label mismatch");
+    zero_grad();
+    const Matrix logits = head_.forward(encode(x), /*training=*/false);
+    const SoftmaxCrossEntropy ce;
+    const LossResult lr = ce.compute(logits, labels, {});
+    const Matrix dh_last = head_.backward(lr.dlogits);
+    Tensor3 dx = decode_gradient(dh_last);
+    zero_grad();
+    return dx;
+  }
+
+  std::vector<Param*> params() override {
+    std::vector<Param*> out;
+    for (auto& cell : cells_) {
+      for (Param* p : cell->params()) out.push_back(p);
+    }
+    for (Param* p : head_.params()) out.push_back(p);
+    return out;
+  }
+
+ private:
+  Matrix encode(const Tensor3& x) {
+    expects(x.time() == time_steps_ && x.features() == features_,
+            "recurrent classifier: window shape mismatch");
+    Tensor3 h = x;
+    for (auto& cell : cells_) h = cell->forward(h);
+    return h.time_slice(h.time() - 1);
+  }
+
+  Tensor3 decode_gradient(const Matrix& dh_last) {
+    Tensor3 dh(dh_last.rows(), time_steps_, cells_.back()->hidden_size());
+    dh.set_time_slice(time_steps_ - 1, dh_last);
+    for (auto it = cells_.rbegin(); it != cells_.rend(); ++it) {
+      dh = (*it)->backward(dh);
+    }
+    return dh;
+  }
+
+  std::string arch_prefix_;
+  int time_steps_;
+  int features_;
+  int classes_;
+  std::vector<int> hidden_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+  FeedForward head_;
+};
+
+}  // namespace cpsguard::nn

@@ -1,0 +1,26 @@
+// Binary serialization of model parameters. Used by the experiment cache so
+// repeated bench runs skip retraining, and to ship trained monitors.
+//
+// Format: magic "CPSG", u32 version, u32 param count, then for each param:
+// u32 name length + bytes, u32 rows, u32 cols, rows*cols little-endian f32.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "nn/classifier.h"
+
+namespace cpsguard::nn {
+
+void save_params(std::ostream& os, std::span<Param* const> params);
+
+/// Load into existing params: names, order and shapes must match what was
+/// saved. Throws std::runtime_error on any mismatch or truncated stream.
+void load_params(std::istream& is, std::span<Param* const> params);
+
+/// Convenience wrappers over file paths.
+void save_classifier(const std::string& path, Classifier& clf);
+void load_classifier(const std::string& path, Classifier& clf);
+
+}  // namespace cpsguard::nn

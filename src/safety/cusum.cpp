@@ -1,0 +1,45 @@
+#include "safety/cusum.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/stats.h"
+
+namespace cpsguard::safety {
+
+CusumDetector::CusumDetector(CusumConfig config) : config_(config) {
+  expects(config.slack >= 0.0, "slack must be non-negative");
+  expects(config.threshold > 0.0, "threshold must be positive");
+}
+
+bool CusumDetector::step(double value) {
+  const double dev = value - config_.target_mean;
+  s_pos_ = std::max(0.0, s_pos_ + dev - config_.slack);
+  s_neg_ = std::max(0.0, s_neg_ - dev - config_.slack);
+  return s_pos_ > config_.threshold || s_neg_ > config_.threshold;
+}
+
+int CusumDetector::first_alarm(std::span<const double> signal) {
+  reset();
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    if (step(signal[i])) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void CusumDetector::reset() {
+  s_pos_ = 0.0;
+  s_neg_ = 0.0;
+}
+
+CusumConfig CusumDetector::calibrate(std::span<const double> clean_signal) {
+  expects(clean_signal.size() >= 2, "need a clean reference signal");
+  CusumConfig cfg;
+  cfg.target_mean = util::mean(clean_signal);
+  const double sigma = std::max(util::stddev(clean_signal), 1e-9);
+  cfg.slack = 0.5 * sigma;
+  cfg.threshold = 8.0 * sigma;
+  return cfg;
+}
+
+}  // namespace cpsguard::safety

@@ -1,0 +1,48 @@
+#include "safety/hazard.h"
+
+#include "util/contracts.h"
+
+namespace cpsguard::safety {
+
+std::string to_string(HazardType h) {
+  switch (h) {
+    case HazardType::kNone: return "none";
+    case HazardType::kH1TooMuchInsulin: return "H1(hypoglycemia)";
+    case HazardType::kH2TooLittleInsulin: return "H2(hyperglycemia)";
+  }
+  return "unknown";
+}
+
+HazardType hazard_at(const sim::StepRecord& r) {
+  if (r.true_bg < sim::kHypoglycemiaBg) return HazardType::kH1TooMuchInsulin;
+  if (r.true_bg > sim::kHyperglycemiaBg) return HazardType::kH2TooLittleInsulin;
+  return HazardType::kNone;
+}
+
+std::vector<int> label_trace(const sim::Trace& trace, int horizon_steps) {
+  expects(horizon_steps >= 0, "horizon must be non-negative");
+  const int n = trace.length();
+  std::vector<int> labels(static_cast<std::size_t>(n), 0);
+  // Sliding suffix scan: next_hazard = first step >= i in hazard (or -1).
+  int next_hazard = -1;
+  for (int i = n - 1; i >= 0; --i) {
+    if (hazard_at(trace.steps[static_cast<std::size_t>(i)]) != HazardType::kNone) {
+      next_hazard = i;
+    }
+    if (next_hazard >= 0 && next_hazard - i <= horizon_steps) {
+      labels[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  return labels;
+}
+
+double positive_fraction(const std::vector<std::vector<int>>& labels) {
+  std::size_t total = 0, positive = 0;
+  for (const auto& trace_labels : labels) {
+    total += trace_labels.size();
+    for (int y : trace_labels) positive += static_cast<std::size_t>(y);
+  }
+  return total == 0 ? 0.0 : static_cast<double>(positive) / static_cast<double>(total);
+}
+
+}  // namespace cpsguard::safety

@@ -1,0 +1,32 @@
+// Hazard definitions and ground-truth labelling (Eq. 1 of the paper):
+// a control action at time t is unsafe iff a hazard occurs on the *true*
+// patient state within the prediction horizon T.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace cpsguard::safety {
+
+enum class HazardType : int {
+  kNone = 0,
+  kH1TooMuchInsulin = 1,  // → hypoglycemia (BG < 70)
+  kH2TooLittleInsulin = 2 // → hyperglycemia (BG > 180)
+};
+
+std::string to_string(HazardType h);
+
+/// Hazard at a single step of a trace (on true BG).
+HazardType hazard_at(const sim::StepRecord& r);
+
+/// Eq. 1: y_t = 1 iff ∃ t' ∈ [t, t+T] with the true state in a hazard
+/// region. Returns one binary label per step.
+std::vector<int> label_trace(const sim::Trace& trace, int horizon_steps);
+
+/// Fraction of positive labels over a set of traces — the "faulty sample"
+/// percentage the paper reports per simulator.
+double positive_fraction(const std::vector<std::vector<int>>& labels);
+
+}  // namespace cpsguard::safety

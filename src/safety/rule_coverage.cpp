@@ -1,0 +1,63 @@
+#include "safety/rule_coverage.h"
+
+#include "safety/hazard.h"
+#include "safety/rule_monitor.h"
+#include "util/contracts.h"
+
+namespace cpsguard::safety {
+
+double RuleStats::fire_rate() const {
+  return total_steps == 0
+             ? 0.0
+             : static_cast<double>(fires) / static_cast<double>(total_steps);
+}
+
+double RuleStats::precision() const {
+  return fires == 0
+             ? 0.0
+             : static_cast<double>(true_positives) / static_cast<double>(fires);
+}
+
+double RuleStats::recall() const {
+  return total_positives == 0 ? 0.0
+                              : static_cast<double>(true_positives) /
+                                    static_cast<double>(total_positives);
+}
+
+std::vector<RuleStats> rule_coverage(std::span<const sim::Trace> traces,
+                                     int horizon_steps, double bg_target) {
+  expects(horizon_steps >= 0, "horizon must be non-negative");
+  const auto rules = aps_safety_rules(bg_target);
+  const RuleBasedMonitor context_builder(bg_target);
+
+  std::vector<RuleStats> stats;
+  stats.reserve(rules.size());
+  for (const auto& rule : rules) {
+    RuleStats s;
+    s.rule_id = rule.id;
+    s.hazard = rule.hazard;
+    s.description = rule.description;
+    stats.push_back(std::move(s));
+  }
+
+  for (const sim::Trace& trace : traces) {
+    const auto labels = label_trace(trace, horizon_steps);
+    for (int t = 0; t < trace.length(); ++t) {
+      const auto ti = static_cast<std::size_t>(t);
+      const auto signals = context_signals(
+          context_builder.context_of(trace.steps[ti]));
+      const bool positive = labels[ti] > 0;
+      for (std::size_t r = 0; r < rules.size(); ++r) {
+        ++stats[r].total_steps;
+        stats[r].total_positives += positive ? 1 : 0;
+        if (rules[r].formula->eval(signals, 0)) {
+          ++stats[r].fires;
+          stats[r].true_positives += positive ? 1 : 0;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace cpsguard::safety

@@ -1,0 +1,38 @@
+// Rule-coverage statistics: how often each Table I rule fires over a set of
+// traces and how well each predicts the ground-truth labels. The
+// transparency companion of the rule-based monitor — tells a safety engineer
+// which rules pull their weight and which generate noise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "safety/rules_aps.h"
+#include "sim/trace.h"
+
+namespace cpsguard::safety {
+
+struct RuleStats {
+  int rule_id = 0;
+  HazardType hazard = HazardType::kNone;
+  std::string description;
+  long fires = 0;            // steps where the rule held
+  long true_positives = 0;   // fires on steps labelled unsafe
+  long total_steps = 0;
+  long total_positives = 0;  // labelled-unsafe steps
+
+  [[nodiscard]] double fire_rate() const;
+  /// Of the steps where this rule fired, the fraction that were truly
+  /// unsafe (per the Eq. 1 labels).
+  [[nodiscard]] double precision() const;
+  /// Of the truly unsafe steps, the fraction this rule alone flagged.
+  [[nodiscard]] double recall() const;
+};
+
+/// Evaluate every Table I rule over the traces against Eq. 1 labels with
+/// horizon `horizon_steps`.
+std::vector<RuleStats> rule_coverage(std::span<const sim::Trace> traces,
+                                     int horizon_steps,
+                                     double bg_target = sim::kTargetBg);
+
+}  // namespace cpsguard::safety

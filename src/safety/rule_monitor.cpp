@@ -1,0 +1,28 @@
+#include "safety/rule_monitor.h"
+
+namespace cpsguard::safety {
+
+RuleBasedMonitor::RuleBasedMonitor(double bg_target)
+    : bg_target_(bg_target), disjunction_(unsafe_action_disjunction(bg_target)) {}
+
+WindowContext RuleBasedMonitor::context_of(const sim::StepRecord& r) const {
+  WindowContext ctx;
+  ctx.bg = r.sensor_bg;
+  ctx.d_bg = r.d_bg;
+  ctx.d_iob = r.d_iob;
+  ctx.action = r.action;
+  return ctx;
+}
+
+int RuleBasedMonitor::predict_step(const sim::StepRecord& r) const {
+  return disjunction_->eval(context_signals(context_of(r)), 0) ? 1 : 0;
+}
+
+std::vector<int> RuleBasedMonitor::predict_trace(const sim::Trace& trace) const {
+  std::vector<int> out;
+  out.reserve(trace.steps.size());
+  for (const auto& r : trace.steps) out.push_back(predict_step(r));
+  return out;
+}
+
+}  // namespace cpsguard::safety

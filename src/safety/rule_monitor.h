@@ -1,0 +1,35 @@
+// Rule-based safety monitor: flags a control action as unsafe iff any Table I
+// formula fires on the current (sensor-view) context. This is the paper's
+// knowledge-only baseline ("Rule-based" rows of Table III) — applicable to
+// any controller with the same functional specification, but limited by the
+// fidelity of the rules.
+#pragma once
+
+#include <vector>
+
+#include "safety/rules_aps.h"
+#include "sim/trace.h"
+
+namespace cpsguard::safety {
+
+class RuleBasedMonitor {
+ public:
+  explicit RuleBasedMonitor(double bg_target = sim::kTargetBg);
+
+  /// Context of one trace step as the monitor sees it.
+  [[nodiscard]] WindowContext context_of(const sim::StepRecord& r) const;
+
+  /// 1 (unsafe) iff any rule fires at this step.
+  [[nodiscard]] int predict_step(const sim::StepRecord& r) const;
+
+  /// Per-step predictions for a whole trace.
+  [[nodiscard]] std::vector<int> predict_trace(const sim::Trace& trace) const;
+
+  [[nodiscard]] double bg_target() const { return bg_target_; }
+
+ private:
+  double bg_target_;
+  StlFormula::Ptr disjunction_;
+};
+
+}  // namespace cpsguard::safety

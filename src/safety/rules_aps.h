@@ -1,0 +1,63 @@
+// The paper's Table I: twelve context-dependent safety specifications for
+// APS, derived via control-theoretic hazard analysis (STPA). Each rule names
+// the context in which a control action u1..u4 is potentially unsafe and the
+// hazard it implies.
+//
+// Signals used by the formulas:
+//   "BG"   — blood glucose (mg/dL), sensor view
+//   "dBG"  — BG trend (mg/dL per min)
+//   "dIOB" — insulin-on-board trend (U per min)
+//   "u1".."u4" — one-hot control action indicators (0/1)
+#pragma once
+
+#include <vector>
+
+#include "safety/hazard.h"
+#include "safety/stl.h"
+#include "sim/types.h"
+
+namespace cpsguard::safety {
+
+struct SafetyRule {
+  int id = 0;                       // 1..12, matching Table I
+  StlFormula::Ptr formula;
+  HazardType hazard = HazardType::kNone;
+  std::string description;
+};
+
+/// Dead-band below which a trend counts as "zero" in the Table I formulas.
+/// Set above the CGM noise floor: with ~2 mg/dL sensor noise and a 15-min
+/// trend window, noise alone produces |dBG| ≈ 0.19 mg/dL/min, so a smaller
+/// dead-band would classify noise as rising/falling and flood the rules
+/// with false alarms.
+inline constexpr double kDbgZeroEps = 0.25;   // mg/dL per min
+inline constexpr double kDiobZeroEps = 0.002; // U per min
+
+/// The 12 rules of Table I, parameterized by the BG target (BGT).
+std::vector<SafetyRule> aps_safety_rules(double bg_target = sim::kTargetBg);
+
+/// The disjunction ∨ Φ_h over all rules — the indicator inside the semantic
+/// loss (Eq. 2).
+StlFormula::Ptr unsafe_action_disjunction(double bg_target = sim::kTargetBg);
+
+/// Aggregated context of one monitoring window: the f(μ(X_t)) of Eq. 2.
+struct WindowContext {
+  double bg = 120.0;      // aggregated BG (mg/dL)
+  double d_bg = 0.0;      // aggregated BG trend (mg/dL per min)
+  double d_iob = 0.0;     // aggregated IOB trend (U per min)
+  sim::ControlAction action = sim::ControlAction::kKeepInsulin;
+};
+
+/// Build a single-sample SignalTrace from a window context.
+SignalTrace context_signals(const WindowContext& ctx);
+
+/// I(∨ Φ_h): 1 if any Table I rule fires for this context, else 0.
+int semantic_indicator(const WindowContext& ctx,
+                       double bg_target = sim::kTargetBg);
+
+/// Which rules fire for this context (useful for transparency reports:
+/// explaining *why* a monitor flags an action).
+std::vector<int> firing_rules(const WindowContext& ctx,
+                              double bg_target = sim::kTargetBg);
+
+}  // namespace cpsguard::safety

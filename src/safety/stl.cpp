@@ -1,0 +1,285 @@
+#include "safety/stl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace cpsguard::safety {
+
+void SignalTrace::add_signal(const std::string& name, std::vector<double> values) {
+  expects(!name.empty(), "signal name must not be empty");
+  if (signals_.empty()) {
+    length_ = static_cast<int>(values.size());
+  } else {
+    expects(static_cast<int>(values.size()) == length_,
+            "all signals must have equal length");
+  }
+  signals_[name] = std::move(values);
+}
+
+bool SignalTrace::has_signal(const std::string& name) const {
+  return signals_.contains(name);
+}
+
+double SignalTrace::value(const std::string& name, int t) const {
+  const auto it = signals_.find(name);
+  expects(it != signals_.end(), "unknown signal: " + name);
+  expects(t >= 0 && t < length_, "time index out of range");
+  return it->second[static_cast<std::size_t>(t)];
+}
+
+std::string to_string(Cmp c) {
+  switch (c) {
+    case Cmp::kLt: return "<";
+    case Cmp::kLe: return "<=";
+    case Cmp::kGt: return ">";
+    case Cmp::kGe: return ">=";
+    case Cmp::kEqApprox: return "==";
+  }
+  return "?";
+}
+
+StlFormula::Ptr StlFormula::constant(bool value) {
+  auto f = std::shared_ptr<StlFormula>(new StlFormula());
+  f->kind_ = value ? Kind::kTrue : Kind::kFalse;
+  return f;
+}
+
+StlFormula::Ptr StlFormula::atom(std::string signal, Cmp cmp, double threshold,
+                                 double eps) {
+  cpsguard::expects(!signal.empty(), "atom needs a signal name");
+  cpsguard::expects(eps >= 0.0, "eps must be non-negative");
+  auto f = std::shared_ptr<StlFormula>(new StlFormula());
+  f->kind_ = Kind::kAtom;
+  f->signal_ = std::move(signal);
+  f->cmp_ = cmp;
+  f->threshold_ = threshold;
+  f->eps_ = eps;
+  return f;
+}
+
+StlFormula::Ptr StlFormula::negate(Ptr f) {
+  cpsguard::expects(f != nullptr, "negate needs a formula");
+  auto g = std::shared_ptr<StlFormula>(new StlFormula());
+  g->kind_ = Kind::kNot;
+  g->left_ = std::move(f);
+  return g;
+}
+
+StlFormula::Ptr StlFormula::conj(Ptr a, Ptr b) {
+  cpsguard::expects(a != nullptr && b != nullptr, "conj needs two formulas");
+  auto g = std::shared_ptr<StlFormula>(new StlFormula());
+  g->kind_ = Kind::kAnd;
+  g->left_ = std::move(a);
+  g->right_ = std::move(b);
+  return g;
+}
+
+StlFormula::Ptr StlFormula::disj(Ptr a, Ptr b) {
+  cpsguard::expects(a != nullptr && b != nullptr, "disj needs two formulas");
+  auto g = std::shared_ptr<StlFormula>(new StlFormula());
+  g->kind_ = Kind::kOr;
+  g->left_ = std::move(a);
+  g->right_ = std::move(b);
+  return g;
+}
+
+StlFormula::Ptr StlFormula::always(Ptr f, int a, int b) {
+  cpsguard::expects(f != nullptr && a >= 0 && b >= a, "bad temporal window");
+  auto g = std::shared_ptr<StlFormula>(new StlFormula());
+  g->kind_ = Kind::kAlways;
+  g->left_ = std::move(f);
+  g->win_a_ = a;
+  g->win_b_ = b;
+  return g;
+}
+
+StlFormula::Ptr StlFormula::eventually(Ptr f, int a, int b) {
+  cpsguard::expects(f != nullptr && a >= 0 && b >= a, "bad temporal window");
+  auto g = std::shared_ptr<StlFormula>(new StlFormula());
+  g->kind_ = Kind::kEventually;
+  g->left_ = std::move(f);
+  g->win_a_ = a;
+  g->win_b_ = b;
+  return g;
+}
+
+StlFormula::Ptr StlFormula::until(Ptr lhs, Ptr rhs, int a, int b) {
+  cpsguard::expects(lhs != nullptr && rhs != nullptr && a >= 0 && b >= a,
+                    "bad until window");
+  auto g = std::shared_ptr<StlFormula>(new StlFormula());
+  g->kind_ = Kind::kUntil;
+  g->left_ = std::move(lhs);
+  g->right_ = std::move(rhs);
+  g->win_a_ = a;
+  g->win_b_ = b;
+  return g;
+}
+
+StlFormula::Ptr StlFormula::conj_all(const std::vector<Ptr>& fs) {
+  if (fs.empty()) return constant(true);
+  Ptr acc = fs.front();
+  for (std::size_t i = 1; i < fs.size(); ++i) acc = conj(acc, fs[i]);
+  return acc;
+}
+
+StlFormula::Ptr StlFormula::disj_all(const std::vector<Ptr>& fs) {
+  if (fs.empty()) return constant(false);
+  Ptr acc = fs.front();
+  for (std::size_t i = 1; i < fs.size(); ++i) acc = disj(acc, fs[i]);
+  return acc;
+}
+
+bool StlFormula::eval(const SignalTrace& trace, int t) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kAtom: {
+      const double v = trace.value(signal_, t);
+      switch (cmp_) {
+        case Cmp::kGt: return v > threshold_;
+        case Cmp::kGe: return v >= threshold_;
+        case Cmp::kLt: return v < threshold_;
+        case Cmp::kLe: return v <= threshold_;
+        case Cmp::kEqApprox: return std::fabs(v - threshold_) <= eps_;
+      }
+      return false;
+    }
+    case Kind::kNot:
+      return !left_->eval(trace, t);
+    case Kind::kAnd:
+      return left_->eval(trace, t) && right_->eval(trace, t);
+    case Kind::kOr:
+      return left_->eval(trace, t) || right_->eval(trace, t);
+    case Kind::kAlways: {
+      const int hi = std::min(t + win_b_, trace.length() - 1);
+      for (int u = t + win_a_; u <= hi; ++u) {
+        if (!left_->eval(trace, u)) return false;
+      }
+      return true;
+    }
+    case Kind::kEventually: {
+      const int hi = std::min(t + win_b_, trace.length() - 1);
+      for (int u = t + win_a_; u <= hi; ++u) {
+        if (left_->eval(trace, u)) return true;
+      }
+      return false;
+    }
+    case Kind::kUntil: {
+      const int hi = std::min(t + win_b_, trace.length() - 1);
+      for (int u = t + win_a_; u <= hi; ++u) {
+        if (!right_->eval(trace, u)) continue;
+        bool held = true;
+        for (int v = t; v < u; ++v) {
+          if (!left_->eval(trace, v)) {
+            held = false;
+            break;
+          }
+        }
+        if (held) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+double StlFormula::robustness(const SignalTrace& trace, int t) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return std::numeric_limits<double>::infinity();
+    case Kind::kFalse:
+      return -std::numeric_limits<double>::infinity();
+    case Kind::kAtom: {
+      const double v = trace.value(signal_, t);
+      switch (cmp_) {
+        case Cmp::kGt:
+        case Cmp::kGe:
+          return v - threshold_;
+        case Cmp::kLt:
+        case Cmp::kLe:
+          return threshold_ - v;
+        case Cmp::kEqApprox:
+          return eps_ - std::fabs(v - threshold_);
+      }
+      return 0.0;
+    }
+    case Kind::kNot:
+      return -left_->robustness(trace, t);
+    case Kind::kAnd:
+      return std::min(left_->robustness(trace, t), right_->robustness(trace, t));
+    case Kind::kOr:
+      return std::max(left_->robustness(trace, t), right_->robustness(trace, t));
+    case Kind::kAlways: {
+      double r = std::numeric_limits<double>::infinity();
+      const int hi = std::min(t + win_b_, trace.length() - 1);
+      for (int u = t + win_a_; u <= hi; ++u) {
+        r = std::min(r, left_->robustness(trace, u));
+      }
+      return r;
+    }
+    case Kind::kEventually: {
+      double r = -std::numeric_limits<double>::infinity();
+      const int hi = std::min(t + win_b_, trace.length() - 1);
+      for (int u = t + win_a_; u <= hi; ++u) {
+        r = std::max(r, left_->robustness(trace, u));
+      }
+      return r;
+    }
+    case Kind::kUntil: {
+      double best = -std::numeric_limits<double>::infinity();
+      const int hi = std::min(t + win_b_, trace.length() - 1);
+      for (int u = t + win_a_; u <= hi; ++u) {
+        double r = right_->robustness(trace, u);
+        for (int v = t; v < u; ++v) {
+          r = std::min(r, left_->robustness(trace, v));
+        }
+        best = std::max(best, r);
+      }
+      return best;
+    }
+  }
+  return 0.0;
+}
+
+std::string StlFormula::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kTrue:
+      os << "true";
+      break;
+    case Kind::kFalse:
+      os << "false";
+      break;
+    case Kind::kAtom:
+      os << signal_ << ' ' << safety::to_string(cmp_) << ' ' << threshold_;
+      break;
+    case Kind::kNot:
+      os << "!(" << left_->to_string() << ')';
+      break;
+    case Kind::kAnd:
+      os << '(' << left_->to_string() << " && " << right_->to_string() << ')';
+      break;
+    case Kind::kOr:
+      os << '(' << left_->to_string() << " || " << right_->to_string() << ')';
+      break;
+    case Kind::kAlways:
+      os << "G[" << win_a_ << ',' << win_b_ << "](" << left_->to_string() << ')';
+      break;
+    case Kind::kEventually:
+      os << "F[" << win_a_ << ',' << win_b_ << "](" << left_->to_string() << ')';
+      break;
+    case Kind::kUntil:
+      os << '(' << left_->to_string() << " U[" << win_a_ << ',' << win_b_
+         << "] " << right_->to_string() << ')';
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace cpsguard::safety

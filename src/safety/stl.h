@@ -1,0 +1,87 @@
+// A small Signal Temporal Logic (STL) engine: formulas over named discrete
+// signals with boolean and quantitative (robustness) semantics.
+//
+// The paper expresses its context-dependent safety specifications (Table I)
+// as STL formulas; we encode them with this engine so the same objects drive
+// the rule-based monitor, the semantic-loss indicator, and the tests.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cpsguard::safety {
+
+/// Columnar signal container: name → sampled values, one per time index.
+class SignalTrace {
+ public:
+  /// All signals must have equal length.
+  void add_signal(const std::string& name, std::vector<double> values);
+
+  [[nodiscard]] bool has_signal(const std::string& name) const;
+  [[nodiscard]] double value(const std::string& name, int t) const;
+  [[nodiscard]] int length() const { return length_; }
+
+ private:
+  std::map<std::string, std::vector<double>> signals_;
+  int length_ = 0;
+};
+
+enum class Cmp { kLt, kLe, kGt, kGe, kEqApprox };
+
+std::string to_string(Cmp c);
+
+/// Immutable STL formula AST. Construct via the static factories; share via
+/// shared_ptr (formulas are cheap to copy around and reused across rules).
+class StlFormula {
+ public:
+  using Ptr = std::shared_ptr<const StlFormula>;
+
+  /// signal ⋈ threshold. For kEqApprox, |signal - threshold| <= eps.
+  static Ptr atom(std::string signal, Cmp cmp, double threshold,
+                  double eps = 1e-9);
+  static Ptr negate(Ptr f);
+  static Ptr conj(Ptr a, Ptr b);
+  static Ptr disj(Ptr a, Ptr b);
+  /// Globally within [t+a, t+b] (discrete, inclusive, clamped to trace end).
+  static Ptr always(Ptr f, int a, int b);
+  /// Eventually within [t+a, t+b].
+  static Ptr eventually(Ptr f, int a, int b);
+  /// Until: ∃u ∈ [t+a, t+b] with `rhs` at u and `lhs` on all of [t, u).
+  static Ptr until(Ptr lhs, Ptr rhs, int a, int b);
+
+  /// Conjunction / disjunction over a list (empty list: true / false).
+  static Ptr conj_all(const std::vector<Ptr>& fs);
+  static Ptr disj_all(const std::vector<Ptr>& fs);
+
+  /// Boolean satisfaction at time t.
+  [[nodiscard]] bool eval(const SignalTrace& trace, int t) const;
+
+  /// Quantitative robustness at time t: positive iff satisfied; magnitude is
+  /// the margin. Standard min/max semantics.
+  [[nodiscard]] double robustness(const SignalTrace& trace, int t) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  enum class Kind { kAtom, kNot, kAnd, kOr, kAlways, kEventually, kUntil, kTrue, kFalse };
+
+  StlFormula() = default;
+
+  Kind kind_ = Kind::kTrue;
+  // Atom fields.
+  std::string signal_;
+  Cmp cmp_ = Cmp::kGt;
+  double threshold_ = 0.0;
+  double eps_ = 1e-9;
+  // Children and temporal window.
+  Ptr left_;
+  Ptr right_;
+  int win_a_ = 0;
+  int win_b_ = 0;
+
+  static Ptr constant(bool value);
+};
+
+}  // namespace cpsguard::safety

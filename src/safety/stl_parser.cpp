@@ -1,0 +1,209 @@
+#include "safety/stl_parser.h"
+
+#include <cctype>
+
+namespace cpsguard::safety {
+
+StlParseError::StlParseError(const std::string& message, std::size_t position)
+    : std::runtime_error(message + " (at offset " + std::to_string(position) + ")"),
+      position_(position) {}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StlFormula::Ptr parse() {
+    StlFormula::Ptr f = disj();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw StlParseError("trailing input after formula", pos_);
+    }
+    return f;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(const std::string& token) {
+    skip_ws();
+    if (text_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      throw StlParseError(std::string("expected '") + c + "'", pos_);
+    }
+    ++pos_;
+  }
+
+  int integer() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) throw StlParseError("expected an integer", pos_);
+    return std::stoi(text_.substr(start, pos_ - start));
+  }
+
+  double number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.')) {
+      digits = true;
+      ++pos_;
+    }
+    if (!digits) throw StlParseError("expected a number", pos_);
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  std::string identifier() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw StlParseError("expected a signal name", pos_);
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::pair<int, int> window() {
+    expect('[');
+    const int a = integer();
+    expect(',');
+    const int b = integer();
+    expect(']');
+    if (b < a) throw StlParseError("temporal window must be ordered", pos_);
+    return {a, b};
+  }
+
+  StlFormula::Ptr disj() {
+    StlFormula::Ptr lhs = conj();
+    while (eat("||")) lhs = StlFormula::disj(lhs, conj());
+    return lhs;
+  }
+
+  StlFormula::Ptr conj() {
+    StlFormula::Ptr lhs = until();
+    while (eat("&&")) lhs = StlFormula::conj(lhs, until());
+    return lhs;
+  }
+
+  StlFormula::Ptr until() {
+    StlFormula::Ptr lhs = unary();
+    skip_ws();
+    // 'U[' distinguishes Until from a signal name starting with U.
+    if (pos_ + 1 < text_.size() && text_[pos_] == 'U' && text_[pos_ + 1] == '[') {
+      ++pos_;
+      const auto [a, b] = window();
+      return StlFormula::until(lhs, unary(), a, b);
+    }
+    return lhs;
+  }
+
+  bool temporal_ahead(char op) {
+    skip_ws();
+    return pos_ + 1 < text_.size() && text_[pos_] == op && text_[pos_ + 1] == '[';
+  }
+
+  StlFormula::Ptr unary() {
+    skip_ws();
+    if (eat("!")) return StlFormula::negate(unary());
+    if (temporal_ahead('G')) {
+      ++pos_;
+      const auto [a, b] = window();
+      expect('(');
+      StlFormula::Ptr f = disj();
+      expect(')');
+      return StlFormula::always(f, a, b);
+    }
+    if (temporal_ahead('F')) {
+      ++pos_;
+      const auto [a, b] = window();
+      expect('(');
+      StlFormula::Ptr f = disj();
+      expect(')');
+      return StlFormula::eventually(f, a, b);
+    }
+    if (peek() == '(') {
+      expect('(');
+      StlFormula::Ptr f = disj();
+      expect(')');
+      return f;
+    }
+    // Keywords before generic identifiers.
+    {
+      const std::size_t save = pos_;
+      skip_ws();
+      const std::size_t start = pos_;
+      if (eat("true") && !std::isalnum(static_cast<unsigned char>(
+                             pos_ < text_.size() ? text_[pos_] : ' '))) {
+        return StlFormula::conj_all({});
+      }
+      pos_ = save;
+      if (eat("false") && !std::isalnum(static_cast<unsigned char>(
+                              pos_ < text_.size() ? text_[pos_] : ' '))) {
+        return StlFormula::disj_all({});
+      }
+      pos_ = save;
+      (void)start;
+    }
+    return atom();
+  }
+
+  StlFormula::Ptr atom() {
+    const std::string name = identifier();
+    skip_ws();
+    Cmp cmp;
+    if (eat("<=")) {
+      cmp = Cmp::kLe;
+    } else if (eat(">=")) {
+      cmp = Cmp::kGe;
+    } else if (eat("==")) {
+      cmp = Cmp::kEqApprox;
+    } else if (eat("<")) {
+      cmp = Cmp::kLt;
+    } else if (eat(">")) {
+      cmp = Cmp::kGt;
+    } else {
+      throw StlParseError("expected a comparison operator", pos_);
+    }
+    const double threshold = number();
+    // "==" needs a tolerance; accept an optional "~eps" suffix.
+    double eps = 1e-9;
+    if (cmp == Cmp::kEqApprox && eat("~")) eps = number();
+    return StlFormula::atom(name, cmp, threshold, eps);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StlFormula::Ptr parse_stl(const std::string& text) {
+  Parser parser(text);
+  return parser.parse();
+}
+
+}  // namespace cpsguard::safety

@@ -1,0 +1,42 @@
+// Text parser for STL formulas, so safety specifications can live in config
+// files instead of C++ (the paper's Table I is authored by safety engineers,
+// not programmers).
+//
+// Grammar (whitespace-insensitive):
+//   formula    := disj
+//   disj       := conj ('||' conj)*
+//   conj       := until ('&&' until)*
+//   until      := unary ('U' '[' int ',' int ']' unary)?
+//   unary      := '!' unary | 'G[' a ',' b ']' '(' formula ')'
+//                | 'F[' a ',' b ']' '(' formula ')'
+//                | '(' formula ')' | 'true' | 'false' | atom
+//   atom       := ident cmp number      cmp := <= | >= | == | < | >
+//
+// Examples:
+//   "BG > 180 && u3 > 0.5"
+//   "F[0,12](BG < 70)"
+//   "(BG > 120 U[0,6] dIOB > 0)"
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "safety/stl.h"
+
+namespace cpsguard::safety {
+
+/// Error with position information for malformed formula text.
+class StlParseError : public std::runtime_error {
+ public:
+  StlParseError(const std::string& message, std::size_t position);
+
+  [[nodiscard]] std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// Parse `text` into a formula; throws StlParseError on malformed input.
+StlFormula::Ptr parse_stl(const std::string& text);
+
+}  // namespace cpsguard::safety

@@ -1,0 +1,43 @@
+#include "sim/basal_bolus_controller.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace cpsguard::sim {
+
+void BasalBolusController::reset(const PatientProfile& profile, double basal_u_per_h) {
+  expects(basal_u_per_h > 0.0, "basal must be positive");
+  profile_ = profile;
+  basal_ = basal_u_per_h;
+  prev_rate_ = basal_u_per_h;
+  last_correction_step_ = -kCorrectionCooldownSteps;
+}
+
+InsulinCommand BasalBolusController::decide(const ControllerInput& in) {
+  double rate = basal_;
+
+  if (in.sensor_bg < kHypoglycemiaBg) {
+    rate = 0.0;  // suspend until the sensor recovers
+  } else if (in.announced_carbs > 0.0) {
+    double bolus_u = in.announced_carbs / profile_.carb_ratio_g_per_u;
+    if (in.sensor_bg > kCorrectionThresholdBg) {
+      bolus_u += (in.sensor_bg - kTargetBg) / profile_.isf_mg_dl_per_u;
+    }
+    rate = basal_ + bolus_u * 60.0 / kControlPeriodMin;
+  } else if (in.sensor_bg > kStandaloneCorrectionBg &&
+             in.step - last_correction_step_ >= kCorrectionCooldownSteps) {
+    // Severe hyperglycemia: standalone correction bolus (rate-limited).
+    const double bolus_u = (in.sensor_bg - kTargetBg) / profile_.isf_mg_dl_per_u;
+    rate = basal_ + bolus_u * 60.0 / kControlPeriodMin;
+    last_correction_step_ = in.step;
+  }
+
+  InsulinCommand cmd;
+  cmd.rate_u_per_h = std::max(0.0, rate);
+  cmd.action = classify_action(cmd.rate_u_per_h, prev_rate_);
+  prev_rate_ = cmd.rate_u_per_h;
+  return cmd;
+}
+
+}  // namespace cpsguard::sim

@@ -1,0 +1,32 @@
+// Basal-Bolus protocol controller: fixed scheduled basal, meal boluses with
+// a correction component, and a low-glucose suspend. Deliberately simpler
+// than OpenAPS — the paper's T1DS2013 testbed uses this "more
+// straightforward" protocol.
+#pragma once
+
+#include "sim/controller.h"
+
+namespace cpsguard::sim {
+
+class BasalBolusController : public Controller {
+ public:
+  void reset(const PatientProfile& profile, double basal_u_per_h) override;
+  InsulinCommand decide(const ControllerInput& in) override;
+
+  [[nodiscard]] std::string name() const override { return "Basal-Bolus"; }
+
+ private:
+  PatientProfile profile_;
+  double basal_ = 1.0;
+  double prev_rate_ = 1.0;
+  int last_correction_step_ = -1000;
+
+  static constexpr double kCorrectionThresholdBg = 150.0;
+  // Standalone (non-meal) corrections: protocol gives one when BG exceeds
+  // this, but at most once per 2 h — the controller has no IOB accounting,
+  // so back-to-back corrections would stack into an overdose.
+  static constexpr double kStandaloneCorrectionBg = 250.0;
+  static constexpr int kCorrectionCooldownSteps = 24;
+};
+
+}  // namespace cpsguard::sim

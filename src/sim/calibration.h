@@ -1,0 +1,61 @@
+// In-silico pump titration: measure a settled plant's *effective* insulin
+// sensitivity factor (ISF) and carb ratio (CR) by probing copies of it, the
+// way a clinician titrates pump settings per patient. Controllers dose from
+// these calibrated values, so closed-loop behaviour stays sane across plants
+// whose dynamics make the nominal profile numbers inaccurate.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/profile.h"
+#include "sim/types.h"
+
+namespace cpsguard::sim {
+
+/// Probe a copy of `settled` (a plant at steady state under
+/// `basal_u_per_h`): effective ISF = BG drop caused by +1 U, measured 4 h
+/// out; effective carb factor = peak BG rise per gram over 3 h.
+/// Returns `nominal` with isf/carb-ratio replaced by calibrated values.
+template <typename Plant>
+PatientProfile calibrate_profile(const Plant& settled,
+                                 const PatientProfile& nominal,
+                                 double basal_u_per_h) {
+  constexpr double kProbeBolusU = 1.0;
+  constexpr double kProbeCarbsG = 30.0;
+  constexpr int kIsfHorizonCycles = 48;   // 4 h
+  constexpr int kCarbHorizonCycles = 36;  // 3 h
+
+  // ISF probe: +1 U delivered over one cycle vs. an undisturbed twin.
+  Plant base = settled;
+  Plant bolus = settled;
+  const double bolus_rate =
+      basal_u_per_h + kProbeBolusU * 60.0 / kControlPeriodMin;
+  base.step(basal_u_per_h, 0.0, kControlPeriodMin);
+  bolus.step(bolus_rate, 0.0, kControlPeriodMin);
+  for (int i = 1; i < kIsfHorizonCycles; ++i) {
+    base.step(basal_u_per_h, 0.0, kControlPeriodMin);
+    bolus.step(basal_u_per_h, 0.0, kControlPeriodMin);
+  }
+  const double isf =
+      std::clamp((base.bg() - bolus.bg()) / kProbeBolusU, 5.0, 300.0);
+
+  // Carb probe: peak rise of a 30 g meal against the same baseline.
+  Plant meal = settled;
+  meal.step(basal_u_per_h, kProbeCarbsG, kControlPeriodMin);
+  Plant twin = settled;
+  twin.step(basal_u_per_h, 0.0, kControlPeriodMin);
+  double peak_rise = 0.0;
+  for (int i = 1; i < kCarbHorizonCycles; ++i) {
+    meal.step(basal_u_per_h, 0.0, kControlPeriodMin);
+    twin.step(basal_u_per_h, 0.0, kControlPeriodMin);
+    peak_rise = std::max(peak_rise, meal.bg() - twin.bg());
+  }
+  const double carb_effect = std::max(peak_rise / kProbeCarbsG, 0.05);
+
+  PatientProfile calibrated = nominal;
+  calibrated.isf_mg_dl_per_u = isf;
+  calibrated.carb_ratio_g_per_u = std::clamp(isf / carb_effect, 2.0, 150.0);
+  return calibrated;
+}
+
+}  // namespace cpsguard::sim

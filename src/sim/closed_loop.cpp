@@ -1,0 +1,127 @@
+#include "sim/closed_loop.h"
+
+#include <algorithm>
+
+#include "sim/basal_bolus_controller.h"
+#include "sim/glucosym_patient.h"
+#include "sim/openaps_controller.h"
+#include "sim/t1d_patient.h"
+#include "util/contracts.h"
+
+namespace cpsguard::sim {
+
+Trace run_closed_loop(PatientModel& patient, Controller& controller,
+                      const PatientProfile& profile, const SimConfig& config,
+                      util::Rng& rng) {
+  expects(config.steps > 1, "simulation needs at least two cycles");
+
+  patient.reset(profile, rng);
+  controller.reset(patient.effective_profile(),
+                   patient.recommended_basal_u_per_h());
+  const MealSchedule meals = MealSchedule::random(config.steps, rng);
+
+  FaultInjector faults;
+  Trace trace;
+  trace.patient_id = profile.id;
+  if (config.inject_fault) {
+    const FaultSpec spec = FaultInjector::random_spec(config.steps, rng);
+    faults = FaultInjector(spec);
+    trace.fault_injected = true;
+    trace.fault_name = to_string(spec.type);
+  }
+  trace.steps.reserve(static_cast<std::size_t>(config.steps));
+
+  // Trend estimation over a 15-minute lookback (3 cycles), matching how CGM
+  // devices compute trend arrows; a single-cycle difference would be
+  // dominated by sensor noise.
+  constexpr int kTrendLookback = 3;
+  std::vector<double> bg_history;
+  std::vector<double> iob_history;
+
+  for (int step = 0; step < config.steps; ++step) {
+    StepRecord rec;
+    rec.step = step;
+    rec.true_bg = patient.bg();
+    const double noisy_bg =
+        rec.true_bg + rng.gaussian(0.0, config.sensor_noise_std);
+    rec.sensor_bg = std::max(10.0, faults.sense(noisy_bg, step));
+    rec.iob = patient.iob();
+    const int lag = std::min<int>(kTrendLookback, static_cast<int>(bg_history.size()));
+    if (lag > 0) {
+      const double dt = lag * kControlPeriodMin;
+      rec.d_bg = (rec.sensor_bg - bg_history[bg_history.size() - static_cast<std::size_t>(lag)]) / dt;
+      rec.d_iob = (rec.iob - iob_history[iob_history.size() - static_cast<std::size_t>(lag)]) / dt;
+    }
+    bg_history.push_back(rec.sensor_bg);
+    iob_history.push_back(rec.iob);
+    rec.carbs_g = meals.carbs_at(step);
+    rec.fault_active = faults.active(step);
+
+    // Meal announcement: sometimes skipped, always an estimate.
+    double announced = 0.0;
+    if (rec.carbs_g > 0.0 && rng.bernoulli(config.meal_announce_prob)) {
+      announced = rec.carbs_g *
+                  (1.0 + rng.uniform(-config.carb_estimation_error,
+                                     config.carb_estimation_error));
+    }
+
+    ControllerInput in;
+    in.step = step;
+    in.sensor_bg = rec.sensor_bg;
+    in.d_bg = rec.d_bg;
+    in.iob = rec.iob;
+    in.announced_carbs = announced;
+    const InsulinCommand cmd = controller.decide(in);
+    rec.commanded_rate = cmd.rate_u_per_h;
+    rec.action = cmd.action;
+    rec.actuated_rate = std::max(0.0, faults.actuate(cmd.rate_u_per_h, step));
+
+    patient.step(rec.actuated_rate, rec.carbs_g, kControlPeriodMin);
+    trace.steps.push_back(rec);
+  }
+  return trace;
+}
+
+std::string to_string(Testbed tb) {
+  switch (tb) {
+    case Testbed::kGlucosymOpenAps: return "Glucosym(OpenAPS)";
+    case Testbed::kT1dBasalBolus: return "T1DS2013(Basal-Bolus)";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<PatientModel> make_patient(Testbed tb) {
+  switch (tb) {
+    case Testbed::kGlucosymOpenAps:
+      return std::make_unique<GlucosymPatient>();
+    case Testbed::kT1dBasalBolus:
+      return std::make_unique<T1dPatient>();
+  }
+  ensures(false, "unreachable testbed");
+  return nullptr;
+}
+
+std::unique_ptr<Controller> make_controller(Testbed tb) {
+  switch (tb) {
+    case Testbed::kGlucosymOpenAps:
+      return std::make_unique<OpenApsController>();
+    case Testbed::kT1dBasalBolus:
+      return std::make_unique<BasalBolusController>();
+  }
+  ensures(false, "unreachable testbed");
+  return nullptr;
+}
+
+std::vector<PatientProfile> testbed_profiles(Testbed tb, int count,
+                                             std::uint64_t seed) {
+  switch (tb) {
+    case Testbed::kGlucosymOpenAps:
+      return glucosym_profiles(count, seed);
+    case Testbed::kT1dBasalBolus:
+      return t1d_profiles(count, seed);
+  }
+  ensures(false, "unreachable testbed");
+  return {};
+}
+
+}  // namespace cpsguard::sim

@@ -1,0 +1,49 @@
+// Closed-loop simulation engine: wires a patient plant, a controller, a meal
+// schedule and an optional fault campaign into one trace of 5-minute cycles.
+#pragma once
+
+#include <memory>
+
+#include "sim/controller.h"
+#include "sim/fault_injector.h"
+#include "sim/meal.h"
+#include "sim/patient.h"
+#include "sim/trace.h"
+
+namespace cpsguard::sim {
+
+struct SimConfig {
+  int steps = 150;           // 5-min cycles (150 = 12.5 h, as in the paper)
+  bool inject_fault = false; // run a random fault campaign
+  double sensor_noise_std = 2.0;  // intrinsic CGM noise (mg/dL), always on
+
+  // Meal-announcement imperfections (patients forget or misjudge meals —
+  // a standard APS disturbance): probability a meal is announced at all,
+  // and the relative error of the announced carb estimate.
+  double meal_announce_prob = 0.95;
+  double carb_estimation_error = 0.15;
+};
+
+/// Run one closed-loop simulation. The patient and controller are reset from
+/// `profile`; meals and faults are drawn from `rng` (deterministic).
+Trace run_closed_loop(PatientModel& patient, Controller& controller,
+                      const PatientProfile& profile, const SimConfig& config,
+                      util::Rng& rng);
+
+/// Identification of one of the paper's two APS testbeds.
+enum class Testbed {
+  kGlucosymOpenAps,    // Glucosym plant + OpenAPS controller
+  kT1dBasalBolus,      // T1DS2013 plant + Basal-Bolus controller
+};
+
+std::string to_string(Testbed tb);
+
+/// Factory: the patient plant of a testbed.
+std::unique_ptr<PatientModel> make_patient(Testbed tb);
+/// Factory: the controller of a testbed.
+std::unique_ptr<Controller> make_controller(Testbed tb);
+/// The 20 patient profiles of a testbed (deterministic in `seed`).
+std::vector<PatientProfile> testbed_profiles(Testbed tb, int count,
+                                             std::uint64_t seed);
+
+}  // namespace cpsguard::sim

@@ -1,0 +1,14 @@
+#include "sim/controller.h"
+
+namespace cpsguard::sim {
+
+ControlAction classify_action(double new_rate, double prev_rate) {
+  constexpr double kStopThreshold = 0.049;  // U/h: effectively off
+  constexpr double kChangeEps = 0.02;       // U/h: dead-band for "keep"
+  if (new_rate <= kStopThreshold) return ControlAction::kStopInsulin;
+  if (new_rate < prev_rate - kChangeEps) return ControlAction::kDecreaseInsulin;
+  if (new_rate > prev_rate + kChangeEps) return ControlAction::kIncreaseInsulin;
+  return ControlAction::kKeepInsulin;
+}
+
+}  // namespace cpsguard::sim

@@ -1,0 +1,37 @@
+// Controller interface: one decision per 5-minute control cycle, based only
+// on what the sensors (possibly faulty) report.
+#pragma once
+
+#include <string>
+
+#include "sim/profile.h"
+#include "sim/types.h"
+
+namespace cpsguard::sim {
+
+struct ControllerInput {
+  int step = 0;
+  double sensor_bg = 120.0;     // mg/dL as reported by the CGM
+  double d_bg = 0.0;            // sensor BG trend (mg/dL per min)
+  double iob = 0.0;             // insulin on board (U)
+  double announced_carbs = 0.0; // carbs announced for this cycle (g)
+};
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// Bind to a patient: `basal_u_per_h` is the pump's programmed basal (the
+  /// plant's equilibrium rate), the profile supplies ISF / carb ratio.
+  virtual void reset(const PatientProfile& profile, double basal_u_per_h) = 0;
+
+  virtual InsulinCommand decide(const ControllerInput& in) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Shared action classification: how a new commanded rate relates to the
+/// previous one determines the discrete u1..u4 class of Table I.
+ControlAction classify_action(double new_rate, double prev_rate);
+
+}  // namespace cpsguard::sim

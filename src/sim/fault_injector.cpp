@@ -1,0 +1,110 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace cpsguard::sim {
+
+std::string to_string(FaultType t) {
+  switch (t) {
+    case FaultType::kNone: return "none";
+    case FaultType::kSensorBiasHigh: return "sensor_bias_high";
+    case FaultType::kSensorBiasLow: return "sensor_bias_low";
+    case FaultType::kSensorStuck: return "sensor_stuck";
+    case FaultType::kSensorDrift: return "sensor_drift";
+    case FaultType::kPumpOverdose: return "pump_overdose";
+    case FaultType::kPumpUnderdose: return "pump_underdose";
+    case FaultType::kPumpStuckMax: return "pump_stuck_max";
+    case FaultType::kPumpStuckZero: return "pump_stuck_zero";
+    case FaultType::kSensorDropout: return "sensor_dropout";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultSpec spec)
+    : spec_(spec),
+      rng_(static_cast<std::uint64_t>(spec.start_step) * 1000003u +
+               static_cast<std::uint64_t>(spec.duration_steps),
+           0x44524f50u /* 'DROP' */) {
+  expects(spec.start_step >= 0 && spec.duration_steps >= 0, "invalid fault window");
+}
+
+double FaultInjector::sense(double true_bg, int step) {
+  if (!spec_.active(step)) return true_bg;
+  switch (spec_.type) {
+    case FaultType::kSensorBiasHigh:
+      return true_bg + spec_.magnitude;
+    case FaultType::kSensorBiasLow:
+      return std::max(10.0, true_bg - spec_.magnitude);
+    case FaultType::kSensorStuck:
+      if (stuck_value_ < 0.0) stuck_value_ = true_bg;
+      return stuck_value_;
+    case FaultType::kSensorDrift: {
+      if (drift_origin_ < 0) drift_origin_ = step;
+      const double drift = spec_.magnitude * (step - drift_origin_ + 1);
+      return std::max(10.0, true_bg + drift);
+    }
+    case FaultType::kSensorDropout: {
+      const bool dropped = last_reading_ >= 0.0 && rng_.bernoulli(spec_.magnitude);
+      if (!dropped) last_reading_ = true_bg;
+      return last_reading_;
+    }
+    default:
+      return true_bg;  // actuation faults don't touch sensing
+  }
+}
+
+double FaultInjector::actuate(double commanded_rate, int step) const {
+  if (!spec_.active(step)) return commanded_rate;
+  switch (spec_.type) {
+    case FaultType::kPumpOverdose:
+      return commanded_rate * spec_.magnitude;
+    case FaultType::kPumpUnderdose:
+      return commanded_rate * std::clamp(spec_.magnitude, 0.0, 1.0);
+    case FaultType::kPumpStuckMax:
+      return spec_.magnitude;
+    case FaultType::kPumpStuckZero:
+      return 0.0;
+    default:
+      return commanded_rate;  // sensing faults don't touch actuation
+  }
+}
+
+FaultSpec FaultInjector::random_spec(int trace_steps, util::Rng& rng) {
+  expects(trace_steps > 3, "trace too short for fault injection");
+  FaultSpec spec;
+  spec.type = static_cast<FaultType>(rng.uniform_int(1, kNumFaultTypes - 1));
+  spec.start_step = rng.uniform_int(2, std::max(3, trace_steps / 2));
+  // 1.5 h - 8 h: insulin deprivation/overdose takes hours to push a
+  // controlled loop across a hazard threshold (subcutaneous depots keep
+  // acting long after the pump misbehaves).
+  spec.duration_steps = rng.uniform_int(18, 96);
+  switch (spec.type) {
+    case FaultType::kSensorBiasHigh:
+    case FaultType::kSensorBiasLow:
+      spec.magnitude = rng.uniform(50.0, 150.0);
+      break;
+    case FaultType::kSensorDrift:
+      spec.magnitude = rng.uniform(-8.0, 8.0);
+      break;
+    case FaultType::kPumpOverdose:
+      spec.magnitude = rng.uniform(2.0, 6.0);
+      break;
+    case FaultType::kPumpUnderdose:
+      spec.magnitude = rng.uniform(0.0, 0.5);
+      break;
+    case FaultType::kPumpStuckMax:
+      spec.magnitude = rng.uniform(3.0, 8.0);  // U/h
+      break;
+    case FaultType::kSensorDropout:
+      spec.magnitude = rng.uniform(0.5, 0.9);  // per-sample hold probability
+      break;
+    default:
+      spec.magnitude = 0.0;
+      break;
+  }
+  return spec;
+}
+
+}  // namespace cpsguard::sim

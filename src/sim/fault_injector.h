@@ -1,0 +1,70 @@
+// Fault injection: the mechanism that produces unsafe control actions and
+// hazards in the campaign (mirroring the fault-injection methodology of the
+// paper's testbed [Zhou et al., DSN'21]). Faults hit either the sensing path
+// (the controller and monitor see wrong BG) or the actuation path (the pump
+// delivers a different rate than commanded).
+#pragma once
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace cpsguard::sim {
+
+enum class FaultType : int {
+  kNone = 0,
+  kSensorBiasHigh,   // CGM reads high by `magnitude` mg/dL
+  kSensorBiasLow,    // CGM reads low by `magnitude` mg/dL
+  kSensorStuck,      // CGM freezes at the value seen at fault onset
+  kSensorDrift,      // CGM drifts by `magnitude` mg/dL per cycle
+  kPumpOverdose,     // pump delivers `magnitude`x the commanded rate
+  kPumpUnderdose,    // pump delivers `magnitude` fraction (<1) of commanded
+  kPumpStuckMax,     // pump stuck at `magnitude` U/h regardless of command
+  kPumpStuckZero,    // pump delivers nothing
+  kSensorDropout,    // CGM intermittently repeats its last reading
+};
+
+inline constexpr int kNumFaultTypes = 10;
+
+std::string to_string(FaultType t);
+
+struct FaultSpec {
+  FaultType type = FaultType::kNone;
+  int start_step = 0;
+  int duration_steps = 0;
+  double magnitude = 0.0;
+
+  [[nodiscard]] bool active(int step) const {
+    return type != FaultType::kNone && step >= start_step &&
+           step < start_step + duration_steps;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;  // no fault
+  explicit FaultInjector(FaultSpec spec);
+
+  /// Transform the true BG into what the CGM reports at `step`.
+  double sense(double true_bg, int step);
+
+  /// Transform the commanded rate into what the pump delivers at `step`.
+  [[nodiscard]] double actuate(double commanded_rate, int step) const;
+
+  [[nodiscard]] bool active(int step) const { return spec_.active(step); }
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+
+  /// Random fault campaign for a trace of `trace_steps` cycles: uniformly
+  /// chosen fault type (never kNone), onset in the first two-thirds of the
+  /// run, duration 30 min - 5 h, plausible magnitudes per type.
+  static FaultSpec random_spec(int trace_steps, util::Rng& rng);
+
+ private:
+  FaultSpec spec_;
+  double stuck_value_ = -1.0;  // latched CGM value for kSensorStuck
+  int drift_origin_ = -1;      // onset step for kSensorDrift
+  double last_reading_ = -1.0; // held sample for kSensorDropout
+  util::Rng rng_{0x44524f50ULL};  // drives dropout; reseeded per spec
+};
+
+}  // namespace cpsguard::sim

@@ -1,0 +1,65 @@
+#include "sim/glucosym_patient.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/calibration.h"
+
+#include "util/contracts.h"
+
+namespace cpsguard::sim {
+
+void GlucosymPatient::reset(const PatientProfile& profile, util::Rng& rng) {
+  profile_ = profile;
+  vi_l_ = 0.17 * profile.weight_kg;                 // ~12 L at 70 kg
+  carb_gain_ = 1000.0 / (1.8 * profile.weight_kg * 10.0);  // mg/dL per g
+  gb_ = profile.initial_bg;
+
+  const double basal_mu_per_min = profile.basal_u_per_h * 1000.0 / 60.0;
+  s_ = basal_mu_per_min / profile.ka;
+  ip_ = basal_mu_per_min / (vi_l_ * profile.ke);
+  ib_ = ip_;
+  x_ = 0.0;
+  g_ = profile.initial_bg * rng.uniform(0.95, 1.05);
+  q_ = 0.0;
+  iob_.reset(iob_.equilibrium(profile.basal_u_per_h));
+
+  // Short warm-up at scheduled basal so derived states settle.
+  for (int i = 0; i < 60; ++i) integrate(basal_mu_per_min, 1.0);
+
+  calibrated_ = calibrate_profile(*this, profile_, profile.basal_u_per_h);
+}
+
+void GlucosymPatient::step(double insulin_u_per_h, double carbs_g, double dt_min) {
+  expects(insulin_u_per_h >= 0.0, "infusion rate must be non-negative");
+  expects(carbs_g >= 0.0, "carbs must be non-negative");
+  expects(dt_min > 0.0, "dt must be positive");
+  q_ += carbs_g;
+  const double u_mu_per_min = insulin_u_per_h * 1000.0 / 60.0;
+  // 1-minute Euler sub-steps: all time constants are >= ~10 minutes.
+  double remaining = dt_min;
+  while (remaining > 1e-9) {
+    const double h = std::min(1.0, remaining);
+    integrate(u_mu_per_min, h);
+    iob_.step(insulin_u_per_h, h);
+    remaining -= h;
+  }
+}
+
+void GlucosymPatient::integrate(double insulin_mu_per_min, double h) {
+  const auto& p = profile_;
+  const double ds = insulin_mu_per_min - p.ka * s_;
+  const double dip = p.ka * s_ / vi_l_ - p.ke * ip_;
+  const double dx = -p.p2 * x_ + p.p3 * (ip_ - ib_);
+  const double ra = carb_gain_ * p.kabs * q_;  // meal appearance (mg/dL/min)
+  const double dg = -p.p1 * (g_ - gb_) - x_ * g_ + ra;
+  const double dq = -p.kabs * q_;
+
+  s_ = std::max(0.0, s_ + h * ds);
+  ip_ = std::max(0.0, ip_ + h * dip);
+  x_ += h * dx;
+  g_ = std::clamp(g_ + h * dg, 10.0, 600.0);
+  q_ = std::max(0.0, q_ + h * dq);
+}
+
+}  // namespace cpsguard::sim

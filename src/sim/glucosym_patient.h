@@ -1,0 +1,60 @@
+// Glucosym-style patient plant: Bergman minimal model of glucose-insulin
+// dynamics extended with a subcutaneous insulin depot and a one-compartment
+// gut. Stands in for the open-source Glucosym simulator used by the paper.
+//
+// States (amounts unless noted):
+//   S   subcutaneous insulin depot (mU)
+//   Ip  plasma insulin concentration (mU/L)
+//   X   remote insulin action (1/min); may go negative to model
+//       below-basal insulin (T1D patients rise when infusion stops)
+//   G   plasma glucose (mg/dL)
+//   Q   glucose in gut (g)
+//
+//   dS  = u - ka·S                      u: infusion (mU/min)
+//   dIp = ka·S/Vi - ke·Ip
+//   dX  = -p2·X + p3·(Ip - Ib)          Ib: basal-equilibrium insulin
+//   dG  = -p1·(G - Gb) - X·G + cg·kabs·Q
+//   dQ  = -kabs·Q (+ meal impulses)
+#pragma once
+
+#include "sim/patient.h"
+
+namespace cpsguard::sim {
+
+class GlucosymPatient : public PatientModel {
+ public:
+  void reset(const PatientProfile& profile, util::Rng& rng) override;
+  void step(double insulin_u_per_h, double carbs_g, double dt_min) override;
+
+  [[nodiscard]] double bg() const override { return g_; }
+  [[nodiscard]] double iob() const override { return iob_.value(); }
+  [[nodiscard]] double recommended_basal_u_per_h() const override {
+    return profile_.basal_u_per_h;  // equilibrium holds at the schedule by construction
+  }
+  [[nodiscard]] PatientProfile effective_profile() const override {
+    return calibrated_;
+  }
+  [[nodiscard]] std::string name() const override { return "Glucosym"; }
+
+  /// Plasma insulin (mU/L) — exposed for plant-level tests.
+  [[nodiscard]] double plasma_insulin() const { return ip_; }
+
+ private:
+  void integrate(double insulin_mu_per_min, double dt_min);
+
+  PatientProfile profile_;
+  PatientProfile calibrated_;  // profile with plant-calibrated ISF / CR
+  double vi_l_ = 12.0;       // insulin distribution volume (L)
+  double carb_gain_ = 8.0;   // mg/dL per g absorbed
+  double ib_ = 0.0;          // basal-equilibrium plasma insulin (mU/L)
+  double gb_ = 120.0;        // basal glucose attractor (mg/dL)
+
+  double s_ = 0.0;
+  double ip_ = 0.0;
+  double x_ = 0.0;
+  double g_ = 120.0;
+  double q_ = 0.0;
+  InsulinOnBoard iob_;
+};
+
+}  // namespace cpsguard::sim

@@ -1,0 +1,33 @@
+#include "sim/meal.h"
+
+#include "util/contracts.h"
+
+namespace cpsguard::sim {
+
+MealSchedule::MealSchedule(std::vector<Meal> meals) : meals_(std::move(meals)) {
+  for (const Meal& m : meals_) {
+    expects(m.step >= 0 && m.carbs_g >= 0.0, "invalid meal");
+  }
+}
+
+double MealSchedule::carbs_at(int step) const {
+  double total = 0.0;
+  for (const Meal& m : meals_) {
+    if (m.step == step) total += m.carbs_g;
+  }
+  return total;
+}
+
+MealSchedule MealSchedule::random(int trace_steps, util::Rng& rng) {
+  expects(trace_steps > 0, "trace length must be positive");
+  std::vector<Meal> meals;
+  // Meals every ~4-6 hours (48-72 cycles), starting 1-3 h into the run.
+  int step = rng.uniform_int(12, 36);
+  while (step < trace_steps) {
+    meals.push_back({step, rng.uniform(20.0, 80.0)});
+    step += rng.uniform_int(48, 72);
+  }
+  return MealSchedule(std::move(meals));
+}
+
+}  // namespace cpsguard::sim

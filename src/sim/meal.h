@@ -1,0 +1,34 @@
+// Meal schedules: announced carbohydrate intake events driving the glucose
+// disturbances the controllers must reject.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cpsguard::sim {
+
+struct Meal {
+  int step = 0;       // control cycle at which the meal is eaten
+  double carbs_g = 0.0;
+};
+
+class MealSchedule {
+ public:
+  MealSchedule() = default;
+  explicit MealSchedule(std::vector<Meal> meals);
+
+  /// Carbs eaten at exactly `step` (0 if none).
+  [[nodiscard]] double carbs_at(int step) const;
+
+  [[nodiscard]] const std::vector<Meal>& meals() const { return meals_; }
+
+  /// Random day-like schedule over `trace_steps` 5-minute cycles: one meal
+  /// roughly every 4-6 hours with 20-80 g carbs. Deterministic in `rng`.
+  static MealSchedule random(int trace_steps, util::Rng& rng);
+
+ private:
+  std::vector<Meal> meals_;
+};
+
+}  // namespace cpsguard::sim

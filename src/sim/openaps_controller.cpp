@@ -1,0 +1,54 @@
+#include "sim/openaps_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cpsguard::sim {
+
+void OpenApsController::reset(const PatientProfile& profile, double basal_u_per_h) {
+  expects(basal_u_per_h > 0.0, "basal must be positive");
+  profile_ = profile;
+  basal_ = basal_u_per_h;
+  // Matches InsulinOnBoard's 60-minute half-life equilibrium.
+  basal_iob_ = basal_u_per_h / 60.0 / (std::log(2.0) / 60.0);
+  prev_rate_ = basal_u_per_h;
+}
+
+double OpenApsController::eventual_bg(const ControllerInput& in) const {
+  const double iob_excess = in.iob - basal_iob_;
+  return in.sensor_bg + kMomentumMin * in.d_bg -
+         iob_excess * profile_.isf_mg_dl_per_u;
+}
+
+InsulinCommand OpenApsController::decide(const ControllerInput& in) {
+  const double eventual = eventual_bg(in);
+  double rate = basal_;
+
+  if (in.sensor_bg < kHypoglycemiaBg || eventual < kLowSuspendBg) {
+    rate = 0.0;  // low-glucose suspend
+  } else if (eventual < kTargetBg - 10.0) {
+    // Scale basal down toward zero as the prediction approaches hypo.
+    const double frac = (eventual - kLowSuspendBg) / (kTargetBg - kLowSuspendBg);
+    rate = basal_ * std::clamp(frac, 0.0, 1.0);
+  } else if (eventual > kTargetBg + 10.0) {
+    // Correction insulin (U) delivered as a 1-hour temp increment.
+    const double correction_u = (eventual - kTargetBg) / profile_.isf_mg_dl_per_u;
+    rate = std::min(basal_ + correction_u, kMaxTempFactor * basal_);
+  }
+
+  // Announced meals: bolus carbs/CR as a rate spike over this 5-min cycle.
+  if (in.announced_carbs > 0.0 && in.sensor_bg > kHypoglycemiaBg) {
+    const double bolus_u = in.announced_carbs / profile_.carb_ratio_g_per_u;
+    rate += bolus_u * 60.0 / kControlPeriodMin;
+  }
+
+  InsulinCommand cmd;
+  cmd.rate_u_per_h = rate;
+  cmd.action = classify_action(rate, prev_rate_);
+  prev_rate_ = rate;
+  return cmd;
+}
+
+}  // namespace cpsguard::sim

@@ -1,0 +1,31 @@
+// OpenAPS-style controller (reference-design logic): predicts the eventual
+// BG from the current reading, its 30-minute momentum and the insulin on
+// board, then sets a temporary basal rate to steer toward the target.
+#pragma once
+
+#include "sim/controller.h"
+
+namespace cpsguard::sim {
+
+class OpenApsController : public Controller {
+ public:
+  void reset(const PatientProfile& profile, double basal_u_per_h) override;
+  InsulinCommand decide(const ControllerInput& in) override;
+
+  [[nodiscard]] std::string name() const override { return "OpenAPS"; }
+
+  /// Eventual-BG prediction used by decide(); exposed for unit tests.
+  [[nodiscard]] double eventual_bg(const ControllerInput& in) const;
+
+ private:
+  PatientProfile profile_;
+  double basal_ = 1.0;
+  double basal_iob_ = 0.0;  // equilibrium IOB at the programmed basal
+  double prev_rate_ = 1.0;
+
+  static constexpr double kMomentumMin = 20.0;  // momentum horizon (min)
+  static constexpr double kMaxTempFactor = 4.0; // temp basal cap (x basal)
+  static constexpr double kLowSuspendBg = 80.0; // predicted-low suspend
+};
+
+}  // namespace cpsguard::sim

@@ -1,0 +1,33 @@
+#include "sim/patient.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cpsguard::sim {
+
+InsulinOnBoard::InsulinOnBoard(double half_life_min) {
+  expects(half_life_min > 0.0, "IOB half-life must be positive");
+  decay_per_min_ = std::log(2.0) / half_life_min;
+}
+
+void InsulinOnBoard::reset(double initial_units) {
+  expects(initial_units >= 0.0, "IOB must be non-negative");
+  units_ = initial_units;
+}
+
+void InsulinOnBoard::step(double rate_u_per_h, double dt_min) {
+  expects(rate_u_per_h >= 0.0, "infusion rate must be non-negative");
+  expects(dt_min > 0.0, "time step must be positive");
+  const double delivered_per_min = rate_u_per_h / 60.0;
+  // Exact solution of u' = -k u + r over dt.
+  const double k = decay_per_min_;
+  const double e = std::exp(-k * dt_min);
+  units_ = units_ * e + delivered_per_min / k * (1.0 - e);
+}
+
+double InsulinOnBoard::equilibrium(double rate_u_per_h) const {
+  return (rate_u_per_h / 60.0) / decay_per_min_;
+}
+
+}  // namespace cpsguard::sim

@@ -1,0 +1,67 @@
+// Patient plant interface and shared insulin-on-board accounting.
+#pragma once
+
+#include <string>
+
+#include "sim/profile.h"
+#include "util/rng.h"
+
+namespace cpsguard::sim {
+
+/// Pharmacokinetic insulin-on-board tracker: first-order decay of delivered
+/// insulin with a configurable effective half-life. Counts all delivered
+/// insulin (basal + boluses) — the quantity the STL rules reason about via
+/// its trend (IOB').
+class InsulinOnBoard {
+ public:
+  explicit InsulinOnBoard(double half_life_min = 60.0);
+
+  void reset(double initial_units);
+  /// Advance `dt_min` minutes while delivering at `rate_u_per_h`.
+  void step(double rate_u_per_h, double dt_min);
+
+  [[nodiscard]] double value() const { return units_; }
+  /// Equilibrium IOB under a constant rate — used by controllers to judge
+  /// how much of the current IOB is excess over scheduled basal.
+  [[nodiscard]] double equilibrium(double rate_u_per_h) const;
+
+ private:
+  double decay_per_min_;
+  double units_ = 0.0;
+};
+
+/// A physical patient model driven in closed loop at 1-minute integration
+/// steps. Implementations must keep all state finite for any bounded input.
+class PatientModel {
+ public:
+  virtual ~PatientModel() = default;
+
+  /// Initialize from a profile (includes a warm-up to near steady state so
+  /// the first control cycles see physiologic values).
+  virtual void reset(const PatientProfile& profile, util::Rng& rng) = 0;
+
+  /// Advance `dt_min` minutes with the given infusion; `carbs_g` grams are
+  /// ingested at the start of the step (0 for no meal).
+  virtual void step(double insulin_u_per_h, double carbs_g, double dt_min) = 0;
+
+  /// True plasma glucose (mg/dL).
+  [[nodiscard]] virtual double bg() const = 0;
+  /// Insulin on board (U).
+  [[nodiscard]] virtual double iob() const = 0;
+
+  /// The basal rate (U/h) that holds this patient near steady state — what a
+  /// clinician would program into the pump. Plants whose equilibrium rate is
+  /// an emergent property override this; default is the profile's schedule.
+  [[nodiscard]] virtual double recommended_basal_u_per_h() const = 0;
+
+  /// The profile a clinician would program into the controller for this
+  /// patient. Plants whose *effective* insulin sensitivity / carb ratio are
+  /// emergent properties of their dynamics override this to return
+  /// plant-calibrated values (the in-silico analogue of pump titration);
+  /// default is the nominal profile.
+  [[nodiscard]] virtual PatientProfile effective_profile() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace cpsguard::sim

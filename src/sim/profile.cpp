@@ -1,0 +1,54 @@
+#include "sim/profile.h"
+
+#include "util/contracts.h"
+
+namespace cpsguard::sim {
+
+std::vector<PatientProfile> glucosym_profiles(int count, std::uint64_t seed) {
+  expects(count > 0, "profile count must be positive");
+  util::Rng rng(seed, 0x474c5543u /* 'GLUC' */);
+  std::vector<PatientProfile> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    PatientProfile p;
+    p.id = i;
+    p.weight_kg = rng.uniform(55.0, 95.0);
+    p.basal_u_per_h = rng.uniform(0.7, 1.6);
+    p.isf_mg_dl_per_u = rng.uniform(35.0, 65.0);
+    p.carb_ratio_g_per_u = rng.uniform(8.0, 15.0);
+    p.initial_bg = rng.uniform(100.0, 150.0);
+    p.p1 = rng.uniform(0.004, 0.009);
+    p.p2 = rng.uniform(0.02, 0.035);
+    p.p3 = rng.uniform(1.0e-5, 1.8e-5);
+    p.ke = rng.uniform(0.07, 0.11);
+    p.ka = rng.uniform(0.014, 0.024);
+    p.kabs = rng.uniform(0.02, 0.035);
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<PatientProfile> t1d_profiles(int count, std::uint64_t seed) {
+  expects(count > 0, "profile count must be positive");
+  util::Rng rng(seed, 0x54314453u /* 'T1DS' */);
+  std::vector<PatientProfile> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    PatientProfile p;
+    p.id = i;
+    p.weight_kg = rng.uniform(65.0, 110.0);
+    p.basal_u_per_h = rng.uniform(0.8, 2.0);
+    p.isf_mg_dl_per_u = rng.uniform(30.0, 55.0);
+    p.carb_ratio_g_per_u = rng.uniform(6.0, 12.0);
+    p.initial_bg = rng.uniform(110.0, 170.0);
+    p.sf_transport = rng.uniform(0.7, 1.3);
+    p.sf_disposal = rng.uniform(0.7, 1.3);
+    p.sf_egp = rng.uniform(0.8, 1.25);
+    p.tmax_i_min = rng.uniform(45.0, 70.0);
+    p.ag = rng.uniform(0.7, 0.9);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace cpsguard::sim

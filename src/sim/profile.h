@@ -1,0 +1,45 @@
+// Patient profiles: the per-patient parameter sets that give each simulated
+// diabetic patient distinct dynamics. The paper's testbed simulates 20
+// profiles per simulator; we generate 20 deterministic synthetic profiles
+// per plant with clinically plausible spreads.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cpsguard::sim {
+
+struct PatientProfile {
+  int id = 0;
+  double weight_kg = 70.0;
+  double basal_u_per_h = 1.0;   // scheduled basal insulin
+  double isf_mg_dl_per_u = 50;  // insulin sensitivity factor
+  double carb_ratio_g_per_u = 10.0;
+  double initial_bg = 120.0;    // mg/dL at simulation start
+
+  // Bergman-style (Glucosym plant) parameters.
+  double p1 = 0.006;     // glucose effectiveness (1/min), low in T1D
+  double p2 = 0.025;     // insulin action decay (1/min)
+  double p3 = 1.3e-5;    // insulin action gain (L/(mU·min²))
+  double ke = 0.09;      // plasma insulin elimination (1/min)
+  double ka = 0.018;     // subcutaneous absorption (1/min)
+  double kabs = 0.025;   // gut carb absorption (1/min)
+
+  // Hovorka-style (T1DS2013 plant) sensitivity scalers (1.0 = nominal).
+  double sf_transport = 1.0;
+  double sf_disposal = 1.0;
+  double sf_egp = 1.0;
+  double tmax_i_min = 55.0;  // insulin absorption time-to-peak
+  double ag = 0.8;           // carb bioavailability
+};
+
+/// 20 Glucosym-style profiles, deterministic in `seed`.
+std::vector<PatientProfile> glucosym_profiles(int count, std::uint64_t seed);
+
+/// 20 UVA-Padova-style profiles with a different parameter distribution
+/// (heavier patients, slower absorption — yields the distinct sensor-data
+/// distribution the paper's Fig. 4 relies on).
+std::vector<PatientProfile> t1d_profiles(int count, std::uint64_t seed);
+
+}  // namespace cpsguard::sim

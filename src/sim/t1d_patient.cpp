@@ -1,0 +1,119 @@
+#include "sim/t1d_patient.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/calibration.h"
+
+#include "util/contracts.h"
+
+namespace cpsguard::sim {
+
+namespace {
+// Hovorka (2004) nominal insulin sensitivities (per mU/L of plasma insulin).
+constexpr double kSit = 51.2e-4;  // transport
+constexpr double kSid = 8.2e-4;   // disposal
+constexpr double kSie = 520e-4;   // EGP suppression
+constexpr double kMmolPerGramGlucose = 1000.0 / 180.0;
+}  // namespace
+
+double T1dPatient::bg() const { return q1_ / vg_l_ * 18.0; }
+
+void T1dPatient::reset(const PatientProfile& profile, util::Rng& rng) {
+  profile_ = profile;
+  vg_l_ = 0.16 * profile.weight_kg;
+  vi_l_ = 0.12 * profile.weight_kg;
+  f01_ = 0.0097 * profile.weight_kg;
+  egp0_ = 0.0161 * profile.weight_kg * profile.sf_egp;
+  kb1_ = ka1_ * kSit * profile.sf_transport;
+  kb2_ = ka2_ * kSid * profile.sf_disposal;
+  kb3_ = ka3_ * kSie;
+
+  // Solve for the plasma insulin level whose glucose equilibrium equals the
+  // profile's initial BG, then initialize every state at that steady state.
+  const double target_q1 = profile.initial_bg / 18.0 * vg_l_;
+  const auto q1_equilibrium = [&](double ins) {
+    const double a = kSit * profile.sf_transport * ins;
+    const double b = kSid * profile.sf_disposal * ins;
+    const double c = kSie * ins;
+    const double production = egp0_ * std::max(0.0, 1.0 - c) - f01_;
+    const double uptake_per_q1 = a * b / (k12_ + b);
+    if (uptake_per_q1 <= 1e-12) return production > 0.0 ? 1e9 : 0.0;
+    return production / uptake_per_q1;
+  };
+  double lo = 0.05, hi = 60.0;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    // q1_equilibrium is decreasing in insulin.
+    if (q1_equilibrium(mid) > target_q1) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double ins_eq = 0.5 * (lo + hi);
+  const double u_eq = ins_eq * vi_l_ * ke_;  // mU/min
+
+  i_ = ins_eq;
+  s1_ = s2_ = u_eq * profile.tmax_i_min;
+  x1_ = kSit * profile.sf_transport * ins_eq;
+  x2_ = kSid * profile.sf_disposal * ins_eq;
+  x3_ = kSie * ins_eq;
+  q1_ = target_q1 * rng.uniform(0.95, 1.05);
+  q2_ = x1_ * q1_ / (k12_ + x2_);
+  d1_ = d2_ = 0.0;
+
+  equilibrium_basal_u_per_h_ = u_eq * 60.0 / 1000.0;
+  iob_.reset(iob_.equilibrium(equilibrium_basal_u_per_h_));
+
+  for (int warm = 0; warm < 60; ++warm) {
+    integrate(u_eq, 1.0);
+    iob_.step(equilibrium_basal_u_per_h_, 1.0);
+  }
+
+  calibrated_ = calibrate_profile(*this, profile_, equilibrium_basal_u_per_h_);
+}
+
+void T1dPatient::step(double insulin_u_per_h, double carbs_g, double dt_min) {
+  expects(insulin_u_per_h >= 0.0, "infusion rate must be non-negative");
+  expects(carbs_g >= 0.0, "carbs must be non-negative");
+  expects(dt_min > 0.0, "dt must be positive");
+  d1_ += profile_.ag * carbs_g * kMmolPerGramGlucose;
+  const double u_mu_per_min = insulin_u_per_h * 1000.0 / 60.0;
+  double remaining = dt_min;
+  while (remaining > 1e-9) {
+    const double h = std::min(1.0, remaining);
+    integrate(u_mu_per_min, h);
+    iob_.step(insulin_u_per_h, h);
+    remaining -= h;
+  }
+}
+
+void T1dPatient::integrate(double u, double h) {
+  const double tmax_i = profile_.tmax_i_min;
+  const double ds1 = u - s1_ / tmax_i;
+  const double ds2 = (s1_ - s2_) / tmax_i;
+  const double di = s2_ / (tmax_i * vi_l_) - ke_ * i_;
+  const double dx1 = kb1_ * i_ - ka1_ * x1_;
+  const double dx2 = kb2_ * i_ - ka2_ * x2_;
+  const double dx3 = kb3_ * i_ - ka3_ * x3_;
+  const double ug = d2_ / tmax_g_;  // gut appearance (mmol/min)
+  const double dd1 = -d1_ / tmax_g_;
+  const double dd2 = (d1_ - d2_) / tmax_g_;
+  const double egp = egp0_ * std::max(0.0, 1.0 - x3_);
+  const double dq1 = -f01_ - x1_ * q1_ + k12_ * q2_ + egp + ug;
+  const double dq2 = x1_ * q1_ - (k12_ + x2_) * q2_;
+
+  s1_ = std::max(0.0, s1_ + h * ds1);
+  s2_ = std::max(0.0, s2_ + h * ds2);
+  i_ = std::max(0.0, i_ + h * di);
+  x1_ = std::max(0.0, x1_ + h * dx1);
+  x2_ = std::max(0.0, x2_ + h * dx2);
+  x3_ = std::max(0.0, x3_ + h * dx3);
+  q1_ = std::clamp(q1_ + h * dq1, 10.0 / 18.0 * vg_l_ * 0.1, 600.0 / 18.0 * vg_l_);
+  q2_ = std::max(0.0, q2_ + h * dq2);
+  d1_ = std::max(0.0, d1_ + h * dd1);
+  d2_ = std::max(0.0, d2_ + h * dd2);
+}
+
+}  // namespace cpsguard::sim

@@ -1,0 +1,65 @@
+// UVA-Padova-style ("T1DS2013") patient plant: a Hovorka-type two-compartment
+// glucose model with a three-pathway insulin action and a two-compartment
+// subcutaneous insulin / gut absorption chain. Stands in for the proprietary
+// UVA-Padova Type 1 Diabetes Simulator used by the paper; what matters for
+// the reproduction is that it is a *different* nonlinear plant with a
+// *different* data distribution than the Glucosym-style model.
+//
+// States (total amounts, weight-scaled constants):
+//   S1, S2  subcutaneous insulin (mU)           dS1 = u - S1/tmaxI
+//   I       plasma insulin (mU/L)               dS2 = (S1 - S2)/tmaxI
+//   x1,x2,x3 insulin action (transport, disposal, EGP suppression)
+//   Q1, Q2  glucose masses (mmol)
+//   D1, D2  gut glucose (mmol)
+#pragma once
+
+#include "sim/patient.h"
+
+namespace cpsguard::sim {
+
+class T1dPatient : public PatientModel {
+ public:
+  void reset(const PatientProfile& profile, util::Rng& rng) override;
+  void step(double insulin_u_per_h, double carbs_g, double dt_min) override;
+
+  [[nodiscard]] double bg() const override;
+  [[nodiscard]] double iob() const override { return iob_.value(); }
+  [[nodiscard]] double recommended_basal_u_per_h() const override {
+    return equilibrium_basal_u_per_h_;
+  }
+  [[nodiscard]] PatientProfile effective_profile() const override {
+    return calibrated_;
+  }
+  [[nodiscard]] std::string name() const override { return "T1DS2013"; }
+
+  [[nodiscard]] double plasma_insulin() const { return i_; }
+
+ private:
+  void integrate(double insulin_mu_per_min, double h);
+
+  PatientProfile profile_;
+  PatientProfile calibrated_;  // profile with plant-calibrated ISF / CR
+  // Weight-scaled constants, fixed at reset().
+  double vg_l_ = 11.2;    // glucose distribution volume (L)
+  double vi_l_ = 8.4;     // insulin distribution volume (L)
+  double f01_ = 0.68;     // non-insulin glucose flux (mmol/min)
+  double egp0_ = 1.13;    // endogenous glucose production at zero insulin
+  double kb1_ = 0.0, kb2_ = 0.0, kb3_ = 0.0;  // action activation rates
+
+  static constexpr double k12_ = 0.066;  // inter-compartment transfer (1/min)
+  static constexpr double ka1_ = 0.006;
+  static constexpr double ka2_ = 0.06;
+  static constexpr double ka3_ = 0.03;
+  static constexpr double ke_ = 0.138;
+  static constexpr double tmax_g_ = 40.0;  // gut absorption time constant
+
+  double s1_ = 0.0, s2_ = 0.0;
+  double i_ = 0.0;
+  double x1_ = 0.0, x2_ = 0.0, x3_ = 0.0;
+  double q1_ = 0.0, q2_ = 0.0;
+  double d1_ = 0.0, d2_ = 0.0;
+  double equilibrium_basal_u_per_h_ = 0.5;
+  InsulinOnBoard iob_{75.0};
+};
+
+}  // namespace cpsguard::sim

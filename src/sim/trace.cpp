@@ -1,0 +1,46 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace cpsguard::sim {
+
+bool in_hazard(const StepRecord& r) {
+  return r.true_bg < kHypoglycemiaBg || r.true_bg > kHyperglycemiaBg;
+}
+
+bool hazard_within(const Trace& trace, int from, int to) {
+  const int n = trace.length();
+  from = std::max(from, 0);
+  to = std::min(to, n - 1);
+  for (int i = from; i <= to; ++i) {
+    if (in_hazard(trace.steps[static_cast<std::size_t>(i)])) return true;
+  }
+  return false;
+}
+
+double time_in_range(const Trace& trace) {
+  if (trace.steps.empty()) return 0.0;
+  int in_range = 0;
+  for (const auto& r : trace.steps) {
+    if (r.true_bg >= kHypoglycemiaBg && r.true_bg <= kHyperglycemiaBg) ++in_range;
+  }
+  return static_cast<double>(in_range) / static_cast<double>(trace.steps.size());
+}
+
+std::string trace_to_csv(const Trace& trace) {
+  std::ostringstream os;
+  os << "step,sensor_bg,true_bg,iob,d_bg,d_iob,commanded_rate,actuated_rate,"
+        "carbs_g,action,fault_active\n";
+  for (const auto& r : trace.steps) {
+    os << r.step << ',' << r.sensor_bg << ',' << r.true_bg << ',' << r.iob << ','
+       << r.d_bg << ',' << r.d_iob << ',' << r.commanded_rate << ','
+       << r.actuated_rate << ',' << r.carbs_g << ',' << to_string(r.action)
+       << ',' << (r.fault_active ? 1 : 0) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cpsguard::sim

@@ -1,0 +1,50 @@
+// Simulation traces: one record per 5-minute control cycle. Traces are the
+// raw material for dataset building (monitor windows), ground-truth hazard
+// labelling, and the example plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace cpsguard::sim {
+
+struct StepRecord {
+  int step = 0;               // control cycle index (5-min each)
+  double sensor_bg = 0.0;     // BG as seen by controller/monitor (mg/dL)
+  double true_bg = 0.0;       // BG of the physical patient (mg/dL)
+  double iob = 0.0;           // insulin on board (U)
+  double d_bg = 0.0;          // sensor BG derivative (mg/dL per min)
+  double d_iob = 0.0;         // IOB derivative (U per min)
+  double commanded_rate = 0.0;  // controller output (U/h)
+  double actuated_rate = 0.0;   // what the pump delivered (U/h)
+  double carbs_g = 0.0;         // meal carbs ingested this cycle (g)
+  ControlAction action = ControlAction::kKeepInsulin;
+  bool fault_active = false;  // any fault active during this cycle
+};
+
+struct Trace {
+  int patient_id = 0;
+  int simulation_id = 0;
+  bool fault_injected = false;   // whether the run had a fault campaign
+  std::string fault_name = "none";
+  std::vector<StepRecord> steps;
+
+  [[nodiscard]] int length() const { return static_cast<int>(steps.size()); }
+};
+
+/// True iff true BG at `step` is in a hazard region (H1 or H2).
+bool in_hazard(const StepRecord& r);
+
+/// True iff any step in [from, to] (clamped, inclusive) is in hazard.
+bool hazard_within(const Trace& trace, int from, int to);
+
+/// Fraction of steps whose true BG is inside [70, 180] — the clinical
+/// time-in-range metric, used by simulator sanity tests.
+double time_in_range(const Trace& trace);
+
+/// Serialize a trace to CSV text (one row per step) for plotting.
+std::string trace_to_csv(const Trace& trace);
+
+}  // namespace cpsguard::sim

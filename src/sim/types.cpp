@@ -1,0 +1,15 @@
+#include "sim/types.h"
+
+namespace cpsguard::sim {
+
+std::string to_string(ControlAction a) {
+  switch (a) {
+    case ControlAction::kDecreaseInsulin: return "decrease_insulin";
+    case ControlAction::kIncreaseInsulin: return "increase_insulin";
+    case ControlAction::kStopInsulin: return "stop_insulin";
+    case ControlAction::kKeepInsulin: return "keep_insulin";
+  }
+  return "unknown";
+}
+
+}  // namespace cpsguard::sim

@@ -1,0 +1,43 @@
+// Shared vocabulary types of the APS simulation: control actions, insulin
+// commands, and physical constants used across controllers and patients.
+//
+// Control actions follow the paper's Table I footnote:
+//   u1 = decrease_insulin, u2 = increase_insulin,
+//   u3 = stop_insulin,     u4 = keep_insulin.
+#pragma once
+
+#include <string>
+
+namespace cpsguard::sim {
+
+enum class ControlAction : int {
+  kDecreaseInsulin = 0,  // u1
+  kIncreaseInsulin = 1,  // u2
+  kStopInsulin = 2,      // u3
+  kKeepInsulin = 3,      // u4
+};
+
+inline constexpr int kNumActions = 4;
+
+std::string to_string(ControlAction a);
+
+/// What a controller decides each cycle: the basal-equivalent infusion rate
+/// in U/h (bolus doses are folded into the rate for the delivery interval)
+/// plus the discrete action class the monitors and STL rules consume.
+struct InsulinCommand {
+  double rate_u_per_h = 0.0;
+  ControlAction action = ControlAction::kKeepInsulin;
+};
+
+/// Control/decision period: both APS testbeds in the paper run on 5-minute
+/// cycles ("each simulation step equals 5 minutes in the actual system").
+inline constexpr double kControlPeriodMin = 5.0;
+
+/// Hazard thresholds (mg/dL): H1 hypoglycemia below, H2 hyperglycemia above.
+inline constexpr double kHypoglycemiaBg = 70.0;
+inline constexpr double kHyperglycemiaBg = 180.0;
+
+/// Controller BG target (the BGT of Table I).
+inline constexpr double kTargetBg = 120.0;
+
+}  // namespace cpsguard::sim

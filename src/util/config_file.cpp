@@ -1,0 +1,84 @@
+#include "util/config_file.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cpsguard::util {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+ConfigFile ConfigFile::parse(const std::string& text) {
+  ConfigFile cfg;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("config line " + std::to_string(line_no) +
+                               ": expected key = value");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error("config line " + std::to_string(line_no) +
+                               ": empty key");
+    }
+    if (cfg.values_.contains(key)) {
+      throw std::runtime_error("config line " + std::to_string(line_no) +
+                               ": duplicate key '" + key + "'");
+    }
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+ConfigFile ConfigFile::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open config file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse(ss.str());
+}
+
+bool ConfigFile::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::string ConfigFile::get(const std::string& key, const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+int ConfigFile::get_int(const std::string& key, int def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::stoi(it->second);
+}
+
+double ConfigFile::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::stod(it->second);
+}
+
+bool ConfigFile::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace cpsguard::util

@@ -1,0 +1,40 @@
+// Lightweight contract checks in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()"). We use plain functions
+// rather than macros (ES.31) and throw on violation so tests can assert on
+// contract failures instead of aborting the process.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace cpsguard {
+
+/// Error thrown when a precondition/postcondition/invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const std::string& msg,
+                                       const std::source_location& loc) {
+  throw ContractViolation(std::string(kind) + " failed at " +
+                          loc.file_name() + ":" + std::to_string(loc.line()) +
+                          " (" + loc.function_name() + "): " + msg);
+}
+}  // namespace detail
+
+/// Precondition check: callers must satisfy `cond`.
+inline void expects(bool cond, const std::string& msg = "precondition",
+                    const std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::contract_fail("Expects", msg, loc);
+}
+
+/// Postcondition / invariant check: the implementation must satisfy `cond`.
+inline void ensures(bool cond, const std::string& msg = "postcondition",
+                    const std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::contract_fail("Ensures", msg, loc);
+}
+
+}  // namespace cpsguard

@@ -1,0 +1,117 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/contracts.h"
+
+namespace cpsguard::util {
+
+namespace {
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string escape(const std::string& s) {
+  if (!needs_quoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  expects(!header_.empty(), "CSV header must not be empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  expects(row.size() == header_.size(), "CSV row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::num(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << escape(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void CsvWriter::write(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open CSV for writing: " + path);
+  f << to_string();
+  if (!f) throw std::runtime_error("failed writing CSV: " + path);
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      row.push_back(std::move(field));
+      field.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  if (!field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<std::vector<std::string>> read_csv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open CSV for reading: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_csv(ss.str());
+}
+
+}  // namespace cpsguard::util

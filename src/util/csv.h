@@ -1,0 +1,40 @@
+// Minimal CSV writing/reading used by the bench harness to dump the series
+// behind each reproduced table/figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cpsguard::util {
+
+/// Row-oriented CSV writer. Values are quoted only when necessary.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Append one row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  static std::string num(double v);
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Write to `path`; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parse CSV text into rows of fields. Handles quoted fields with embedded
+/// commas/quotes; does not handle embedded newlines (not produced by us).
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+/// Read and parse a CSV file; throws std::runtime_error if unreadable.
+std::vector<std::vector<std::string>> read_csv(const std::string& path);
+
+}  // namespace cpsguard::util

@@ -1,0 +1,164 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/contracts.h"
+
+namespace cpsguard::util {
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::str(std::string value) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.str_ = std::move(value);
+  return j;
+}
+
+Json Json::number(double value) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.num_ = value;
+  return j;
+}
+
+Json Json::integer(long value) {
+  Json j;
+  j.kind_ = Kind::kInteger;
+  j.int_ = value;
+  return j;
+}
+
+Json Json::boolean(bool value) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::null() { return Json(); }
+
+Json& Json::set(const std::string& key, Json value) {
+  expects(is_object(), "set() requires an object");
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  expects(is_array(), "push() requires an array");
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+                 : "";
+  const std::string close_pad =
+      indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent * depth), ' ')
+                 : "";
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInteger:
+      out += std::to_string(int_);
+      break;
+    case Kind::kNumber: {
+      if (std::isfinite(num_)) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.9g", num_);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no NaN/Inf
+      }
+      break;
+    }
+    case Kind::kString:
+      out += '"';
+      out += escape(str_);
+      out += '"';
+      break;
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out += ',';
+        first = false;
+        out += pad;
+        out += '"';
+        out += escape(k);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!members_.empty()) out += close_pad;
+      out += '}';
+      break;
+    }
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& v : items_) {
+        if (!first) out += ',';
+        first = false;
+        out += pad;
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!items_.empty()) out += close_pad;
+      out += ']';
+      break;
+    }
+  }
+}
+
+}  // namespace cpsguard::util

@@ -1,0 +1,54 @@
+// Minimal JSON writer (no parsing): enough to emit experiment reports that
+// downstream plotting/CI tooling can consume. Proper string escaping,
+// stable key order (insertion order), and locale-independent numbers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cpsguard::util {
+
+class Json {
+ public:
+  /// Factories for each JSON type.
+  static Json object();
+  static Json array();
+  static Json str(std::string value);
+  static Json number(double value);
+  static Json integer(long value);
+  static Json boolean(bool value);
+  static Json null();
+
+  /// Object: set key → value (insertion-ordered; replaces an existing key).
+  Json& set(const std::string& key, Json value);
+  /// Array: append a value.
+  Json& push(Json value);
+
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Serialize; `indent` > 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Escape a string for embedding in JSON (without surrounding quotes).
+  static std::string escape(const std::string& s);
+
+ private:
+  enum class Kind { kObject, kArray, kString, kNumber, kInteger, kBool, kNull };
+
+  Json() = default;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  std::string str_;
+  double num_ = 0.0;
+  long int_ = 0;
+  bool bool_ = false;
+  std::vector<std::pair<std::string, Json>> members_;  // object
+  std::vector<Json> items_;                            // array
+};
+
+}  // namespace cpsguard::util

@@ -1,0 +1,91 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/contracts.h"
+
+namespace cpsguard::util {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u) {
+  operator()();
+  state_ += seed;
+  operator()();
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((0u - rot) & 31u));
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa from two draws for full double resolution.
+  const std::uint64_t hi = operator()();
+  const std::uint64_t lo = operator()();
+  const std::uint64_t bits = ((hi << 21u) ^ lo) & ((1ULL << 53u) - 1u);
+  return static_cast<double>(bits) / static_cast<double>(1ULL << 53u);
+}
+
+double Rng::uniform(double lo, double hi) {
+  expects(lo <= hi, "uniform range must be ordered");
+  return lo + (hi - lo) * uniform();
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  expects(lo <= hi, "uniform_int range must be ordered");
+  const auto span = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1u;
+  return lo + static_cast<int>(static_cast<std::uint64_t>(operator()()) % span);
+}
+
+double Rng::gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  expects(stddev >= 0.0, "stddev must be non-negative");
+  return mean + stddev * gaussian();
+}
+
+bool Rng::bernoulli(double p) {
+  expects(p >= 0.0 && p <= 1.0, "bernoulli p must be in [0,1]");
+  return uniform() < p;
+}
+
+Rng Rng::split() {
+  const std::uint64_t child_seed =
+      (static_cast<std::uint64_t>(operator()()) << 32u) | operator()();
+  const std::uint64_t child_stream =
+      (static_cast<std::uint64_t>(operator()()) << 32u) | operator()();
+  return Rng(child_seed, child_stream);
+}
+
+std::vector<int> Rng::permutation(int n) {
+  expects(n >= 0, "permutation size must be non-negative");
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  for (int i = n - 1; i > 0; --i) {
+    const int j = uniform_int(0, i);
+    std::swap(idx[static_cast<std::size_t>(i)], idx[static_cast<std::size_t>(j)]);
+  }
+  return idx;
+}
+
+}  // namespace cpsguard::util

@@ -1,0 +1,63 @@
+// Small statistics helpers shared by the simulators, the noise models and the
+// evaluation/reporting code.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cpsguard::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Population variance (0 for fewer than 2 samples).
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double mean_f(std::span<const float> xs);
+double stddev_f(std::span<const float> xs);
+
+/// Linear-interpolation quantile, q in [0,1]. Empty input returns 0.
+double quantile(std::vector<double> xs, double q);
+
+/// Fixed-bin histogram over [lo, hi]; values outside clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x);
+  [[nodiscard]] int bins() const { return static_cast<int>(counts_.size()); }
+  [[nodiscard]] std::size_t count(int bin) const;
+  [[nodiscard]] double bin_center(int bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Fraction of mass in `bin`.
+  [[nodiscard]] double density(int bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cpsguard::util

@@ -1,0 +1,31 @@
+// Console table rendering for the bench harness: each reproduced table/figure
+// prints aligned rows matching the paper's layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cpsguard::util {
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Format a double with `decimals` fixed decimals.
+  static std::string fixed(double v, int decimals = 2);
+
+  /// Render with column separators and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cpsguard::util

@@ -1,0 +1,50 @@
+// Fixed-size thread pool plus a blocking parallel_for used to fan experiment
+// sweeps (per-patient campaigns, per-model attacks) across cores.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cpsguard::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; tasks must not throw (exceptions terminate the pool's
+  /// worker). Wrap fallible work and stash errors yourself.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [0, n) on a transient pool; rethrows the first captured
+/// exception after all iterations complete. `threads == 0` → all cores;
+/// `threads == 1` runs inline (useful under sanitizers and in tests).
+void parallel_for(int n, const std::function<void(int)>& fn, std::size_t threads = 0);
+
+}  // namespace cpsguard::util

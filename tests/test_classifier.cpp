@@ -1,0 +1,153 @@
+#include "nn/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/gradcheck.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace cpsguard::nn {
+namespace {
+
+Tensor3 random_tensor(int b, int t, int f, util::Rng& rng) {
+  Tensor3 x(b, t, f);
+  for (float& v : x.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return x;
+}
+
+// Linearly separable toy task: class = sign of the mean of the window.
+void make_threshold_task(int n, int t, int f, Tensor3& x, std::vector<int>& y,
+                         util::Rng& rng) {
+  x = random_tensor(n, t, f, rng);
+  y.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double mean = 0.0;
+    for (int tt = 0; tt < t; ++tt) {
+      for (int ff = 0; ff < f; ++ff) mean += x.at(i, tt, ff);
+    }
+    y[static_cast<std::size_t>(i)] = mean > 0.0 ? 1 : 0;
+  }
+}
+
+TEST(MlpClassifier, ShapesAndArch) {
+  util::Rng rng(1);
+  MlpClassifier clf(6, 9, {256, 128}, 2, rng);
+  EXPECT_EQ(clf.arch(), "MLP(256-128)");
+  EXPECT_EQ(clf.time_steps(), 6);
+  EXPECT_EQ(clf.features(), 9);
+  util::Rng xr(2);
+  const Matrix p = clf.predict_proba(random_tensor(3, 6, 9, xr));
+  ASSERT_EQ(p.rows(), 3);
+  ASSERT_EQ(p.cols(), 2);
+  for (int r = 0; r < 3; ++r) EXPECT_NEAR(p.at(r, 0) + p.at(r, 1), 1.0f, 1e-5);
+}
+
+TEST(MlpClassifier, RejectsWrongWindowShape) {
+  util::Rng rng(3);
+  MlpClassifier clf(6, 9, {16}, 2, rng);
+  util::Rng xr(4);
+  const Tensor3 bad = random_tensor(2, 5, 9, xr);
+  EXPECT_THROW(clf.predict_proba(bad), ContractViolation);
+}
+
+TEST(MlpClassifier, LearnsThresholdTask) {
+  util::Rng rng(5);
+  MlpClassifier clf(3, 2, {16}, 2, rng);
+  Tensor3 x;
+  std::vector<int> y;
+  util::Rng data_rng(6);
+  make_threshold_task(256, 3, 2, x, y, data_rng);
+  Adam adam(0.01);
+  const SoftmaxCrossEntropy ce;
+  for (int epoch = 0; epoch < 40; ++epoch) clf.train_batch(x, y, {}, ce, adam);
+  const auto preds = predict_classes(clf, x);
+  int correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) correct += preds[i] == y[i];
+  EXPECT_GT(correct, 256 * 9 / 10);
+}
+
+TEST(MlpClassifier, InputGradientMatchesFiniteDifference) {
+  util::Rng rng(7);
+  MlpClassifier clf(3, 4, {10, 6}, 2, rng);
+  util::Rng xr(8);
+  const Tensor3 x = random_tensor(3, 3, 4, xr);
+  const std::vector<int> labels = {1, 0, 1};
+  util::Rng probe_rng(9);
+  const auto res = check_input_gradient(clf, x, labels, probe_rng, 50, 1e-2);
+  EXPECT_LT(res.max_rel_error, 0.05) << "abs=" << res.max_abs_error;
+}
+
+TEST(MlpClassifier, ParamGradientsWithSemanticLoss) {
+  util::Rng rng(10);
+  MlpClassifier clf(2, 3, {8}, 2, rng);
+  util::Rng xr(11);
+  const Tensor3 x = random_tensor(4, 2, 3, xr);
+  const std::vector<int> labels = {0, 1, 0, 1};
+  const std::vector<float> sem = {1.0f, 1.0f, 0.0f, 0.0f};
+  const SemanticLoss loss(0.5);
+  util::Rng probe_rng(12);
+  const auto res =
+      check_param_gradients(clf, x, labels, sem, loss, probe_rng, 50, 1e-2);
+  EXPECT_LT(res.max_rel_error, 0.06) << "abs=" << res.max_abs_error;
+}
+
+TEST(Classifier, TrainBatchReducesLoss) {
+  util::Rng rng(13);
+  MlpClassifier clf(2, 2, {12}, 2, rng);
+  Tensor3 x;
+  std::vector<int> y;
+  util::Rng data_rng(14);
+  make_threshold_task(128, 2, 2, x, y, data_rng);
+  Adam adam(0.01);
+  const SoftmaxCrossEntropy ce;
+  const double first = clf.train_batch(x, y, {}, ce, adam);
+  double last = first;
+  for (int i = 0; i < 30; ++i) last = clf.train_batch(x, y, {}, ce, adam);
+  EXPECT_LT(last, first * 0.7);
+}
+
+TEST(Classifier, ZeroGradClearsAccumulation) {
+  util::Rng rng(15);
+  MlpClassifier clf(2, 2, {4}, 2, rng);
+  util::Rng xr(16);
+  const Tensor3 x = random_tensor(2, 2, 2, xr);
+  const std::vector<int> labels = {0, 1};
+  const SoftmaxCrossEntropy ce;
+  clf.accumulate_gradients(x, labels, {}, ce);
+  clf.zero_grad();
+  for (Param* p : clf.params()) {
+    EXPECT_FLOAT_EQ(p->grad.max_abs(), 0.0f);
+  }
+}
+
+TEST(Classifier, InputGradientDoesNotDisturbParams) {
+  util::Rng rng(17);
+  MlpClassifier clf(2, 2, {4}, 2, rng);
+  util::Rng xr(18);
+  const Tensor3 x = random_tensor(2, 2, 2, xr);
+  const std::vector<int> labels = {0, 1};
+  std::vector<Matrix> before;
+  for (Param* p : clf.params()) before.push_back(p->value);
+  (void)clf.loss_input_gradient(x, labels);
+  const auto params = clf.params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_TRUE(params[i]->value == before[i]);
+    EXPECT_FLOAT_EQ(params[i]->grad.max_abs(), 0.0f);
+  }
+}
+
+TEST(PredictClasses, PicksArgmax) {
+  util::Rng rng(19);
+  MlpClassifier clf(1, 2, {4}, 2, rng);
+  util::Rng xr(20);
+  const Tensor3 x = random_tensor(6, 1, 2, xr);
+  const Matrix p = clf.predict_proba(x);
+  const auto preds = predict_classes(clf, x);
+  for (int i = 0; i < 6; ++i) {
+    const int want = p.at(i, 1) > p.at(i, 0) ? 1 : 0;
+    EXPECT_EQ(preds[static_cast<std::size_t>(i)], want);
+  }
+}
+
+}  // namespace
+}  // namespace cpsguard::nn

@@ -1,0 +1,70 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cpsguard::util {
+namespace {
+
+Cli make_cli(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Cli(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  const Cli cli = make_cli({"--sims", "12"});
+  EXPECT_EQ(cli.get_int("sims", 0), 12);
+}
+
+TEST(Cli, EqualsSeparatedValue) {
+  const Cli cli = make_cli({"--eps=0.25"});
+  EXPECT_DOUBLE_EQ(cli.get_double("eps", 0.0), 0.25);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const Cli cli = make_cli({"--verbose"});
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_TRUE(cli.has("verbose"));
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const Cli cli = make_cli({});
+  EXPECT_EQ(cli.get("name", "fallback"), "fallback");
+  EXPECT_EQ(cli.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("d", 1.5), 1.5);
+  EXPECT_FALSE(cli.get_bool("b", false));
+  EXPECT_FALSE(cli.has("anything"));
+}
+
+TEST(Cli, BoolParsesCommonForms) {
+  EXPECT_TRUE(make_cli({"--x", "true"}).get_bool("x", false));
+  EXPECT_TRUE(make_cli({"--x", "1"}).get_bool("x", false));
+  EXPECT_TRUE(make_cli({"--x", "yes"}).get_bool("x", false));
+  EXPECT_FALSE(make_cli({"--x", "no"}).get_bool("x", true));
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  EXPECT_THROW(make_cli({"positional"}), std::invalid_argument);
+}
+
+TEST(Cli, UnusedTracksUnqueriedFlags) {
+  const Cli cli = make_cli({"--used", "1", "--typo", "2"});
+  (void)cli.get_int("used", 0);
+  const auto unused = cli.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Cli, ProgramNameCaptured) {
+  const Cli cli = make_cli({});
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+TEST(Cli, NegativeNumericValue) {
+  const Cli cli = make_cli({"--delta=-3"});
+  EXPECT_EQ(cli.get_int("delta", 0), -3);
+}
+
+}  // namespace
+}  // namespace cpsguard::util

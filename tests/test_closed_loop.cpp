@@ -1,0 +1,154 @@
+#include "sim/closed_loop.h"
+
+#include <gtest/gtest.h>
+
+#include "safety/hazard.h"
+#include "util/rng.h"
+
+namespace cpsguard::sim {
+namespace {
+
+class ClosedLoopParamTest : public ::testing::TestWithParam<Testbed> {};
+
+INSTANTIATE_TEST_SUITE_P(BothTestbeds, ClosedLoopParamTest,
+                         ::testing::Values(Testbed::kGlucosymOpenAps,
+                                           Testbed::kT1dBasalBolus),
+                         [](const auto& info) {
+                           return info.param == Testbed::kGlucosymOpenAps
+                                      ? "Glucosym"
+                                      : "T1DS2013";
+                         });
+
+Trace run_one(Testbed tb, bool fault, std::uint64_t seed, int steps = 150) {
+  auto patient = make_patient(tb);
+  auto controller = make_controller(tb);
+  const auto profiles = testbed_profiles(tb, 3, 11);
+  SimConfig cfg;
+  cfg.steps = steps;
+  cfg.inject_fault = fault;
+  util::Rng rng(seed);
+  return run_closed_loop(*patient, *controller, profiles[0], cfg, rng);
+}
+
+TEST_P(ClosedLoopParamTest, TraceHasRequestedLength) {
+  const Trace t = run_one(GetParam(), false, 1);
+  EXPECT_EQ(t.length(), 150);
+  for (int i = 0; i < t.length(); ++i) {
+    EXPECT_EQ(t.steps[static_cast<std::size_t>(i)].step, i);
+  }
+}
+
+TEST_P(ClosedLoopParamTest, NominalRunsMostlyInRange) {
+  double tir_sum = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    tir_sum += time_in_range(run_one(GetParam(), false, seed));
+  }
+  EXPECT_GT(tir_sum / 5.0, 0.6)
+      << "nominal closed loop should keep BG in range most of the time";
+}
+
+TEST_P(ClosedLoopParamTest, FaultCampaignsProduceHazards) {
+  int hazardous = 0;
+  const int runs = 10;
+  for (std::uint64_t seed = 1; seed <= runs; ++seed) {
+    const Trace t = run_one(GetParam(), true, seed);
+    EXPECT_TRUE(t.fault_injected);
+    EXPECT_NE(t.fault_name, "none");
+    if (hazard_within(t, 0, t.length() - 1)) ++hazardous;
+  }
+  EXPECT_GE(hazardous, runs / 3)
+      << "a healthy share of fault campaigns must reach a hazard";
+}
+
+TEST_P(ClosedLoopParamTest, DeterministicForSameSeed) {
+  const Trace a = run_one(GetParam(), true, 77);
+  const Trace b = run_one(GetParam(), true, 77);
+  ASSERT_EQ(a.length(), b.length());
+  for (int i = 0; i < a.length(); ++i) {
+    const auto& ra = a.steps[static_cast<std::size_t>(i)];
+    const auto& rb = b.steps[static_cast<std::size_t>(i)];
+    EXPECT_DOUBLE_EQ(ra.true_bg, rb.true_bg);
+    EXPECT_DOUBLE_EQ(ra.sensor_bg, rb.sensor_bg);
+    EXPECT_DOUBLE_EQ(ra.commanded_rate, rb.commanded_rate);
+    EXPECT_EQ(ra.action, rb.action);
+  }
+}
+
+TEST_P(ClosedLoopParamTest, SensorSeesNoiseButTracksTruth) {
+  const Trace t = run_one(GetParam(), false, 3);
+  double max_gap = 0.0;
+  for (const auto& r : t.steps) {
+    max_gap = std::max(max_gap, std::abs(r.sensor_bg - r.true_bg));
+  }
+  EXPECT_GT(max_gap, 0.0) << "CGM noise must be present";
+  EXPECT_LT(max_gap, 20.0) << "nominal CGM should track true BG";
+}
+
+TEST_P(ClosedLoopParamTest, DerivativesAreBoundedAndLagged) {
+  const Trace t = run_one(GetParam(), false, 4);
+  EXPECT_DOUBLE_EQ(t.steps[0].d_bg, 0.0);  // no history yet
+  for (const auto& r : t.steps) {
+    EXPECT_LT(std::abs(r.d_bg), 20.0);
+    EXPECT_LT(std::abs(r.d_iob), 5.0);
+  }
+}
+
+TEST_P(ClosedLoopParamTest, ActuatedEqualsCommandedWithoutFaults) {
+  const Trace t = run_one(GetParam(), false, 5);
+  for (const auto& r : t.steps) {
+    EXPECT_DOUBLE_EQ(r.actuated_rate, r.commanded_rate);
+    EXPECT_FALSE(r.fault_active);
+  }
+}
+
+TEST_P(ClosedLoopParamTest, MealsAppearInTrace) {
+  const Trace t = run_one(GetParam(), false, 6);
+  double total_carbs = 0.0;
+  for (const auto& r : t.steps) total_carbs += r.carbs_g;
+  EXPECT_GT(total_carbs, 20.0) << "a 12.5 h run should include meals";
+}
+
+TEST(TraceHelpers, HazardWithinClampsRange) {
+  Trace t;
+  for (int i = 0; i < 10; ++i) {
+    StepRecord r;
+    r.step = i;
+    r.true_bg = (i == 9) ? 250.0 : 120.0;
+    t.steps.push_back(r);
+  }
+  EXPECT_TRUE(hazard_within(t, 5, 100));   // clamped end
+  EXPECT_TRUE(hazard_within(t, -5, 9));    // clamped start
+  EXPECT_FALSE(hazard_within(t, 0, 8));
+}
+
+TEST(TraceHelpers, TimeInRangeCountsBounds) {
+  Trace t;
+  for (double bg : {69.9, 70.0, 120.0, 180.0, 180.1}) {
+    StepRecord r;
+    r.true_bg = bg;
+    t.steps.push_back(r);
+  }
+  EXPECT_DOUBLE_EQ(time_in_range(t), 3.0 / 5.0);
+}
+
+TEST(TraceHelpers, CsvSerializationHasHeaderAndRows) {
+  Trace t;
+  StepRecord r;
+  r.step = 0;
+  r.sensor_bg = 100.0;
+  t.steps.push_back(r);
+  const std::string csv = trace_to_csv(t);
+  EXPECT_NE(csv.find("step,sensor_bg"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST(TestbedFactories, ProduceMatchingComponents) {
+  EXPECT_EQ(make_patient(Testbed::kGlucosymOpenAps)->name(), "Glucosym");
+  EXPECT_EQ(make_patient(Testbed::kT1dBasalBolus)->name(), "T1DS2013");
+  EXPECT_EQ(make_controller(Testbed::kGlucosymOpenAps)->name(), "OpenAPS");
+  EXPECT_EQ(make_controller(Testbed::kT1dBasalBolus)->name(), "Basal-Bolus");
+  EXPECT_EQ(to_string(Testbed::kGlucosymOpenAps), "Glucosym(OpenAPS)");
+}
+
+}  // namespace
+}  // namespace cpsguard::sim

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/basal_bolus_controller.h"
+#include "sim/openaps_controller.h"
+#include "util/contracts.h"
+
+namespace cpsguard::sim {
+namespace {
+
+PatientProfile profile() {
+  PatientProfile p;
+  p.isf_mg_dl_per_u = 50.0;
+  p.carb_ratio_g_per_u = 10.0;
+  return p;
+}
+
+ControllerInput input(double bg, double d_bg = 0.0, double iob = 1.5,
+                      double carbs = 0.0) {
+  ControllerInput in;
+  in.sensor_bg = bg;
+  in.d_bg = d_bg;
+  in.iob = iob;
+  in.announced_carbs = carbs;
+  return in;
+}
+
+TEST(ClassifyAction, StopWinsOverDecrease) {
+  EXPECT_EQ(classify_action(0.0, 1.0), ControlAction::kStopInsulin);
+  EXPECT_EQ(classify_action(0.04, 1.0), ControlAction::kStopInsulin);
+}
+
+TEST(ClassifyAction, DecreaseIncreaseKeep) {
+  EXPECT_EQ(classify_action(0.5, 1.0), ControlAction::kDecreaseInsulin);
+  EXPECT_EQ(classify_action(1.5, 1.0), ControlAction::kIncreaseInsulin);
+  EXPECT_EQ(classify_action(1.0, 1.0), ControlAction::kKeepInsulin);
+  EXPECT_EQ(classify_action(1.01, 1.0), ControlAction::kKeepInsulin);  // dead-band
+}
+
+TEST(OpenAps, SuspendsOnHypoglycemia) {
+  OpenApsController c;
+  c.reset(profile(), 1.0);
+  const auto cmd = c.decide(input(60.0));
+  EXPECT_DOUBLE_EQ(cmd.rate_u_per_h, 0.0);
+  EXPECT_EQ(cmd.action, ControlAction::kStopInsulin);
+}
+
+TEST(OpenAps, SuspendsOnPredictedLow) {
+  OpenApsController c;
+  c.reset(profile(), 1.0);
+  // BG fine now but falling fast → eventual BG below suspend threshold.
+  const auto cmd = c.decide(input(100.0, -2.0));
+  EXPECT_DOUBLE_EQ(cmd.rate_u_per_h, 0.0);
+}
+
+TEST(OpenAps, IncreasesOnHyperglycemia) {
+  OpenApsController c;
+  c.reset(profile(), 1.0);
+  const auto cmd = c.decide(input(220.0, 0.5));
+  EXPECT_GT(cmd.rate_u_per_h, 1.0);
+  EXPECT_EQ(cmd.action, ControlAction::kIncreaseInsulin);
+}
+
+TEST(OpenAps, TempBasalIsCapped) {
+  OpenApsController c;
+  c.reset(profile(), 1.0);
+  const auto cmd = c.decide(input(500.0, 5.0));
+  EXPECT_LE(cmd.rate_u_per_h, 4.0 + 1e-9);  // kMaxTempFactor * basal
+}
+
+TEST(OpenAps, ReducesBelowTarget) {
+  OpenApsController c;
+  c.reset(profile(), 1.0);
+  const auto cmd = c.decide(input(95.0, -0.3));
+  EXPECT_LT(cmd.rate_u_per_h, 1.0);
+  EXPECT_GT(cmd.rate_u_per_h, 0.0);
+}
+
+TEST(OpenAps, NearTargetKeepsBasal) {
+  OpenApsController c;
+  c.reset(profile(), 1.0);
+  // First decision from prev_rate == basal with eventual ≈ target.
+  const auto cmd = c.decide(input(kTargetBg, 0.0));
+  EXPECT_NEAR(cmd.rate_u_per_h, 1.0, 1e-9);
+  EXPECT_EQ(cmd.action, ControlAction::kKeepInsulin);
+}
+
+TEST(OpenAps, MealAnnouncementAddsBolus) {
+  OpenApsController c;
+  c.reset(profile(), 1.0);
+  const auto no_meal = c.decide(input(kTargetBg));
+  c.reset(profile(), 1.0);
+  const auto with_meal = c.decide(input(kTargetBg, 0.0, 1.5, 50.0));
+  EXPECT_GT(with_meal.rate_u_per_h, no_meal.rate_u_per_h + 10.0);
+}
+
+TEST(OpenAps, HighIobSuppressesCorrection) {
+  OpenApsController c;
+  c.reset(profile(), 1.0);
+  const auto low_iob = c.decide(input(200.0, 0.0, 1.5));
+  c.reset(profile(), 1.0);
+  const auto high_iob = c.decide(input(200.0, 0.0, 6.0));
+  EXPECT_LT(high_iob.rate_u_per_h, low_iob.rate_u_per_h);
+}
+
+TEST(OpenAps, EventualBgFormula) {
+  OpenApsController c;
+  c.reset(profile(), 1.0);
+  // iob at basal equilibrium (≈ basal*tau/60 with 60-min half-life ≈ 1.443)
+  // contributes nothing; momentum adds 20 min of trend.
+  const double basal_iob = 1.0 / 60.0 / (std::log(2.0) / 60.0);
+  const double ev = c.eventual_bg(input(100.0, 1.0, basal_iob));
+  EXPECT_NEAR(ev, 100.0 + 20.0, 1e-6);
+}
+
+TEST(OpenAps, RejectsNonPositiveBasal) {
+  OpenApsController c;
+  EXPECT_THROW(c.reset(profile(), 0.0), cpsguard::ContractViolation);
+}
+
+TEST(BasalBolus, KeepsScheduledBasal) {
+  BasalBolusController c;
+  c.reset(profile(), 1.2);
+  const auto cmd = c.decide(input(140.0));
+  EXPECT_DOUBLE_EQ(cmd.rate_u_per_h, 1.2);
+  EXPECT_EQ(cmd.action, ControlAction::kKeepInsulin);
+}
+
+TEST(BasalBolus, SuspendsOnHypo) {
+  BasalBolusController c;
+  c.reset(profile(), 1.2);
+  const auto cmd = c.decide(input(65.0));
+  EXPECT_DOUBLE_EQ(cmd.rate_u_per_h, 0.0);
+  EXPECT_EQ(cmd.action, ControlAction::kStopInsulin);
+}
+
+TEST(BasalBolus, MealBolusScalesWithCarbs) {
+  BasalBolusController c;
+  c.reset(profile(), 1.0);
+  const auto small = c.decide(input(120.0, 0.0, 1.5, 20.0));
+  c.reset(profile(), 1.0);
+  const auto large = c.decide(input(120.0, 0.0, 1.5, 80.0));
+  EXPECT_GT(large.rate_u_per_h, small.rate_u_per_h);
+  EXPECT_EQ(large.action, ControlAction::kIncreaseInsulin);
+}
+
+TEST(BasalBolus, CorrectionAddedWhenHighAtMeal) {
+  BasalBolusController c;
+  c.reset(profile(), 1.0);
+  const auto normal = c.decide(input(120.0, 0.0, 1.5, 40.0));
+  c.reset(profile(), 1.0);
+  const auto high = c.decide(input(220.0, 0.0, 1.5, 40.0));
+  EXPECT_GT(high.rate_u_per_h, normal.rate_u_per_h);
+}
+
+TEST(BasalBolus, StandaloneCorrectionOnSevereHyper) {
+  BasalBolusController c;
+  c.reset(profile(), 1.0);
+  const auto cmd = c.decide(input(320.0));
+  EXPECT_GT(cmd.rate_u_per_h, 1.0);
+  EXPECT_EQ(cmd.action, ControlAction::kIncreaseInsulin);
+}
+
+TEST(BasalBolus, ResumesAfterSuspend) {
+  BasalBolusController c;
+  c.reset(profile(), 1.0);
+  (void)c.decide(input(60.0));
+  const auto resumed = c.decide(input(120.0));
+  EXPECT_DOUBLE_EQ(resumed.rate_u_per_h, 1.0);
+  EXPECT_EQ(resumed.action, ControlAction::kIncreaseInsulin);  // from 0 up
+}
+
+}  // namespace
+}  // namespace cpsguard::sim

@@ -1,0 +1,91 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/contracts.h"
+
+namespace cpsguard::util {
+namespace {
+
+TEST(CsvWriter, HeaderOnly) {
+  CsvWriter w({"a", "b"});
+  EXPECT_EQ(w.to_string(), "a,b\n");
+  EXPECT_EQ(w.rows(), 0u);
+}
+
+TEST(CsvWriter, SimpleRows) {
+  CsvWriter w({"x", "y"});
+  w.add_row({"1", "2"});
+  w.add_row({"3", "4"});
+  EXPECT_EQ(w.to_string(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(CsvWriter, RejectsWrongWidth) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(CsvWriter, QuotesCommasAndQuotes) {
+  CsvWriter w({"v"});
+  w.add_row({"a,b"});
+  w.add_row({"say \"hi\""});
+  EXPECT_EQ(w.to_string(), "v\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, NumFormatsCompactly) {
+  EXPECT_EQ(CsvWriter::num(1.5), "1.5");
+  EXPECT_EQ(CsvWriter::num(0.123456789), "0.123457");
+}
+
+TEST(CsvRoundtrip, ParseInvertsWrite) {
+  CsvWriter w({"name", "value"});
+  w.add_row({"plain", "1"});
+  w.add_row({"with,comma", "2"});
+  w.add_row({"with \"quote\"", "3"});
+  const auto rows = parse_csv(w.to_string());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"name", "value"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"plain", "1"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"with,comma", "2"}));
+  EXPECT_EQ(rows[3], (std::vector<std::string>{"with \"quote\"", "3"}));
+}
+
+TEST(CsvParse, HandlesCrLf) {
+  const auto rows = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParse, TrailingLineWithoutNewline) {
+  const auto rows = parse_csv("a,b\n1,2");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParse, EmptyFields) {
+  const auto rows = parse_csv("a,,c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(CsvFile, WriteAndReadBack) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cpsguard_csv_test.csv").string();
+  CsvWriter w({"k", "v"});
+  w.add_row({"pi", "3.14"});
+  w.write(path);
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "pi");
+  std::remove(path.c_str());
+}
+
+TEST(CsvFile, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/definitely/missing.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cpsguard::util

@@ -1,0 +1,125 @@
+// CUSUM detector tests — including the paper's premise: perturbations of the
+// scale used in the robustness evaluation (Gaussian ≤ 1·std, FGSM-scale
+// nudges) stay under a conventionally tuned CUSUM's radar, while blatant
+// sensor faults are caught.
+#include "safety/cusum.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace cpsguard::safety {
+namespace {
+
+std::vector<double> gaussian_signal(int n, double mean, double sigma,
+                                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (double& v : out) v = rng.gaussian(mean, sigma);
+  return out;
+}
+
+TEST(Cusum, QuietOnInControlSignal) {
+  const auto clean = gaussian_signal(500, 10.0, 1.0, 1);
+  CusumDetector det(CusumDetector::calibrate(clean));
+  EXPECT_EQ(det.first_alarm(clean), -1);
+}
+
+TEST(Cusum, DetectsMeanShiftUp) {
+  const auto clean = gaussian_signal(300, 10.0, 1.0, 2);
+  CusumDetector det(CusumDetector::calibrate(clean));
+  auto shifted = gaussian_signal(300, 10.0, 1.0, 3);
+  for (std::size_t i = 100; i < shifted.size(); ++i) shifted[i] += 3.0;
+  const int alarm = det.first_alarm(shifted);
+  ASSERT_GE(alarm, 100);
+  EXPECT_LT(alarm, 120) << "a 3-sigma shift should alarm within ~20 samples";
+}
+
+TEST(Cusum, DetectsMeanShiftDown) {
+  const auto clean = gaussian_signal(300, 10.0, 1.0, 4);
+  CusumDetector det(CusumDetector::calibrate(clean));
+  auto shifted = gaussian_signal(300, 10.0, 1.0, 5);
+  for (std::size_t i = 50; i < shifted.size(); ++i) shifted[i] -= 4.0;
+  const int alarm = det.first_alarm(shifted);
+  ASSERT_GE(alarm, 50);
+  EXPECT_LT(alarm, 65);
+}
+
+TEST(Cusum, PaperPremiseSmallNoiseEvades) {
+  // Adding zero-mean Gaussian noise with sigma' = 0.5 * signal std (the
+  // middle of the paper's sweep) must NOT trip a CUSUM tuned on clean data.
+  const auto clean = gaussian_signal(400, 120.0, 5.0, 6);
+  CusumDetector det(CusumDetector::calibrate(clean));
+  util::Rng noise_rng(7);
+  std::vector<double> noisy = clean;
+  for (double& v : noisy) v += noise_rng.gaussian(0.0, 0.5 * 5.0);
+  // Zero-mean noise only inflates variance; any eventual alarm comes long
+  // after the ~20-sample latency of a real shift (see DetectsMeanShiftUp).
+  const int alarm = det.first_alarm(noisy);
+  EXPECT_TRUE(alarm == -1 || alarm > 150) << "alarmed at " << alarm;
+}
+
+TEST(Cusum, PaperPremiseFgsmScaleNudgeEvades) {
+  // A constant ±ε·std nudge with ε = 0.2 (the paper's strongest FGSM) is an
+  // order of magnitude below the mean-shift CUSUM reacts to.
+  const auto clean = gaussian_signal(400, 120.0, 5.0, 8);
+  CusumDetector det(CusumDetector::calibrate(clean));
+  std::vector<double> nudged = clean;
+  for (std::size_t i = 0; i < nudged.size(); ++i) {
+    nudged[i] += (i % 2 == 0 ? 1.0 : -1.0) * 0.2 * 5.0;
+  }
+  EXPECT_EQ(det.first_alarm(nudged), -1);
+}
+
+TEST(Cusum, StepApiAccumulates) {
+  CusumConfig cfg;
+  cfg.target_mean = 0.0;
+  cfg.slack = 0.5;
+  cfg.threshold = 2.0;
+  CusumDetector det(cfg);
+  EXPECT_FALSE(det.step(1.0));  // s_pos = 0.5
+  EXPECT_FALSE(det.step(1.0));  // s_pos = 1.0
+  EXPECT_FALSE(det.step(1.0));  // s_pos = 1.5
+  EXPECT_FALSE(det.step(1.0));  // s_pos = 2.0 (not > threshold)
+  EXPECT_TRUE(det.step(1.0));   // s_pos = 2.5
+  det.reset();
+  EXPECT_DOUBLE_EQ(det.positive_sum(), 0.0);
+  EXPECT_FALSE(det.step(1.0));
+}
+
+TEST(Cusum, NegativeSideTracksIndependently) {
+  CusumConfig cfg;
+  cfg.target_mean = 0.0;
+  cfg.slack = 0.0;
+  cfg.threshold = 1.5;
+  CusumDetector det(cfg);
+  EXPECT_FALSE(det.step(-1.0));
+  EXPECT_TRUE(det.step(-1.0));
+  EXPECT_DOUBLE_EQ(det.positive_sum(), 0.0);
+}
+
+TEST(Cusum, CalibrateUsesSignalStatistics) {
+  const auto clean = gaussian_signal(2000, 50.0, 2.0, 9);
+  const CusumConfig cfg = CusumDetector::calibrate(clean);
+  EXPECT_NEAR(cfg.target_mean, 50.0, 0.2);
+  EXPECT_NEAR(cfg.slack, 1.0, 0.1);       // σ/2
+  EXPECT_NEAR(cfg.threshold, 16.0, 1.6);  // 8σ
+}
+
+TEST(Cusum, RejectsBadConfig) {
+  CusumConfig cfg;
+  cfg.slack = -1.0;
+  EXPECT_THROW(CusumDetector{cfg}, cpsguard::ContractViolation);
+  cfg.slack = 0.5;
+  cfg.threshold = 0.0;
+  EXPECT_THROW(CusumDetector{cfg}, cpsguard::ContractViolation);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(CusumDetector::calibrate(one), cpsguard::ContractViolation);
+}
+
+}  // namespace
+}  // namespace cpsguard::safety

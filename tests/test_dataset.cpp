@@ -1,0 +1,169 @@
+#include "monitor/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "monitor/features.h"
+#include "safety/rule_monitor.h"
+#include "sim/closed_loop.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace cpsguard::monitor {
+namespace {
+
+sim::Trace make_trace(std::uint64_t seed, bool fault) {
+  auto patient = sim::make_patient(sim::Testbed::kGlucosymOpenAps);
+  auto controller = sim::make_controller(sim::Testbed::kGlucosymOpenAps);
+  const auto profiles = sim::testbed_profiles(sim::Testbed::kGlucosymOpenAps, 2, 5);
+  sim::SimConfig cfg;
+  cfg.steps = 60;
+  cfg.inject_fault = fault;
+  util::Rng rng(seed);
+  return run_closed_loop(*patient, *controller, profiles[0], cfg, rng);
+}
+
+TEST(Features, SensorCommandPartitionIsComplete) {
+  for (int f = 0; f < Features::kNumFeatures; ++f) {
+    EXPECT_NE(Features::is_sensor_feature(f), Features::is_command_feature(f))
+        << "feature " << f << " must be exactly one of sensor/command";
+  }
+}
+
+TEST(Features, NamesAreUnique) {
+  std::set<std::string> names;
+  for (int f = 0; f < Features::kNumFeatures; ++f) names.insert(Features::name(f));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(Features::kNumFeatures));
+}
+
+TEST(Features, FillMatchesRecord) {
+  sim::StepRecord r;
+  r.sensor_bg = 150.0;
+  r.iob = 2.5;
+  r.d_bg = 0.4;
+  r.d_iob = -0.01;
+  r.commanded_rate = 1.8;
+  r.action = sim::ControlAction::kStopInsulin;
+  std::vector<float> row(Features::kNumFeatures);
+  fill_features(r, row);
+  EXPECT_FLOAT_EQ(row[Features::kBg], 150.0f);
+  EXPECT_FLOAT_EQ(row[Features::kIob], 2.5f);
+  EXPECT_FLOAT_EQ(row[Features::kDbg], 0.4f);
+  EXPECT_FLOAT_EQ(row[Features::kDiob], -0.01f);
+  EXPECT_FLOAT_EQ(row[Features::kRate], 1.8f);
+  EXPECT_FLOAT_EQ(row[Features::kActionBase + 2], 1.0f);  // u3
+  EXPECT_FLOAT_EQ(row[Features::kActionBase + 0], 0.0f);
+  EXPECT_FLOAT_EQ(row[Features::kActionBase + 3], 0.0f);
+}
+
+TEST(Dataset, WindowCountAndShape) {
+  const std::vector<sim::Trace> traces = {make_trace(1, false), make_trace(2, true)};
+  DatasetConfig cfg;
+  cfg.window = 6;
+  const Dataset ds = build_dataset(traces, cfg);
+  EXPECT_EQ(ds.size(), 2 * (60 - 6 + 1));
+  EXPECT_EQ(ds.x.time(), 6);
+  EXPECT_EQ(ds.x.features(), Features::kNumFeatures);
+  EXPECT_EQ(ds.labels.size(), static_cast<std::size_t>(ds.size()));
+  EXPECT_EQ(ds.semantic.size(), static_cast<std::size_t>(ds.size()));
+  EXPECT_EQ(ds.num_traces(), 2);
+}
+
+TEST(Dataset, WindowsAlignWithTraceSteps) {
+  const std::vector<sim::Trace> traces = {make_trace(3, true)};
+  DatasetConfig cfg;
+  cfg.window = 4;
+  const Dataset ds = build_dataset(traces, cfg);
+  for (int i = 0; i < ds.size(); ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    const int end = ds.step_index[si];
+    EXPECT_GE(end, cfg.window - 1);
+    // Last row of the window must equal the features of step `end`.
+    std::vector<float> row(Features::kNumFeatures);
+    fill_features(traces[0].steps[static_cast<std::size_t>(end)], row);
+    const auto last = ds.x.row(i, cfg.window - 1);
+    for (int f = 0; f < Features::kNumFeatures; ++f) {
+      EXPECT_FLOAT_EQ(last[static_cast<std::size_t>(f)], row[static_cast<std::size_t>(f)]);
+    }
+  }
+}
+
+TEST(Dataset, LabelsMatchHazardLabeler) {
+  const std::vector<sim::Trace> traces = {make_trace(4, true)};
+  DatasetConfig cfg;
+  cfg.window = 6;
+  cfg.horizon = 12;
+  const Dataset ds = build_dataset(traces, cfg);
+  const auto labels = safety::label_trace(traces[0], cfg.horizon);
+  for (int i = 0; i < ds.size(); ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    EXPECT_EQ(ds.labels[si], labels[static_cast<std::size_t>(ds.step_index[si])]);
+  }
+}
+
+TEST(Dataset, SemanticTargetsAreBinaryAndRuleConsistent) {
+  const std::vector<sim::Trace> traces = {make_trace(5, true)};
+  const Dataset ds = build_dataset(traces, DatasetConfig{});
+  for (int i = 0; i < ds.size(); ++i) {
+    const float s = ds.semantic[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(s == 0.0f || s == 1.0f);
+    const auto ctx = window_context(ds.x, i);
+    EXPECT_EQ(static_cast<int>(s), safety::semantic_indicator(ctx));
+  }
+}
+
+TEST(Dataset, WindowContextAveragesSensors) {
+  nn::Tensor3 x(1, 2, Features::kNumFeatures);
+  x.at(0, 0, Features::kBg) = 100.0f;
+  x.at(0, 1, Features::kBg) = 140.0f;
+  x.at(0, 0, Features::kDbg) = 1.0f;
+  x.at(0, 1, Features::kDbg) = 0.0f;
+  x.at(0, 1, Features::kActionBase + 1) = 1.0f;  // last action u2
+  const auto ctx = window_context(x, 0);
+  EXPECT_DOUBLE_EQ(ctx.bg, 120.0);
+  EXPECT_DOUBLE_EQ(ctx.d_bg, 0.5);
+  EXPECT_EQ(ctx.action, sim::ControlAction::kIncreaseInsulin);
+}
+
+TEST(Dataset, SubsetSelectsAlignedRows) {
+  const std::vector<sim::Trace> traces = {make_trace(6, true), make_trace(7, false)};
+  const Dataset ds = build_dataset(traces, DatasetConfig{});
+  const std::vector<int> idx = {0, 10, ds.size() - 1};
+  const Dataset sub = ds.subset(idx);
+  EXPECT_EQ(sub.size(), 3);
+  for (int k = 0; k < 3; ++k) {
+    const auto sk = static_cast<std::size_t>(k);
+    const auto src = static_cast<std::size_t>(idx[sk]);
+    EXPECT_EQ(sub.labels[sk], ds.labels[src]);
+    EXPECT_EQ(sub.trace_id[sk], ds.trace_id[src]);
+    EXPECT_EQ(sub.step_index[sk], ds.step_index[src]);
+    for (int t = 0; t < ds.x.time(); ++t) {
+      for (int f = 0; f < ds.x.features(); ++f) {
+        EXPECT_FLOAT_EQ(sub.x.at(k, t, f), ds.x.at(idx[sk], t, f));
+      }
+    }
+  }
+}
+
+TEST(Dataset, PositiveFractionComputed) {
+  Dataset ds;
+  ds.labels = {1, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(ds.positive_fraction(), 0.5);
+}
+
+TEST(Dataset, ShortTraceYieldsNoWindows) {
+  sim::Trace tiny;
+  for (int i = 0; i < 3; ++i) {
+    sim::StepRecord r;
+    r.step = i;
+    r.true_bg = 120;
+    tiny.steps.push_back(r);
+  }
+  DatasetConfig cfg;
+  cfg.window = 6;
+  const std::vector<sim::Trace> traces = {tiny};
+  const Dataset ds = build_dataset(traces, cfg);
+  EXPECT_EQ(ds.size(), 0);
+}
+
+}  // namespace
+}  // namespace cpsguard::monitor

@@ -1,0 +1,191 @@
+// End-to-end harness tests at miniature scale: campaign generation,
+// splitting, monitor training/caching, and all three perturbation
+// evaluations produce sane results.
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/contracts.h"
+
+namespace cpsguard::core {
+namespace {
+
+ExperimentConfig tiny_config(sim::Testbed tb = sim::Testbed::kGlucosymOpenAps) {
+  ExperimentConfig cfg;
+  cfg.campaign.testbed = tb;
+  cfg.campaign.patients = 3;
+  cfg.campaign.sims_per_patient = 3;
+  cfg.campaign.trace_steps = 60;
+  cfg.campaign.seed = 7;
+  cfg.epochs = 2;
+  cfg.cache_dir = "";  // no caching unless a test opts in
+  return cfg;
+}
+
+TEST(Campaign, GeneratesRequestedTraceCount) {
+  const auto traces = generate_campaign(tiny_config().campaign);
+  EXPECT_EQ(traces.size(), 9u);
+  for (const auto& t : traces) EXPECT_EQ(t.length(), 60);
+}
+
+TEST(Campaign, DeterministicAcrossRuns) {
+  const auto a = generate_campaign(tiny_config().campaign);
+  const auto b = generate_campaign(tiny_config().campaign);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].length(), b[i].length());
+    for (int s = 0; s < a[i].length(); ++s) {
+      EXPECT_DOUBLE_EQ(a[i].steps[static_cast<std::size_t>(s)].true_bg,
+                       b[i].steps[static_cast<std::size_t>(s)].true_bg);
+    }
+  }
+}
+
+TEST(Campaign, FaultFractionRoughlyRespected) {
+  CampaignConfig cfg = tiny_config().campaign;
+  cfg.patients = 5;
+  cfg.sims_per_patient = 20;
+  cfg.fault_fraction = 0.5;
+  const auto traces = generate_campaign(cfg);
+  int faulty = 0;
+  for (const auto& t : traces) faulty += t.fault_injected ? 1 : 0;
+  EXPECT_GT(faulty, 30);
+  EXPECT_LT(faulty, 70);
+}
+
+TEST(Split, ByTraceNoLeakage) {
+  const auto traces = generate_campaign(tiny_config().campaign);
+  const auto split = build_datasets(traces, monitor::DatasetConfig{}, 0.7, 3);
+  EXPECT_EQ(split.train_traces.size() + split.test_traces.size(), traces.size());
+  EXPECT_FALSE(split.train_traces.empty());
+  EXPECT_FALSE(split.test_traces.empty());
+  EXPECT_EQ(split.train.num_traces(),
+            static_cast<int>(split.train_traces.size()));
+  EXPECT_EQ(split.test.num_traces(), static_cast<int>(split.test_traces.size()));
+}
+
+TEST(Split, RejectsBadFraction) {
+  const auto traces = generate_campaign(tiny_config().campaign);
+  EXPECT_THROW(build_datasets(traces, monitor::DatasetConfig{}, 0.0, 3),
+               ContractViolation);
+  EXPECT_THROW(build_datasets(traces, monitor::DatasetConfig{}, 1.0, 3),
+               ContractViolation);
+}
+
+TEST(Variants, FourInPaperOrder) {
+  const auto vs = all_variants();
+  ASSERT_EQ(vs.size(), 4u);
+  EXPECT_EQ(vs[0].name(), "MLP");
+  EXPECT_EQ(vs[1].name(), "LSTM");
+  EXPECT_EQ(vs[2].name(), "MLP-Custom");
+  EXPECT_EQ(vs[3].name(), "LSTM-Custom");
+}
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  ExperimentTest() : exp_(tiny_config()) {}
+  Experiment exp_;
+  const MonitorVariant mlp_{monitor::Arch::kMlp, false};
+};
+
+TEST_F(ExperimentTest, PrepareBuildsDatasets) {
+  exp_.prepare();
+  EXPECT_GT(exp_.train_data().size(), 0);
+  EXPECT_GT(exp_.test_data().size(), 0);
+  const double pos = exp_.train_data().positive_fraction();
+  EXPECT_GT(pos, 0.02);
+  EXPECT_LT(pos, 0.9);
+}
+
+TEST_F(ExperimentTest, CleanEvaluationIsSane) {
+  const auto r = exp_.evaluate_clean(mlp_);
+  EXPECT_GE(r.f1(), 0.0);
+  EXPECT_LE(r.f1(), 1.0);
+  EXPECT_GT(r.accuracy(), 0.4);  // should beat coin flip even when tiny
+  EXPECT_DOUBLE_EQ(r.robustness_err, 0.0);
+}
+
+TEST_F(ExperimentTest, RuleMonitorEvaluates) {
+  const auto r = exp_.evaluate_rule_monitor();
+  EXPECT_GT(r.confusion.total(), 0);
+  EXPECT_GE(r.f1(), 0.0);
+}
+
+TEST_F(ExperimentTest, GaussianEvaluationPerturbsPredictions) {
+  const auto r = exp_.evaluate_under_gaussian(mlp_, 1.0);
+  EXPECT_GE(r.robustness_err, 0.0);
+  EXPECT_LE(r.robustness_err, 1.0);
+}
+
+TEST_F(ExperimentTest, FgsmDegradesOrMatchesCleanF1) {
+  const auto clean = exp_.evaluate_clean(mlp_);
+  // At this miniature scale the monitor can be flat enough that moderate
+  // budgets flip nothing; a large budget must move *something*.
+  const auto attacked = exp_.evaluate_under_fgsm(mlp_, 0.2);
+  EXPECT_LE(attacked.f1(), clean.f1() + 0.1);
+  const auto heavy = exp_.evaluate_under_fgsm(mlp_, 1.0);
+  EXPECT_GT(heavy.robustness_err, 0.0)
+      << "a 1.0 FGSM attack should flip at least one prediction";
+}
+
+TEST_F(ExperimentTest, BlackboxRunsAndIsWeakerOrEqualToWhitebox) {
+  const auto white = exp_.evaluate_under_fgsm(mlp_, 0.1);
+  const auto black = exp_.evaluate_under_blackbox(mlp_, 0.1);
+  EXPECT_GE(black.robustness_err, 0.0);
+  // Transfer attacks are at most about as strong as white-box on average;
+  // allow slack at tiny scale.
+  EXPECT_LE(black.robustness_err, white.robustness_err + 0.25);
+}
+
+TEST_F(ExperimentTest, CleanPredictionsAreMemoized) {
+  const auto& a = exp_.clean_predictions(mlp_);
+  const auto& b = exp_.clean_predictions(mlp_);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ExperimentCache, SaveAndReloadProducesSamePredictions) {
+  const std::string cache =
+      (std::filesystem::temp_directory_path() / "cpsguard_test_cache").string();
+  std::filesystem::remove_all(cache);
+
+  ExperimentConfig cfg = tiny_config();
+  cfg.cache_dir = cache;
+  const MonitorVariant v{monitor::Arch::kMlp, false};
+
+  std::vector<int> first;
+  {
+    Experiment e1(cfg);
+    first = e1.monitor(v).predict(e1.test_data().x);
+  }
+  {
+    Experiment e2(cfg);  // must hit the cache
+    const auto second = e2.monitor(v).predict(e2.test_data().x);
+    EXPECT_EQ(first, second);
+  }
+  EXPECT_FALSE(std::filesystem::is_empty(cache));
+  std::filesystem::remove_all(cache);
+}
+
+TEST(ExperimentT1d, SecondTestbedWorksEndToEnd) {
+  Experiment exp(tiny_config(sim::Testbed::kT1dBasalBolus));
+  const MonitorVariant lstm{monitor::Arch::kLstm, true};
+  const auto clean = exp.evaluate_clean(lstm);
+  EXPECT_GT(clean.confusion.total(), 0);
+  const auto noisy = exp.evaluate_under_gaussian(lstm, 0.5);
+  EXPECT_GE(noisy.robustness_err, 0.0);
+}
+
+TEST(ExperimentTrainAll, HydratesAllVariants) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.epochs = 1;
+  Experiment exp(cfg);
+  exp.train_all();
+  for (const auto& v : all_variants()) {
+    EXPECT_TRUE(exp.monitor(v).trained());
+  }
+}
+
+}  // namespace
+}  // namespace cpsguard::core

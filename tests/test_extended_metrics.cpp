@@ -1,0 +1,191 @@
+#include "eval/extended_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace cpsguard::eval {
+namespace {
+
+TEST(RocAuc, PerfectSeparation) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 1.0);
+}
+
+TEST(RocAuc, PerfectInversion) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.0);
+}
+
+TEST(RocAuc, RandomScoresNearHalf) {
+  util::Rng rng(1);
+  std::vector<double> scores(4000);
+  std::vector<int> labels(4000);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.uniform();
+    labels[i] = rng.bernoulli(0.4) ? 1 : 0;
+  }
+  EXPECT_NEAR(roc_auc(scores, labels), 0.5, 0.03);
+}
+
+TEST(RocAuc, TiesGetHalfCredit) {
+  // All scores equal → AUC exactly 0.5 by midrank convention.
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.5);
+}
+
+TEST(RocAuc, DegenerateSingleClass) {
+  const std::vector<double> scores = {0.1, 0.9};
+  const std::vector<int> all_pos = {1, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, all_pos), 0.5);
+}
+
+TEST(RocAuc, MatchesHandComputedExample) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pairs: (0.8>0.6) (0.8>0.2) (0.4<0.6) (0.4>0.2) → 3/4 correct.
+  const std::vector<double> scores = {0.8, 0.4, 0.6, 0.2};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.75);
+}
+
+TEST(RocAuc, SizeMismatchThrows) {
+  const std::vector<double> s = {0.5};
+  const std::vector<int> y = {1, 0};
+  EXPECT_THROW(roc_auc(s, y), cpsguard::ContractViolation);
+}
+
+// --- latency fixtures ---------------------------------------------------
+
+sim::Trace trace_with_bg(const std::vector<double>& bgs) {
+  sim::Trace t;
+  for (std::size_t i = 0; i < bgs.size(); ++i) {
+    sim::StepRecord r;
+    r.step = static_cast<int>(i);
+    r.true_bg = bgs[i];
+    t.steps.push_back(r);
+  }
+  return t;
+}
+
+// Dataset with one window per step (window = 1).
+monitor::Dataset dataset_for(const std::vector<sim::Trace>& traces) {
+  monitor::Dataset ds;
+  ds.config.window = 1;
+  ds.config.horizon = 2;
+  int count = 0;
+  for (const auto& t : traces) count += t.length();
+  ds.x = nn::Tensor3(count, 1, 1);
+  for (std::size_t tr = 0; tr < traces.size(); ++tr) {
+    ds.trace_labels.push_back(safety::label_trace(traces[tr], ds.config.horizon));
+    for (int s = 0; s < traces[tr].length(); ++s) {
+      ds.labels.push_back(ds.trace_labels.back()[static_cast<std::size_t>(s)]);
+      ds.semantic.push_back(0.0f);
+      ds.trace_id.push_back(static_cast<int>(tr));
+      ds.step_index.push_back(s);
+    }
+  }
+  return ds;
+}
+
+TEST(DetectionLatency, AlarmBeforeOnsetGivesLead) {
+  const std::vector<sim::Trace> traces = {
+      trace_with_bg({120, 120, 120, 120, 200, 210, 120})};
+  const auto ds = dataset_for(traces);
+  //                           0  1  2  3  4  5  6
+  const std::vector<int> preds = {0, 0, 1, 0, 0, 0, 0};
+  const auto outcomes = detection_latencies(ds, preds, traces, 6);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].detected());
+  EXPECT_EQ(outcomes[0].hazard_onset, 4);
+  EXPECT_EQ(outcomes[0].first_alarm, 2);
+  EXPECT_EQ(outcomes[0].lead_steps(), 2);
+}
+
+TEST(DetectionLatency, MissedEpisode) {
+  const std::vector<sim::Trace> traces = {trace_with_bg({120, 120, 60, 120})};
+  const auto ds = dataset_for(traces);
+  const std::vector<int> preds(static_cast<std::size_t>(ds.size()), 0);
+  const auto outcomes = detection_latencies(ds, preds, traces, 6);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].detected());
+  EXPECT_EQ(outcomes[0].lead_steps(), -1);
+}
+
+TEST(DetectionLatency, AlarmOutsideMaxLeadDoesNotCount) {
+  const std::vector<sim::Trace> traces = {
+      trace_with_bg({120, 120, 120, 120, 120, 200})};
+  const auto ds = dataset_for(traces);
+  const std::vector<int> preds = {1, 0, 0, 0, 0, 0};  // alarm 5 steps early
+  const auto far = detection_latencies(ds, preds, traces, 2);
+  EXPECT_FALSE(far[0].detected());
+  const auto near = detection_latencies(ds, preds, traces, 5);
+  EXPECT_TRUE(near[0].detected());
+}
+
+TEST(DetectionLatency, MultipleEpisodesCounted) {
+  const std::vector<sim::Trace> traces = {
+      trace_with_bg({200, 120, 120, 60, 60, 120, 200})};
+  const auto ds = dataset_for(traces);
+  const std::vector<int> preds = {1, 0, 1, 0, 0, 1, 0};
+  const auto outcomes = detection_latencies(ds, preds, traces, 3);
+  ASSERT_EQ(outcomes.size(), 3u);  // onsets at 0, 3, 6
+  EXPECT_TRUE(outcomes[0].detected());
+  EXPECT_TRUE(outcomes[1].detected());
+  EXPECT_TRUE(outcomes[2].detected());
+  // The earliest alarm inside the look-back window claims the episode:
+  // onset 3 with max_lead 3 sees the alarm at step 0.
+  EXPECT_EQ(outcomes[1].lead_steps(), 3);
+}
+
+TEST(DetectionLatency, SummaryStatistics) {
+  std::vector<EpisodeOutcome> outcomes(3);
+  outcomes[0].hazard_onset = 10;
+  outcomes[0].first_alarm = 8;  // lead 2 steps = 10 min
+  outcomes[1].hazard_onset = 20;
+  outcomes[1].first_alarm = 14;  // lead 6 steps = 30 min
+  outcomes[2].hazard_onset = 30;
+  outcomes[2].first_alarm = -1;  // missed
+  const auto s = summarize_latencies(outcomes);
+  EXPECT_EQ(s.episodes, 3);
+  EXPECT_EQ(s.detected, 2);
+  EXPECT_NEAR(s.detection_rate, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.mean_lead_minutes, 20.0);
+  EXPECT_DOUBLE_EQ(s.median_lead_minutes, 20.0);
+}
+
+TEST(DetectionLatency, EmptySummary) {
+  const auto s = summarize_latencies({});
+  EXPECT_EQ(s.episodes, 0);
+  EXPECT_DOUBLE_EQ(s.detection_rate, 0.0);
+}
+
+TEST(HazardBreakdownTest, SplitsByHazardType) {
+  const std::vector<sim::Trace> traces = {
+      trace_with_bg({120, 120, 60, 120, 120, 200, 120})};
+  const auto ds = dataset_for(traces);  // horizon 2
+  // Labels: steps 0..2 → H1 window (hazard at 2); steps 3..5 → H2 window.
+  std::vector<int> preds(static_cast<std::size_t>(ds.size()), 0);
+  preds[1] = 1;  // detect one H1-bound window
+  preds[3] = 1;  // detect one H2-bound window
+  preds[4] = 1;  // and another
+  const auto b = hazard_breakdown(ds, preds, traces);
+  EXPECT_EQ(b.h1_positives, 3);  // steps 0,1,2
+  EXPECT_EQ(b.h1_detected, 1);
+  EXPECT_EQ(b.h2_positives, 3);  // steps 3,4,5
+  EXPECT_EQ(b.h2_detected, 2);
+  EXPECT_NEAR(b.h1_recall(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(b.h2_recall(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(HazardBreakdownTest, EmptyIsZeroNotNan) {
+  HazardBreakdown b;
+  EXPECT_DOUBLE_EQ(b.h1_recall(), 0.0);
+  EXPECT_DOUBLE_EQ(b.h2_recall(), 0.0);
+}
+
+}  // namespace
+}  // namespace cpsguard::eval

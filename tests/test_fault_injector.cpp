@@ -1,0 +1,146 @@
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace cpsguard::sim {
+namespace {
+
+FaultSpec spec(FaultType type, double magnitude, int start = 5, int dur = 10) {
+  FaultSpec s;
+  s.type = type;
+  s.start_step = start;
+  s.duration_steps = dur;
+  s.magnitude = magnitude;
+  return s;
+}
+
+TEST(FaultSpec, ActiveWindowIsHalfOpen) {
+  const FaultSpec s = spec(FaultType::kSensorBiasHigh, 50.0, 5, 10);
+  EXPECT_FALSE(s.active(4));
+  EXPECT_TRUE(s.active(5));
+  EXPECT_TRUE(s.active(14));
+  EXPECT_FALSE(s.active(15));
+}
+
+TEST(FaultSpec, NoneIsNeverActive) {
+  FaultSpec s;
+  EXPECT_FALSE(s.active(0));
+}
+
+TEST(FaultInjector, DefaultIsTransparent) {
+  FaultInjector fi;
+  EXPECT_DOUBLE_EQ(fi.sense(123.0, 3), 123.0);
+  EXPECT_DOUBLE_EQ(fi.actuate(1.5, 3), 1.5);
+  EXPECT_FALSE(fi.active(3));
+}
+
+TEST(FaultInjector, SensorBiasHigh) {
+  FaultInjector fi(spec(FaultType::kSensorBiasHigh, 60.0));
+  EXPECT_DOUBLE_EQ(fi.sense(100.0, 7), 160.0);
+  EXPECT_DOUBLE_EQ(fi.sense(100.0, 0), 100.0);  // before onset
+  EXPECT_DOUBLE_EQ(fi.actuate(1.0, 7), 1.0);    // sensing fault only
+}
+
+TEST(FaultInjector, SensorBiasLowClampsAtFloor) {
+  FaultInjector fi(spec(FaultType::kSensorBiasLow, 80.0));
+  EXPECT_DOUBLE_EQ(fi.sense(150.0, 7), 70.0);
+  EXPECT_DOUBLE_EQ(fi.sense(50.0, 7), 10.0);  // floor
+}
+
+TEST(FaultInjector, SensorStuckLatchesOnsetValue) {
+  FaultInjector fi(spec(FaultType::kSensorStuck, 0.0));
+  EXPECT_DOUBLE_EQ(fi.sense(111.0, 5), 111.0);  // latches here
+  EXPECT_DOUBLE_EQ(fi.sense(180.0, 6), 111.0);
+  EXPECT_DOUBLE_EQ(fi.sense(60.0, 14), 111.0);
+  EXPECT_DOUBLE_EQ(fi.sense(60.0, 15), 60.0);  // window over
+}
+
+TEST(FaultInjector, SensorDriftGrowsLinearly) {
+  FaultInjector fi(spec(FaultType::kSensorDrift, 5.0));
+  EXPECT_DOUBLE_EQ(fi.sense(100.0, 5), 105.0);
+  EXPECT_DOUBLE_EQ(fi.sense(100.0, 6), 110.0);
+  EXPECT_DOUBLE_EQ(fi.sense(100.0, 9), 125.0);
+}
+
+TEST(FaultInjector, PumpOverdoseScalesRate) {
+  FaultInjector fi(spec(FaultType::kPumpOverdose, 3.0));
+  EXPECT_DOUBLE_EQ(fi.actuate(1.2, 8), 3.6);
+  EXPECT_DOUBLE_EQ(fi.sense(100.0, 8), 100.0);  // actuation fault only
+}
+
+TEST(FaultInjector, PumpUnderdoseClampsFraction) {
+  FaultInjector fi(spec(FaultType::kPumpUnderdose, 0.25));
+  EXPECT_DOUBLE_EQ(fi.actuate(2.0, 8), 0.5);
+}
+
+TEST(FaultInjector, PumpStuckMaxIgnoresCommand) {
+  FaultInjector fi(spec(FaultType::kPumpStuckMax, 6.0));
+  EXPECT_DOUBLE_EQ(fi.actuate(0.0, 8), 6.0);
+  EXPECT_DOUBLE_EQ(fi.actuate(1.0, 8), 6.0);
+}
+
+TEST(FaultInjector, PumpStuckZeroDeliversNothing) {
+  FaultInjector fi(spec(FaultType::kPumpStuckZero, 0.0));
+  EXPECT_DOUBLE_EQ(fi.actuate(3.0, 8), 0.0);
+}
+
+TEST(FaultInjector, RandomSpecWithinBounds) {
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const FaultSpec s = FaultInjector::random_spec(150, rng);
+    EXPECT_NE(s.type, FaultType::kNone);
+    EXPECT_GE(s.start_step, 2);
+    EXPECT_LE(s.start_step, 75);
+    EXPECT_GE(s.duration_steps, 18);
+    EXPECT_LE(s.duration_steps, 96);
+  }
+}
+
+TEST(FaultInjector, RandomSpecCoversAllTypes) {
+  util::Rng rng(4);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(static_cast<int>(FaultInjector::random_spec(150, rng).type));
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNumFaultTypes - 1));
+}
+
+
+TEST(FaultInjector, SensorDropoutHoldsLastReading) {
+  FaultSpec s = spec(FaultType::kSensorDropout, 1.0);  // always hold
+  FaultInjector fi(s);
+  EXPECT_DOUBLE_EQ(fi.sense(100.0, 5), 100.0);  // first sample latches
+  EXPECT_DOUBLE_EQ(fi.sense(150.0, 6), 100.0);  // held
+  EXPECT_DOUBLE_EQ(fi.sense(180.0, 10), 100.0);
+  EXPECT_DOUBLE_EQ(fi.sense(180.0, 15), 180.0);  // window over
+}
+
+TEST(FaultInjector, SensorDropoutZeroProbIsTransparent) {
+  FaultInjector fi(spec(FaultType::kSensorDropout, 0.0));
+  EXPECT_DOUBLE_EQ(fi.sense(100.0, 5), 100.0);
+  EXPECT_DOUBLE_EQ(fi.sense(150.0, 6), 150.0);
+}
+
+TEST(FaultInjector, SensorDropoutHoldsRoughlyAtProbability) {
+  FaultInjector fi(spec(FaultType::kSensorDropout, 0.7, 0, 2000));
+  int held = 0;
+  double prev = fi.sense(0.0, 0);
+  for (int t = 1; t < 2000; ++t) {
+    const double v = fi.sense(static_cast<double>(t), t);
+    if (v == prev) ++held;
+    prev = v;
+  }
+  EXPECT_NEAR(held / 1999.0, 0.7, 0.05);
+}
+
+TEST(FaultInjector, ToStringCoversAllTypes) {
+  for (int i = 0; i < kNumFaultTypes; ++i) {
+    EXPECT_NE(to_string(static_cast<FaultType>(i)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace cpsguard::sim

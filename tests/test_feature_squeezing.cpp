@@ -1,0 +1,161 @@
+#include "attack/feature_squeezing.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/fgsm.h"
+#include "monitor/features.h"
+#include "nn/classifier.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace cpsguard::attack {
+namespace {
+
+using monitor::Features;
+
+nn::Tensor3 random_windows(int n, int t, util::Rng& rng) {
+  nn::Tensor3 x(n, t, Features::kNumFeatures);
+  for (float& v : x.data()) v = static_cast<float>(rng.uniform(-1.5, 1.5));
+  return x;
+}
+
+TEST(SqueezeQuantize, SnapsToGrid) {
+  SqueezeConfig cfg;
+  cfg.quantization_levels = 5;   // grid step = 2*4/(5-1) = 2.0
+  cfg.quantization_range = 4.0;  // grid: -4,-2,0,2,4
+  nn::Tensor3 x(1, 1, Features::kNumFeatures);
+  x.at(0, 0, 0) = 0.9f;
+  x.at(0, 0, 1) = -1.1f;
+  x.at(0, 0, 2) = 3.7f;
+  const nn::Tensor3 q = squeeze_quantize(x, cfg);
+  EXPECT_FLOAT_EQ(q.at(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(q.at(0, 0, 1), -2.0f);
+  EXPECT_FLOAT_EQ(q.at(0, 0, 2), 4.0f);
+}
+
+TEST(SqueezeQuantize, ClampsOutOfRange) {
+  SqueezeConfig cfg;
+  cfg.quantization_levels = 3;
+  cfg.quantization_range = 1.0;
+  nn::Tensor3 x(1, 1, Features::kNumFeatures);
+  x.at(0, 0, 0) = 100.0f;
+  x.at(0, 0, 1) = -100.0f;
+  const nn::Tensor3 q = squeeze_quantize(x, cfg);
+  EXPECT_FLOAT_EQ(q.at(0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(q.at(0, 0, 1), -1.0f);
+}
+
+TEST(SqueezeQuantize, IdempotentOnGridValues) {
+  SqueezeConfig cfg;
+  util::Rng rng(1);
+  const nn::Tensor3 x = random_windows(10, 3, rng);
+  const nn::Tensor3 once = squeeze_quantize(x, cfg);
+  EXPECT_TRUE(squeeze_quantize(once, cfg) == once);
+}
+
+TEST(SqueezeMedian, SmoothsSpike) {
+  SqueezeConfig cfg;
+  cfg.median_window = 3;
+  nn::Tensor3 x(1, 5, Features::kNumFeatures);
+  for (int t = 0; t < 5; ++t) x.at(0, t, 0) = 1.0f;
+  x.at(0, 2, 0) = 50.0f;  // lone spike
+  const nn::Tensor3 m = squeeze_median(x, cfg);
+  EXPECT_FLOAT_EQ(m.at(0, 2, 0), 1.0f) << "median must remove the lone spike";
+}
+
+TEST(SqueezeMedian, WindowOneIsIdentity) {
+  SqueezeConfig cfg;
+  cfg.median_window = 1;
+  util::Rng rng(2);
+  const nn::Tensor3 x = random_windows(4, 4, rng);
+  EXPECT_TRUE(squeeze_median(x, cfg) == x);
+}
+
+TEST(SqueezeMedian, RejectsEvenWindow) {
+  SqueezeConfig cfg;
+  cfg.median_window = 2;
+  nn::Tensor3 x(1, 3, Features::kNumFeatures);
+  EXPECT_THROW(squeeze_median(x, cfg), cpsguard::ContractViolation);
+}
+
+class DetectorTest : public ::testing::Test {
+ protected:
+  // Temporally smooth windows (like real CGM data): per-window base level
+  // plus a gentle ramp and small noise. Median smoothing is near-lossless on
+  // such data, which is exactly the property feature squeezing exploits.
+  static nn::Tensor3 smooth_windows(int n, int t, util::Rng& rng) {
+    nn::Tensor3 x(n, t, Features::kNumFeatures);
+    for (int i = 0; i < n; ++i) {
+      for (int f = 0; f < Features::kNumFeatures; ++f) {
+        const double base = rng.uniform(-1.5, 1.5);
+        const double ramp = rng.uniform(-0.1, 0.1);
+        for (int tt = 0; tt < t; ++tt) {
+          x.at(i, tt, f) = static_cast<float>(base + ramp * tt +
+                                              rng.gaussian(0.0, 0.02));
+        }
+      }
+    }
+    return x;
+  }
+
+  void SetUp() override {
+    util::Rng rng(3);
+    clf_ = std::make_unique<nn::MlpClassifier>(
+        6, Features::kNumFeatures, std::vector<int>{16}, 2, rng);
+    util::Rng xr(4);
+    clean_ = smooth_windows(150, 6, xr);
+    // Give the model real structure so adversarial scores separate.
+    std::vector<int> y(150);
+    for (int i = 0; i < 150; ++i) {
+      y[static_cast<std::size_t>(i)] = clean_.at(i, 0, 0) > 0 ? 1 : 0;
+    }
+    nn::Adam adam(0.01);
+    const nn::SoftmaxCrossEntropy ce;
+    for (int e = 0; e < 25; ++e) clf_->train_batch(clean_, y, {}, ce, adam);
+  }
+
+  std::unique_ptr<nn::Classifier> clf_;
+  nn::Tensor3 clean_;
+};
+
+TEST_F(DetectorTest, CalibrationBoundsCleanFalsePositives) {
+  FeatureSqueezingDetector det;
+  EXPECT_FALSE(det.calibrated());
+  det.calibrate(*clf_, clean_, 0.95);
+  EXPECT_TRUE(det.calibrated());
+  // By construction ~5% of the calibration data sits above the threshold.
+  const double fp = det.detection_rate(*clf_, clean_);
+  EXPECT_LT(fp, 0.10);
+}
+
+TEST_F(DetectorTest, AdversarialInputsScoreHigherOnAverage) {
+  FeatureSqueezingDetector det;
+  det.calibrate(*clf_, clean_, 0.95);
+  const auto labels = nn::predict_classes(*clf_, clean_);
+  FgsmConfig fc;
+  fc.epsilon = 0.5;
+  const nn::Tensor3 adv = fgsm_attack(*clf_, clean_, labels, fc);
+  const auto clean_scores = det.scores(*clf_, clean_);
+  const auto adv_scores = det.scores(*clf_, adv);
+  double cm = 0.0, am = 0.0;
+  for (std::size_t i = 0; i < clean_scores.size(); ++i) {
+    cm += clean_scores[i];
+    am += adv_scores[i];
+  }
+  EXPECT_GT(am, cm) << "prediction discrepancy must grow under attack";
+  EXPECT_GT(det.detection_rate(*clf_, adv), det.detection_rate(*clf_, clean_));
+}
+
+TEST_F(DetectorTest, UncalibratedDetectThrows) {
+  FeatureSqueezingDetector det;
+  EXPECT_THROW(det.detect(*clf_, clean_), cpsguard::ContractViolation);
+  EXPECT_THROW((void)det.threshold(), cpsguard::ContractViolation);
+}
+
+TEST_F(DetectorTest, RejectsBadQuantile) {
+  FeatureSqueezingDetector det;
+  EXPECT_THROW(det.calibrate(*clf_, clean_, 1.0), cpsguard::ContractViolation);
+}
+
+}  // namespace
+}  // namespace cpsguard::attack

@@ -1,0 +1,86 @@
+#include "safety/hazard.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace cpsguard::safety {
+namespace {
+
+sim::Trace trace_with_bg(const std::vector<double>& bgs) {
+  sim::Trace t;
+  for (std::size_t i = 0; i < bgs.size(); ++i) {
+    sim::StepRecord r;
+    r.step = static_cast<int>(i);
+    r.true_bg = bgs[i];
+    t.steps.push_back(r);
+  }
+  return t;
+}
+
+TEST(HazardAt, Thresholds) {
+  sim::StepRecord r;
+  r.true_bg = 69.9;
+  EXPECT_EQ(hazard_at(r), HazardType::kH1TooMuchInsulin);
+  r.true_bg = 70.0;
+  EXPECT_EQ(hazard_at(r), HazardType::kNone);
+  r.true_bg = 180.0;
+  EXPECT_EQ(hazard_at(r), HazardType::kNone);
+  r.true_bg = 180.1;
+  EXPECT_EQ(hazard_at(r), HazardType::kH2TooLittleInsulin);
+}
+
+TEST(LabelTrace, MarksHorizonBeforeHazard) {
+  //                        0    1    2    3    4     5    6
+  const auto t = trace_with_bg({120, 120, 120, 120, 200, 120, 120});
+  const auto labels = label_trace(t, 2);
+  EXPECT_EQ(labels, (std::vector<int>{0, 0, 1, 1, 1, 0, 0}));
+}
+
+TEST(LabelTrace, ZeroHorizonMarksOnlyHazardSteps) {
+  const auto t = trace_with_bg({120, 60, 120});
+  EXPECT_EQ(label_trace(t, 0), (std::vector<int>{0, 1, 0}));
+}
+
+TEST(LabelTrace, HugeHorizonMarksEverythingBeforeHazard) {
+  const auto t = trace_with_bg({120, 120, 120, 60});
+  EXPECT_EQ(label_trace(t, 100), (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(LabelTrace, NoHazardAllZero) {
+  const auto t = trace_with_bg({120, 130, 110});
+  EXPECT_EQ(label_trace(t, 5), (std::vector<int>{0, 0, 0}));
+}
+
+TEST(LabelTrace, MultipleHazardEpisodes) {
+  const auto t = trace_with_bg({60, 120, 120, 120, 200, 120});
+  EXPECT_EQ(label_trace(t, 1), (std::vector<int>{1, 0, 0, 1, 1, 0}));
+}
+
+TEST(LabelTrace, BothHazardTypesCount) {
+  const auto t = trace_with_bg({65, 250});
+  EXPECT_EQ(label_trace(t, 0), (std::vector<int>{1, 1}));
+}
+
+TEST(LabelTrace, RejectsNegativeHorizon) {
+  const auto t = trace_with_bg({120});
+  EXPECT_THROW(label_trace(t, -1), cpsguard::ContractViolation);
+}
+
+TEST(PositiveFraction, AggregatesAcrossTraces) {
+  const std::vector<std::vector<int>> labels = {{1, 0, 0, 0}, {1, 1, 0, 0}};
+  EXPECT_DOUBLE_EQ(positive_fraction(labels), 3.0 / 8.0);
+}
+
+TEST(PositiveFraction, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(positive_fraction({}), 0.0);
+}
+
+TEST(HazardToString, AllValuesNamed) {
+  EXPECT_EQ(to_string(HazardType::kNone), "none");
+  EXPECT_NE(to_string(HazardType::kH1TooMuchInsulin).find("H1"), std::string::npos);
+  EXPECT_NE(to_string(HazardType::kH2TooLittleInsulin).find("H2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpsguard::safety

@@ -1,0 +1,74 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cpsguard::util {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json::null().dump(), "null");
+  EXPECT_EQ(Json::boolean(true).dump(), "true");
+  EXPECT_EQ(Json::boolean(false).dump(), "false");
+  EXPECT_EQ(Json::integer(-42).dump(), "-42");
+  EXPECT_EQ(Json::number(1.5).dump(), "1.5");
+  EXPECT_EQ(Json::str("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Json::number(std::nan("")).dump(), "null");
+  EXPECT_EQ(Json::number(1.0 / 0.0).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json::str("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json::str("line\nbreak").dump(), "\"line\\nbreak\"");
+  EXPECT_EQ(Json::str("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Json::str(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j.set("z", Json::integer(1)).set("a", Json::integer(2));
+  EXPECT_EQ(j.dump(), "{\"z\":1,\"a\":2}");
+}
+
+TEST(Json, ObjectSetReplacesExistingKey) {
+  Json j = Json::object();
+  j.set("k", Json::integer(1));
+  j.set("k", Json::integer(2));
+  EXPECT_EQ(j.dump(), "{\"k\":2}");
+}
+
+TEST(Json, NestedStructures) {
+  Json arr = Json::array();
+  arr.push(Json::integer(1)).push(Json::str("two"));
+  Json j = Json::object();
+  j.set("list", std::move(arr));
+  j.set("inner", Json::object().set("ok", Json::boolean(true)));
+  EXPECT_EQ(j.dump(), "{\"list\":[1,\"two\"],\"inner\":{\"ok\":true}}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::object().dump(), "{}");
+  EXPECT_EQ(Json::array().dump(), "[]");
+}
+
+TEST(Json, PrettyPrinting) {
+  Json j = Json::object();
+  j.set("a", Json::integer(1));
+  EXPECT_EQ(j.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, TypeMisuseThrows) {
+  Json arr = Json::array();
+  EXPECT_THROW(arr.set("k", Json::null()), cpsguard::ContractViolation);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.push(Json::null()), cpsguard::ContractViolation);
+}
+
+}  // namespace
+}  // namespace cpsguard::util

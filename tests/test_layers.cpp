@@ -1,0 +1,289 @@
+// Layer-level forward/backward checks: analytic gradients of every
+// feed-forward layer are pinned against central finite differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/feedforward.h"
+#include "nn/init.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace cpsguard::nn {
+namespace {
+
+Matrix random_matrix(int r, int c, util::Rng& rng) {
+  Matrix m(r, c);
+  for (float& v : m.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+// Scalar objective L = sum(W_out ⊙ layer(x)) with a fixed random W_out; its
+// input gradient via layer.backward must match finite differences.
+double layer_objective(Layer& layer, const Matrix& x, const Matrix& w_out) {
+  const Matrix y = layer.forward(x, /*training=*/false);
+  return static_cast<double>(hadamard(y, w_out).sum());
+}
+
+void check_input_gradient(Layer& layer, int in, util::Rng& rng,
+                          double tol = 2e-2) {
+  const Matrix x = random_matrix(3, in, rng);
+  const Matrix w_out = random_matrix(3, layer.output_size(), rng);
+
+  layer.forward(x, false);
+  const Matrix dx = layer.backward(w_out);
+
+  Matrix probe = x;
+  const double eps = 1e-3;
+  for (int i = 0; i < probe.rows(); ++i) {
+    for (int j = 0; j < probe.cols(); ++j) {
+      const float orig = probe.at(i, j);
+      probe.at(i, j) = orig + static_cast<float>(eps);
+      const double lp = layer_objective(layer, probe, w_out);
+      probe.at(i, j) = orig - static_cast<float>(eps);
+      const double lm = layer_objective(layer, probe, w_out);
+      probe.at(i, j) = orig;
+      const double numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(dx.at(i, j), numeric, tol) << "input grad at " << i << "," << j;
+    }
+  }
+}
+
+TEST(Dense, ForwardComputesAffine) {
+  util::Rng rng(1);
+  Dense d(2, 2, rng);
+  // Overwrite with known weights for a closed-form check.
+  auto params = d.params();
+  params[0]->value = Matrix::from_rows({{1, 2}, {3, 4}});
+  params[1]->value = Matrix::from_rows({{10, 20}});
+  const Matrix y = d.forward(Matrix::from_rows({{1, 1}}), false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1 + 3 + 10);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2 + 4 + 20);
+}
+
+TEST(Dense, BackwardInputGradientMatchesFiniteDifference) {
+  util::Rng rng(2);
+  Dense d(5, 4, rng);
+  check_input_gradient(d, 5, rng);
+}
+
+TEST(Dense, BackwardAccumulatesParamGradients) {
+  util::Rng rng(3);
+  Dense d(3, 2, rng);
+  const Matrix x = random_matrix(4, 3, rng);
+  const Matrix dy = random_matrix(4, 2, rng);
+  d.forward(x, false);
+  d.backward(dy);
+  const Matrix g1 = d.params()[0]->grad;
+  d.forward(x, false);
+  d.backward(dy);  // second call without zero_grad accumulates
+  const Matrix g2 = d.params()[0]->grad;
+  for (int i = 0; i < g1.rows(); ++i) {
+    for (int j = 0; j < g1.cols(); ++j) {
+      EXPECT_NEAR(g2.at(i, j), 2.0f * g1.at(i, j), 1e-4);
+    }
+  }
+}
+
+TEST(Dense, WeightGradientMatchesFiniteDifference) {
+  util::Rng rng(4);
+  Dense d(3, 2, rng);
+  const Matrix x = random_matrix(2, 3, rng);
+  const Matrix w_out = random_matrix(2, 2, rng);
+
+  d.params()[0]->zero_grad();
+  d.params()[1]->zero_grad();
+  d.forward(x, false);
+  d.backward(w_out);
+  const Matrix dw = d.params()[0]->grad;
+  const Matrix db = d.params()[1]->grad;
+
+  const double eps = 1e-3;
+  Matrix& w = d.params()[0]->value;
+  for (int i = 0; i < w.rows(); ++i) {
+    for (int j = 0; j < w.cols(); ++j) {
+      const float orig = w.at(i, j);
+      w.at(i, j) = orig + static_cast<float>(eps);
+      const double lp = layer_objective(d, x, w_out);
+      w.at(i, j) = orig - static_cast<float>(eps);
+      const double lm = layer_objective(d, x, w_out);
+      w.at(i, j) = orig;
+      EXPECT_NEAR(dw.at(i, j), (lp - lm) / (2 * eps), 2e-2);
+    }
+  }
+  Matrix& b = d.params()[1]->value;
+  for (int j = 0; j < b.cols(); ++j) {
+    const float orig = b.at(0, j);
+    b.at(0, j) = orig + static_cast<float>(eps);
+    const double lp = layer_objective(d, x, w_out);
+    b.at(0, j) = orig - static_cast<float>(eps);
+    const double lm = layer_objective(d, x, w_out);
+    b.at(0, j) = orig;
+    EXPECT_NEAR(db.at(0, j), (lp - lm) / (2 * eps), 2e-2);
+  }
+}
+
+TEST(Relu, ForwardClampsNegatives) {
+  Relu r(3);
+  const Matrix y = r.forward(Matrix::from_rows({{-1, 0, 2}}), false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 2.0f);
+}
+
+TEST(Relu, BackwardMasksGradient) {
+  Relu r(2);
+  r.forward(Matrix::from_rows({{-1, 3}}), false);
+  const Matrix dx = r.backward(Matrix::from_rows({{5, 7}}));
+  EXPECT_FLOAT_EQ(dx.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(dx.at(0, 1), 7.0f);
+}
+
+TEST(Tanh, MatchesStdTanhAndGradient) {
+  util::Rng rng(5);
+  Tanh t(4);
+  const Matrix x = random_matrix(2, 4, rng);
+  const Matrix y = t.forward(x, false);
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) {
+      EXPECT_NEAR(y.at(i, j), std::tanh(x.at(i, j)), 1e-6);
+    }
+  }
+  check_input_gradient(t, 4, rng);
+}
+
+TEST(Sigmoid, RangeAndGradient) {
+  util::Rng rng(6);
+  Sigmoid s(4);
+  const Matrix x = random_matrix(3, 4, rng);
+  const Matrix y = s.forward(x, false);
+  for (float v : y.data()) {
+    EXPECT_GT(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+  check_input_gradient(s, 4, rng);
+}
+
+TEST(Sigmoid, StableForExtremeInputs) {
+  EXPECT_NEAR(sigmoid(50.0f), 1.0f, 1e-6);
+  EXPECT_NEAR(sigmoid(-50.0f), 0.0f, 1e-6);
+  EXPECT_FALSE(std::isnan(sigmoid(-1000.0f)));
+}
+
+TEST(Dropout, InferenceIsIdentity) {
+  util::Rng rng(7);
+  Dropout d(3, 0.5, rng);
+  const Matrix x = Matrix::from_rows({{1, 2, 3}});
+  EXPECT_TRUE(d.forward(x, false) == x);
+}
+
+TEST(Dropout, TrainingZerosApproxRateAndRescales) {
+  util::Rng rng(8);
+  Dropout d(1000, 0.4, rng);
+  const Matrix x = Matrix::full(1, 1000, 1.0f);
+  const Matrix y = d.forward(x, true);
+  int zeros = 0;
+  for (float v : y.data()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / 0.6f, 1e-5);
+    }
+  }
+  EXPECT_NEAR(zeros / 1000.0, 0.4, 0.06);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  util::Rng rng(9);
+  Dropout d(100, 0.5, rng);
+  const Matrix x = Matrix::full(1, 100, 1.0f);
+  const Matrix y = d.forward(x, true);
+  const Matrix dx = d.backward(Matrix::full(1, 100, 1.0f));
+  for (int j = 0; j < 100; ++j) {
+    EXPECT_FLOAT_EQ(dx.at(0, j), y.at(0, j));  // same mask, same scaling
+  }
+}
+
+TEST(Dropout, RejectsBadRate) {
+  util::Rng rng(10);
+  EXPECT_THROW(Dropout(3, 1.0, rng), ContractViolation);
+  EXPECT_THROW(Dropout(3, -0.1, rng), ContractViolation);
+}
+
+TEST(FeedForward, ChainsLayersAndValidatesShapes) {
+  util::Rng rng(11);
+  FeedForward net;
+  net.add(std::make_unique<Dense>(4, 8, rng));
+  net.add(std::make_unique<Relu>(8));
+  net.add(std::make_unique<Dense>(8, 2, rng));
+  EXPECT_EQ(net.input_size(), 4);
+  EXPECT_EQ(net.output_size(), 2);
+  EXPECT_EQ(net.layer_count(), 3u);
+  const Matrix y = net.forward(random_matrix(5, 4, rng), false);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 2);
+}
+
+TEST(FeedForward, RejectsMismatchedLayer) {
+  util::Rng rng(12);
+  FeedForward net;
+  net.add(std::make_unique<Dense>(4, 8, rng));
+  EXPECT_THROW(net.add(std::make_unique<Dense>(9, 2, rng)), ContractViolation);
+}
+
+TEST(FeedForward, EndToEndInputGradient) {
+  util::Rng rng(13);
+  FeedForward net;
+  net.add(std::make_unique<Dense>(3, 6, rng));
+  net.add(std::make_unique<Tanh>(6));
+  net.add(std::make_unique<Dense>(6, 2, rng));
+
+  const Matrix x = random_matrix(2, 3, rng);
+  const Matrix w_out = random_matrix(2, 2, rng);
+  net.forward(x, false);
+  const Matrix dx = net.backward(w_out);
+
+  const double eps = 1e-3;
+  Matrix probe = x;
+  for (int i = 0; i < probe.rows(); ++i) {
+    for (int j = 0; j < probe.cols(); ++j) {
+      const float orig = probe.at(i, j);
+      probe.at(i, j) = orig + static_cast<float>(eps);
+      const double lp = static_cast<double>(hadamard(net.forward(probe, false), w_out).sum());
+      probe.at(i, j) = orig - static_cast<float>(eps);
+      const double lm = static_cast<double>(hadamard(net.forward(probe, false), w_out).sum());
+      probe.at(i, j) = orig;
+      EXPECT_NEAR(dx.at(i, j), (lp - lm) / (2 * eps), 2e-2);
+    }
+  }
+}
+
+TEST(Init, GlorotWithinLimit) {
+  util::Rng rng(14);
+  const Matrix w = glorot_uniform(10, 20, rng);
+  const double limit = std::sqrt(6.0 / 30.0);
+  for (float v : w.data()) {
+    EXPECT_LE(std::fabs(v), limit + 1e-6);
+  }
+}
+
+TEST(Init, HeNormalStddev) {
+  util::Rng rng(15);
+  const Matrix w = he_normal(100, 200, rng);
+  double sum = 0.0, sq = 0.0;
+  for (float v : w.data()) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double n = w.size();
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(std::sqrt(var), std::sqrt(2.0 / 100.0), 0.01);
+}
+
+}  // namespace
+}  // namespace cpsguard::nn

@@ -1,0 +1,206 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cpsguard::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, KnownValue) {
+  const SoftmaxCrossEntropy ce;
+  // Logits (0,0): p = (0.5, 0.5); CE = -log(0.5).
+  const Matrix logits = Matrix::from_rows({{0.0f, 0.0f}});
+  const std::vector<int> labels = {1};
+  const auto r = ce.compute(logits, labels, {});
+  EXPECT_NEAR(r.loss, std::log(2.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, PerfectPredictionNearZeroLoss) {
+  const SoftmaxCrossEntropy ce;
+  const Matrix logits = Matrix::from_rows({{20.0f, -20.0f}});
+  const std::vector<int> labels = {0};
+  EXPECT_LT(ce.compute(logits, labels, {}).loss, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsProbsMinusOnehotOverBatch) {
+  const SoftmaxCrossEntropy ce;
+  const Matrix logits = Matrix::from_rows({{1.0f, -1.0f}, {0.5f, 0.5f}});
+  const std::vector<int> labels = {0, 1};
+  const auto r = ce.compute(logits, labels, {});
+  const Matrix p = softmax_rows(logits);
+  EXPECT_NEAR(r.dlogits.at(0, 0), (p.at(0, 0) - 1.0f) / 2.0f, 1e-6);
+  EXPECT_NEAR(r.dlogits.at(0, 1), p.at(0, 1) / 2.0f, 1e-6);
+  EXPECT_NEAR(r.dlogits.at(1, 1), (p.at(1, 1) - 1.0f) / 2.0f, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, GradientRowsSumToZero) {
+  const SoftmaxCrossEntropy ce;
+  const Matrix logits = Matrix::from_rows({{0.3f, -0.7f, 1.1f}});
+  const std::vector<int> labels = {2};
+  const auto r = ce.compute(logits, labels, {});
+  float sum = 0.0f;
+  for (int c = 0; c < 3; ++c) sum += r.dlogits.at(0, c);
+  EXPECT_NEAR(sum, 0.0f, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabel) {
+  const SoftmaxCrossEntropy ce;
+  const Matrix logits = Matrix::from_rows({{0.0f, 0.0f}});
+  const std::vector<int> labels = {2};
+  EXPECT_THROW(ce.compute(logits, labels, {}), ContractViolation);
+}
+
+TEST(SoftmaxCrossEntropy, RejectsLabelCountMismatch) {
+  const SoftmaxCrossEntropy ce;
+  const Matrix logits = Matrix::from_rows({{0.0f, 0.0f}});
+  const std::vector<int> labels = {0, 1};
+  EXPECT_THROW(ce.compute(logits, labels, {}), ContractViolation);
+}
+
+TEST(SemanticLoss, ZeroWeightEqualsCrossEntropy) {
+  const SoftmaxCrossEntropy ce;
+  const SemanticLoss sem(0.0);
+  const Matrix logits = Matrix::from_rows({{0.8f, -0.3f}, {-1.0f, 2.0f}});
+  const std::vector<int> labels = {0, 1};
+  const std::vector<float> targets = {1.0f, 0.0f};
+  const auto a = ce.compute(logits, labels, {});
+  const auto b = sem.compute(logits, labels, targets);
+  EXPECT_NEAR(a.loss, b.loss, 1e-9);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_NEAR(a.dlogits.at(r, c), b.dlogits.at(r, c), 1e-7);
+    }
+  }
+}
+
+TEST(SemanticLoss, PenaltyEqualsWeightedAbsoluteGap) {
+  const SemanticLoss sem(2.0);
+  const Matrix logits = Matrix::from_rows({{0.0f, 0.0f}});  // p1 = 0.5
+  const std::vector<int> labels = {0};
+  // Target 1 → |0.5 - 1| = 0.5 → penalty 2.0 * 0.5 = 1.0 on top of CE.
+  const auto with_target_one = sem.compute(logits, labels, std::vector<float>{1.0f});
+  const SoftmaxCrossEntropy ce;
+  const auto baseline = ce.compute(logits, labels, {});
+  EXPECT_NEAR(with_target_one.loss - baseline.loss, 1.0, 1e-6);
+}
+
+TEST(SemanticLoss, AgreementCostsNothing) {
+  const SemanticLoss sem(5.0);
+  // Strongly class-1 logits, semantic target 1: knowledge agrees.
+  const Matrix logits = Matrix::from_rows({{-10.0f, 10.0f}});
+  const std::vector<int> labels = {1};
+  const auto r = sem.compute(logits, labels, std::vector<float>{1.0f});
+  EXPECT_LT(r.loss, 1e-4);
+}
+
+TEST(SemanticLoss, GradientMatchesFiniteDifference) {
+  const SemanticLoss sem(0.8);
+  Matrix logits = Matrix::from_rows({{0.4f, -0.2f}, {-0.9f, 1.3f}});
+  const std::vector<int> labels = {1, 0};
+  const std::vector<float> targets = {0.0f, 1.0f};
+  const auto r = sem.compute(logits, labels, targets);
+  const double eps = 1e-3;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      const float orig = logits.at(i, j);
+      logits.at(i, j) = orig + static_cast<float>(eps);
+      const double lp = sem.compute(logits, labels, targets).loss;
+      logits.at(i, j) = orig - static_cast<float>(eps);
+      const double lm = sem.compute(logits, labels, targets).loss;
+      logits.at(i, j) = orig;
+      EXPECT_NEAR(r.dlogits.at(i, j), (lp - lm) / (2 * eps), 1e-3);
+    }
+  }
+}
+
+TEST(SemanticLoss, PullsProbabilityTowardIndicator) {
+  // Gradient on the unsafe logit must be negative (increase p1) when the
+  // indicator says unsafe but the model leans safe.
+  const SemanticLoss sem(1.0);
+  const Matrix logits = Matrix::from_rows({{2.0f, -2.0f}});  // leans safe
+  const std::vector<int> labels = {0};  // even the data label agrees with safe
+  const auto with_sem = sem.compute(logits, labels, std::vector<float>{1.0f});
+  const SoftmaxCrossEntropy ce;
+  const auto without = ce.compute(logits, labels, {});
+  // Semantic term pushes logit 1 up (more unsafe) relative to plain CE.
+  EXPECT_LT(with_sem.dlogits.at(0, 1), without.dlogits.at(0, 1));
+}
+
+TEST(SemanticLoss, RequiresTargets) {
+  const SemanticLoss sem(1.0);
+  const Matrix logits = Matrix::from_rows({{0.0f, 0.0f}});
+  const std::vector<int> labels = {0};
+  EXPECT_THROW(sem.compute(logits, labels, {}), ContractViolation);
+}
+
+TEST(SemanticLoss, RejectsNegativeWeight) {
+  EXPECT_THROW(SemanticLoss(-0.1), ContractViolation);
+}
+
+TEST(SemanticLoss, RequiresBinaryClassification) {
+  const SemanticLoss sem(1.0);
+  const Matrix logits = Matrix::from_rows({{0.0f, 0.0f, 0.0f}});
+  const std::vector<int> labels = {0};
+  const std::vector<float> targets = {1.0f};
+  EXPECT_THROW(sem.compute(logits, labels, targets), ContractViolation);
+}
+
+
+TEST(SemanticLossOneSided, NoPenaltyWhereRulesAreSilent) {
+  const SemanticLoss sym(3.0, SemanticMode::kSymmetric);
+  const SemanticLoss one_sided(3.0, SemanticMode::kUnsafeOnly);
+  const SoftmaxCrossEntropy ce;
+  // Model leans unsafe, rules silent (s = 0): symmetric punishes, one-sided
+  // must not.
+  const Matrix logits = Matrix::from_rows({{-2.0f, 2.0f}});
+  const std::vector<int> labels = {1};
+  const std::vector<float> silent = {0.0f};
+  const auto plain = ce.compute(logits, labels, {});
+  const auto a = one_sided.compute(logits, labels, silent);
+  const auto b = sym.compute(logits, labels, silent);
+  EXPECT_NEAR(a.loss, plain.loss, 1e-9);
+  EXPECT_GT(b.loss, plain.loss + 1.0);
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_NEAR(a.dlogits.at(0, c), plain.dlogits.at(0, c), 1e-7);
+  }
+}
+
+TEST(SemanticLossOneSided, MatchesSymmetricWhereRulesFire) {
+  const SemanticLoss sym(1.5, SemanticMode::kSymmetric);
+  const SemanticLoss one_sided(1.5, SemanticMode::kUnsafeOnly);
+  const Matrix logits = Matrix::from_rows({{0.7f, -0.4f}});
+  const std::vector<int> labels = {0};
+  const std::vector<float> firing = {1.0f};
+  const auto a = one_sided.compute(logits, labels, firing);
+  const auto b = sym.compute(logits, labels, firing);
+  EXPECT_NEAR(a.loss, b.loss, 1e-9);
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_NEAR(a.dlogits.at(0, c), b.dlogits.at(0, c), 1e-7);
+  }
+}
+
+TEST(SemanticLossOneSided, GradientMatchesFiniteDifference) {
+  const SemanticLoss loss(0.9, SemanticMode::kUnsafeOnly);
+  Matrix logits = Matrix::from_rows({{0.4f, -0.2f}, {-0.9f, 1.3f}});
+  const std::vector<int> labels = {1, 0};
+  const std::vector<float> targets = {1.0f, 0.0f};
+  const auto r = loss.compute(logits, labels, targets);
+  const double eps = 1e-3;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      const float orig = logits.at(i, j);
+      logits.at(i, j) = orig + static_cast<float>(eps);
+      const double lp = loss.compute(logits, labels, targets).loss;
+      logits.at(i, j) = orig - static_cast<float>(eps);
+      const double lm = loss.compute(logits, labels, targets).loss;
+      logits.at(i, j) = orig;
+      EXPECT_NEAR(r.dlogits.at(i, j), (lp - lm) / (2 * eps), 1e-3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpsguard::nn

@@ -1,0 +1,193 @@
+#include "nn/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace cpsguard::nn {
+namespace {
+
+Matrix random_matrix(int r, int c, util::Rng& rng) {
+  Matrix m(r, c);
+  for (float& v : m.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+// Reference O(n^3) matmul used to pin the optimized variants.
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < a.cols(); ++k) {
+        acc += static_cast<double>(a.at(i, k)) * b.at(k, j);
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+void expect_near(const Matrix& a, const Matrix& b, float tol = 1e-4f) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(a.at(i, j), b.at(i, j), tol) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  m.at(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(m.at(1, 2), 5.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+}
+
+TEST(Matrix, OutOfRangeIndexThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), ContractViolation);
+  EXPECT_THROW(m.at(0, -1), ContractViolation);
+}
+
+TEST(Matrix, FromRowsAndEquality) {
+  const Matrix m = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_FLOAT_EQ(m.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 0), 3.0f);
+  EXPECT_TRUE(m == Matrix::from_rows({{1, 2}, {3, 4}}));
+  EXPECT_FALSE(m == Matrix::from_rows({{1, 2}, {3, 5}}));
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), ContractViolation);
+}
+
+TEST(Matrix, FillAndFull) {
+  const Matrix m = Matrix::full(2, 2, 3.5f);
+  EXPECT_FLOAT_EQ(m.at(1, 1), 3.5f);
+  EXPECT_FLOAT_EQ(m.sum(), 14.0f);
+}
+
+TEST(Matrix, AxpyAndScale) {
+  Matrix a = Matrix::from_rows({{1, 2}});
+  const Matrix b = Matrix::from_rows({{10, 20}});
+  a.axpy(0.5f, b);
+  expect_near(a, Matrix::from_rows({{6, 12}}));
+  a.scale(2.0f);
+  expect_near(a, Matrix::from_rows({{12, 24}}));
+}
+
+TEST(Matrix, AxpyShapeMismatchThrows) {
+  Matrix a(1, 2), b(2, 1);
+  EXPECT_THROW(a.axpy(1.0f, b), ContractViolation);
+}
+
+TEST(Matrix, HadamardInPlace) {
+  Matrix a = Matrix::from_rows({{2, 3}});
+  a.hadamard_in_place(Matrix::from_rows({{4, 5}}));
+  expect_near(a, Matrix::from_rows({{8, 15}}));
+}
+
+TEST(Matrix, AddRowVector) {
+  Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const std::vector<float> bias = {10.0f, 20.0f};
+  a.add_row_vector(bias);
+  expect_near(a, Matrix::from_rows({{11, 22}, {13, 24}}));
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix t = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}}).transpose();
+  expect_near(t, Matrix::from_rows({{1, 4}, {2, 5}, {3, 6}}));
+}
+
+TEST(Matrix, ColumnSums) {
+  const Matrix s = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}}).column_sums();
+  expect_near(s, Matrix::from_rows({{9, 12}}));
+}
+
+TEST(Matrix, MaxAbs) {
+  EXPECT_FLOAT_EQ(Matrix::from_rows({{-7, 3}}).max_abs(), 7.0f);
+}
+
+TEST(Matmul, MatchesNaive) {
+  util::Rng rng(21);
+  const Matrix a = random_matrix(7, 11, rng);
+  const Matrix b = random_matrix(11, 5, rng);
+  expect_near(matmul(a, b), naive_matmul(a, b));
+}
+
+TEST(Matmul, IdentityIsNoop) {
+  util::Rng rng(22);
+  const Matrix a = random_matrix(4, 4, rng);
+  Matrix eye(4, 4);
+  for (int i = 0; i < 4; ++i) eye.at(i, i) = 1.0f;
+  expect_near(matmul(a, eye), a);
+}
+
+TEST(Matmul, InnerDimensionMismatchThrows) {
+  EXPECT_THROW(matmul(Matrix(2, 3), Matrix(4, 2)), ContractViolation);
+}
+
+TEST(MatmulTn, MatchesTransposedNaive) {
+  util::Rng rng(23);
+  const Matrix a = random_matrix(9, 6, rng);
+  const Matrix b = random_matrix(9, 4, rng);
+  expect_near(matmul_tn(a, b), naive_matmul(a.transpose(), b));
+}
+
+TEST(MatmulNt, MatchesTransposedNaive) {
+  util::Rng rng(24);
+  const Matrix a = random_matrix(5, 8, rng);
+  const Matrix b = random_matrix(6, 8, rng);
+  expect_near(matmul_nt(a, b), naive_matmul(a, b.transpose()));
+}
+
+TEST(ElementWise, AddSubtractHadamard) {
+  const Matrix a = Matrix::from_rows({{1, 2}});
+  const Matrix b = Matrix::from_rows({{3, 5}});
+  expect_near(add(a, b), Matrix::from_rows({{4, 7}}));
+  expect_near(subtract(b, a), Matrix::from_rows({{2, 3}}));
+  expect_near(hadamard(a, b), Matrix::from_rows({{3, 10}}));
+}
+
+TEST(Softmax, RowsSumToOne) {
+  util::Rng rng(25);
+  const Matrix logits = random_matrix(6, 4, rng);
+  const Matrix p = softmax_rows(logits);
+  for (int r = 0; r < p.rows(); ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < p.cols(); ++c) {
+      EXPECT_GT(p.at(r, c), 0.0f);
+      sum += p.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, InvariantToRowShift) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}});
+  const Matrix b = Matrix::from_rows({{101, 102, 103}});
+  expect_near(softmax_rows(a), softmax_rows(b), 1e-5f);
+}
+
+TEST(Softmax, StableForHugeLogits) {
+  const Matrix p = softmax_rows(Matrix::from_rows({{1000.0f, 0.0f}}));
+  EXPECT_NEAR(p.at(0, 0), 1.0f, 1e-6);
+  EXPECT_FALSE(std::isnan(p.at(0, 1)));
+}
+
+TEST(Softmax, OrdersMatchLogits) {
+  const Matrix p = softmax_rows(Matrix::from_rows({{0.1f, 2.0f, -1.0f}}));
+  EXPECT_GT(p.at(0, 1), p.at(0, 0));
+  EXPECT_GT(p.at(0, 0), p.at(0, 2));
+}
+
+}  // namespace
+}  // namespace cpsguard::nn

@@ -1,0 +1,215 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/robustness.h"
+#include "util/contracts.h"
+
+namespace cpsguard::eval {
+namespace {
+
+// Build a single-trace dataset skeleton: windows end at steps w-1..n-1.
+monitor::Dataset skeleton(const std::vector<int>& step_labels, int window = 1) {
+  monitor::Dataset ds;
+  ds.config.window = window;
+  ds.trace_labels.push_back(step_labels);
+  const int n = static_cast<int>(step_labels.size());
+  const int count = n - window + 1;
+  ds.x = nn::Tensor3(count, window, 1);
+  for (int end = window - 1; end < n; ++end) {
+    ds.labels.push_back(step_labels[static_cast<std::size_t>(end)]);
+    ds.semantic.push_back(0.0f);
+    ds.trace_id.push_back(0);
+    ds.step_index.push_back(end);
+  }
+  return ds;
+}
+
+TEST(ConfusionCounts, DerivedMetrics) {
+  ConfusionCounts c;
+  c.tp = 8;
+  c.fp = 2;
+  c.tn = 85;
+  c.fn = 5;
+  EXPECT_DOUBLE_EQ(c.total(), 100.0);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.93);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.8);
+  EXPECT_NEAR(c.recall(), 8.0 / 13.0, 1e-12);
+  const double p = 0.8, r = 8.0 / 13.0;
+  EXPECT_NEAR(c.f1(), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(ConfusionCounts, DegenerateCasesAreZeroNotNan) {
+  ConfusionCounts c;
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+}
+
+TEST(ConfusionCounts, Accumulate) {
+  ConfusionCounts a, b;
+  a.tp = 1;
+  a.fp = 2;
+  b.tn = 3;
+  b.fn = 4;
+  a += b;
+  EXPECT_EQ(a.tp, 1);
+  EXPECT_EQ(a.fp, 2);
+  EXPECT_EQ(a.tn, 3);
+  EXPECT_EQ(a.fn, 4);
+  EXPECT_NE(a.summary().find("tp=1"), std::string::npos);
+}
+
+TEST(Samplewise, BasicCounts) {
+  const std::vector<int> labels = {1, 1, 0, 0, 1};
+  const std::vector<int> preds = {1, 0, 0, 1, 1};
+  const auto c = evaluate_samplewise(labels, preds);
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.tn, 1);
+}
+
+TEST(Samplewise, SizeMismatchThrows) {
+  const std::vector<int> a = {1};
+  const std::vector<int> b = {1, 0};
+  EXPECT_THROW(evaluate_samplewise(a, b), cpsguard::ContractViolation);
+}
+
+TEST(Tolerance, ZeroDeltaEqualsSamplewise) {
+  const auto ds = skeleton({0, 1, 0, 1, 1, 0});
+  const std::vector<int> preds = {0, 1, 1, 0, 1, 0};
+  const auto tol = evaluate_with_tolerance(ds, preds, 0);
+  const auto plain = evaluate_samplewise(ds.labels, preds);
+  EXPECT_EQ(tol.tp, plain.tp);
+  EXPECT_EQ(tol.fp, plain.fp);
+  EXPECT_EQ(tol.tn, plain.tn);
+  EXPECT_EQ(tol.fn, plain.fn);
+}
+
+TEST(Tolerance, EarlyAlarmWithinDeltaCountsAsTp) {
+  // Hazard labels start at step 4; the only alarm is at step 2 (2 early).
+  const auto ds = skeleton({0, 0, 0, 0, 1, 1});
+  const std::vector<int> preds = {0, 0, 1, 0, 0, 0};
+  // With δ=2: step 2 sees future GT at 4 → TP (alarm at 2).
+  const auto c = evaluate_with_tolerance(ds, preds, 2);
+  EXPECT_GE(c.tp, 1);
+  // The alarm at step 2 is never counted as FP.
+  EXPECT_EQ(c.fp, 0);
+}
+
+TEST(Tolerance, LateAlarmOutsideDeltaIsMissed) {
+  const auto ds = skeleton({1, 1, 0, 0, 0, 0});
+  const std::vector<int> preds = {0, 0, 0, 0, 1, 0};
+  const auto c = evaluate_with_tolerance(ds, preds, 1);
+  EXPECT_EQ(c.tp, 0);
+  EXPECT_EQ(c.fn, 2);   // both positive steps missed
+  EXPECT_GE(c.fp, 1);   // the spurious alarm at step 4
+}
+
+TEST(Tolerance, FalseAlarmFarFromHazardIsFp) {
+  const auto ds = skeleton({0, 0, 0, 0, 0, 0});
+  const std::vector<int> preds = {0, 1, 0, 0, 0, 0};
+  const auto c = evaluate_with_tolerance(ds, preds, 2);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.tn, 5);
+  EXPECT_EQ(c.tp, 0);
+  EXPECT_EQ(c.fn, 0);
+}
+
+TEST(Tolerance, AlarmJustBeforeHazardWindowIsForgiven) {
+  // GT positive at steps 3.. ; prediction at step 1 with δ=2: at step 1 the
+  // forward window [1,3] sees the hazard → counts toward TP, not FP.
+  const auto ds = skeleton({0, 0, 0, 1, 1, 1});
+  const std::vector<int> preds = {0, 1, 0, 0, 0, 0};
+  const auto c = evaluate_with_tolerance(ds, preds, 2);
+  EXPECT_EQ(c.fp, 0);
+}
+
+TEST(Tolerance, PerfectPredictionsPerfectScore) {
+  const std::vector<int> labels = {0, 0, 1, 1, 0, 0, 1};
+  const auto ds = skeleton(labels);
+  const auto c = evaluate_with_tolerance(ds, labels, 3);
+  EXPECT_EQ(c.fn, 0);
+  EXPECT_EQ(c.fp, 0);
+  EXPECT_DOUBLE_EQ(c.f1(), 1.0);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 1.0);
+}
+
+TEST(Tolerance, WindowedDatasetAlignsSteps) {
+  // window=3: windows end at steps 2..5; predictions only exist there.
+  const auto ds = skeleton({0, 0, 0, 0, 1, 1}, 3);
+  ASSERT_EQ(ds.size(), 4);
+  const std::vector<int> preds = {1, 0, 0, 0};  // alarm at step 2
+  const auto c = evaluate_with_tolerance(ds, preds, 2);
+  // Step 2's forward window [2,4] includes the hazard at 4 → TP.
+  EXPECT_GE(c.tp, 1);
+  EXPECT_EQ(c.fp, 0);
+}
+
+TEST(Tolerance, MultipleTracesKeptSeparate) {
+  // Two traces; hazard only in the second. An alarm at the end of trace 0
+  // must not be credited against trace 1's hazard.
+  monitor::Dataset ds;
+  ds.config.window = 1;
+  ds.trace_labels.push_back({0, 0, 0});
+  ds.trace_labels.push_back({0, 1, 1});
+  ds.x = nn::Tensor3(6, 1, 1);
+  for (int tr = 0; tr < 2; ++tr) {
+    for (int t = 0; t < 3; ++t) {
+      ds.labels.push_back(ds.trace_labels[static_cast<std::size_t>(tr)][static_cast<std::size_t>(t)]);
+      ds.semantic.push_back(0.0f);
+      ds.trace_id.push_back(tr);
+      ds.step_index.push_back(t);
+    }
+  }
+  const std::vector<int> preds = {0, 0, 1, 0, 0, 0};  // alarm at end of trace 0
+  const auto c = evaluate_with_tolerance(ds, preds, 2);
+  EXPECT_EQ(c.fp, 1);  // trace boundary respected
+  EXPECT_EQ(c.tp, 0);
+  // All three steps of trace 1 see the hazard within δ=2 and no alarm fires.
+  EXPECT_EQ(c.fn, 3);
+}
+
+TEST(Tolerance, RejectsBadArguments) {
+  const auto ds = skeleton({0, 1});
+  const std::vector<int> wrong_size = {1};
+  EXPECT_THROW(evaluate_with_tolerance(ds, wrong_size, 1),
+               cpsguard::ContractViolation);
+  const std::vector<int> ok = {0, 1};
+  EXPECT_THROW(evaluate_with_tolerance(ds, ok, -1), cpsguard::ContractViolation);
+}
+
+TEST(RobustnessError, CountsFlips) {
+  const std::vector<int> clean = {0, 1, 0, 1};
+  const std::vector<int> pert = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(robustness_error(clean, pert), 0.5);
+}
+
+TEST(RobustnessError, IdenticalPredictionsZero) {
+  const std::vector<int> p = {1, 0, 1};
+  EXPECT_DOUBLE_EQ(robustness_error(p, p), 0.0);
+}
+
+TEST(RobustnessError, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(robustness_error({}, {}), 0.0);
+}
+
+TEST(RobustnessError, PerClassVariant) {
+  const std::vector<int> clean = {1, 1, 1, 0};
+  const std::vector<int> pert = {0, 1, 0, 0};
+  EXPECT_NEAR(robustness_error_for_class(clean, pert, 1), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(robustness_error_for_class(clean, pert, 0), 0.0);
+  // No samples of class 2 → 0, not NaN.
+  EXPECT_DOUBLE_EQ(robustness_error_for_class(clean, pert, 2), 0.0);
+}
+
+TEST(RobustnessError, SizeMismatchThrows) {
+  const std::vector<int> a = {1};
+  const std::vector<int> b = {1, 0};
+  EXPECT_THROW(robustness_error(a, b), cpsguard::ContractViolation);
+}
+
+}  // namespace
+}  // namespace cpsguard::eval

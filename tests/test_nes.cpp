@@ -1,0 +1,101 @@
+#include "attack/nes.h"
+
+#include <gtest/gtest.h>
+
+#include "monitor/features.h"
+#include "nn/classifier.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace cpsguard::attack {
+namespace {
+
+using monitor::Features;
+
+nn::Tensor3 random_windows(int n, int t, util::Rng& rng) {
+  nn::Tensor3 x(n, t, Features::kNumFeatures);
+  for (float& v : x.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return x;
+}
+
+class NesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(1);
+    clf_ = std::make_unique<nn::MlpClassifier>(
+        2, Features::kNumFeatures, std::vector<int>{12}, 2, rng);
+    util::Rng xr(2);
+    x_ = random_windows(16, 2, xr);
+    labels_ = nn::predict_classes(*clf_, x_);  // attacker's oracle labels
+  }
+
+  double loss_of(const nn::Tensor3& x) {
+    const nn::SoftmaxCrossEntropy ce;
+    clf_->zero_grad();
+    const double l = clf_->accumulate_gradients(x, labels_, {}, ce);
+    clf_->zero_grad();
+    return l;
+  }
+
+  std::unique_ptr<nn::Classifier> clf_;
+  nn::Tensor3 x_;
+  std::vector<int> labels_;
+};
+
+TEST_F(NesTest, RespectsEpsilonBall) {
+  NesConfig cfg;
+  cfg.epsilon = 0.1;
+  const nn::Tensor3 adv = nes_attack(*clf_, x_, labels_, cfg);
+  EXPECT_LE(linf_distance(adv, x_), cfg.epsilon + 1e-6);
+}
+
+TEST_F(NesTest, IncreasesLossWithoutGradients) {
+  NesConfig cfg;
+  cfg.epsilon = 0.2;
+  cfg.step_size = 0.05;
+  cfg.iterations = 8;
+  cfg.samples = 30;
+  const nn::Tensor3 adv = nes_attack(*clf_, x_, labels_, cfg);
+  EXPECT_GT(loss_of(adv), loss_of(x_))
+      << "score-based gradient estimation should still ascend the loss";
+}
+
+TEST_F(NesTest, DeterministicInSeed) {
+  NesConfig cfg;
+  cfg.iterations = 2;
+  cfg.samples = 6;
+  const nn::Tensor3 a = nes_attack(*clf_, x_, labels_, cfg);
+  const nn::Tensor3 b = nes_attack(*clf_, x_, labels_, cfg);
+  EXPECT_TRUE(a == b);
+  cfg.seed += 1;
+  const nn::Tensor3 c = nes_attack(*clf_, x_, labels_, cfg);
+  EXPECT_FALSE(a == c);
+}
+
+TEST_F(NesTest, MaskRestrictsPerturbation) {
+  NesConfig cfg;
+  cfg.epsilon = 0.1;
+  cfg.mask = FeatureMask::kSensorsOnly;
+  const nn::Tensor3 adv = nes_attack(*clf_, x_, labels_, cfg);
+  for (int b = 0; b < x_.batch(); ++b) {
+    for (int t = 0; t < x_.time(); ++t) {
+      for (int f = 0; f < x_.features(); ++f) {
+        if (Features::is_command_feature(f)) {
+          EXPECT_FLOAT_EQ(adv.at(b, t, f), x_.at(b, t, f));
+        }
+      }
+    }
+  }
+}
+
+TEST_F(NesTest, RejectsBadConfig) {
+  NesConfig cfg;
+  cfg.iterations = 0;
+  EXPECT_THROW(nes_attack(*clf_, x_, labels_, cfg), cpsguard::ContractViolation);
+  cfg.iterations = 1;
+  cfg.sigma = 0.0;
+  EXPECT_THROW(nes_attack(*clf_, x_, labels_, cfg), cpsguard::ContractViolation);
+}
+
+}  // namespace
+}  // namespace cpsguard::attack

@@ -1,0 +1,95 @@
+#include "core/online_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "monitor/features.h"
+#include "util/contracts.h"
+
+namespace cpsguard::core {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.campaign.patients = 3;
+  cfg.campaign.sims_per_patient = 3;
+  cfg.campaign.trace_steps = 60;
+  cfg.campaign.seed = 11;
+  cfg.epochs = 2;
+  cfg.cache_dir = "";
+  return cfg;
+}
+
+class OnlineMonitorTest : public ::testing::Test {
+ protected:
+  OnlineMonitorTest() : exp_(tiny_config()) {}
+
+  Experiment exp_;
+  const MonitorVariant mlp_{monitor::Arch::kMlp, false};
+};
+
+TEST_F(OnlineMonitorTest, NotReadyUntilWindowFills) {
+  auto& mon = exp_.monitor(mlp_);
+  const int window = exp_.config().dataset.window;
+  OnlineMonitor online(mon, window);
+  const sim::Trace& trace = exp_.test_traces().front();
+  for (int t = 0; t < window - 1; ++t) {
+    const auto v = online.step(trace.steps[static_cast<std::size_t>(t)]);
+    EXPECT_FALSE(v.ready) << "cycle " << t;
+  }
+  const auto v = online.step(trace.steps[static_cast<std::size_t>(window - 1)]);
+  EXPECT_TRUE(v.ready);
+  EXPECT_GE(v.p_unsafe, 0.0);
+  EXPECT_LE(v.p_unsafe, 1.0);
+}
+
+TEST_F(OnlineMonitorTest, MatchesBatchPredictionsExactly) {
+  // Streaming the trace must reproduce the offline windowed predictions.
+  auto& mon = exp_.monitor(mlp_);
+  const auto& test = exp_.test_data();
+  const auto batch_preds = mon.predict(test.x);
+
+  const int window = test.config.window;
+  for (std::size_t tr = 0; tr < exp_.test_traces().size() && tr < 2; ++tr) {
+    const sim::Trace& trace = exp_.test_traces()[tr];
+    OnlineMonitor online(mon, window);
+    for (int t = 0; t < trace.length(); ++t) {
+      const auto v = online.step(trace.steps[static_cast<std::size_t>(t)]);
+      if (!v.ready) continue;
+      // Find the dataset window for (trace tr, end step t).
+      for (int i = 0; i < test.size(); ++i) {
+        const auto si = static_cast<std::size_t>(i);
+        if (test.trace_id[si] == static_cast<int>(tr) && test.step_index[si] == t) {
+          EXPECT_EQ(v.prediction, batch_preds[si])
+              << "trace " << tr << " step " << t;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(OnlineMonitorTest, ResetForgetsHistory) {
+  auto& mon = exp_.monitor(mlp_);
+  const int window = exp_.config().dataset.window;
+  OnlineMonitor online(mon, window);
+  const sim::Trace& trace = exp_.test_traces().front();
+  for (int t = 0; t < window; ++t) {
+    online.step(trace.steps[static_cast<std::size_t>(t)]);
+  }
+  EXPECT_EQ(online.cycles_seen(), window);
+  online.reset();
+  EXPECT_EQ(online.cycles_seen(), 0);
+  const auto v = online.step(trace.steps[0]);
+  EXPECT_FALSE(v.ready);
+}
+
+TEST_F(OnlineMonitorTest, RejectsUntrainedMonitorAndBadWindow) {
+  monitor::MonitorConfig mc;
+  monitor::MlMonitor untrained(mc);
+  EXPECT_THROW(OnlineMonitor(untrained, 6), ContractViolation);
+  auto& mon = exp_.monitor(mlp_);
+  EXPECT_THROW(OnlineMonitor(mon, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cpsguard::core

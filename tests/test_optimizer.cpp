@@ -1,0 +1,172 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cpsguard::nn {
+namespace {
+
+Param make_param(float value) {
+  return Param("p", Matrix::full(1, 1, value));
+}
+
+TEST(Sgd, PlainStepIsLrTimesGrad) {
+  Param p = make_param(1.0f);
+  p.grad = Matrix::full(1, 1, 2.0f);
+  Sgd sgd(0.1);
+  Param* arr[] = {&p};
+  sgd.step(arr);
+  EXPECT_NEAR(p.value.at(0, 0), 1.0f - 0.1f * 2.0f, 1e-6);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p = make_param(0.0f);
+  Sgd sgd(1.0, 0.5);
+  Param* arr[] = {&p};
+  p.grad = Matrix::full(1, 1, 1.0f);
+  sgd.step(arr);  // v = 1, w = -1
+  EXPECT_NEAR(p.value.at(0, 0), -1.0f, 1e-6);
+  sgd.step(arr);  // v = 0.5 + 1 = 1.5, w = -2.5
+  EXPECT_NEAR(p.value.at(0, 0), -2.5f, 1e-6);
+}
+
+TEST(Sgd, RejectsBadHyperparams) {
+  EXPECT_THROW(Sgd(0.0), ContractViolation);
+  EXPECT_THROW(Sgd(0.1, 1.0), ContractViolation);
+}
+
+TEST(Adam, FirstStepMagnitudeIsLr) {
+  // With bias correction, the very first Adam step is ≈ lr in the gradient
+  // direction regardless of gradient scale.
+  for (const float g : {0.001f, 1.0f, 1000.0f}) {
+    Param p = make_param(0.0f);
+    p.grad = Matrix::full(1, 1, g);
+    Adam adam(0.01);
+    Param* arr[] = {&p};
+    adam.step(arr);
+    EXPECT_NEAR(p.value.at(0, 0), -0.01f, 1e-4) << "grad=" << g;
+  }
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize f(w) = (w - 3)^2; grad = 2(w - 3).
+  Param p = make_param(-5.0f);
+  Adam adam(0.1);
+  Param* arr[] = {&p};
+  for (int i = 0; i < 500; ++i) {
+    const float w = p.value.at(0, 0);
+    p.grad = Matrix::full(1, 1, 2.0f * (w - 3.0f));
+    adam.step(arr);
+  }
+  EXPECT_NEAR(p.value.at(0, 0), 3.0f, 0.05);
+}
+
+TEST(Adam, HandlesMultipleParamsIndependently) {
+  Param a = make_param(0.0f), b = make_param(0.0f);
+  a.grad = Matrix::full(1, 1, 1.0f);
+  b.grad = Matrix::full(1, 1, -1.0f);
+  Adam adam(0.5);
+  Param* arr[] = {&a, &b};
+  adam.step(arr);
+  EXPECT_LT(a.value.at(0, 0), 0.0f);
+  EXPECT_GT(b.value.at(0, 0), 0.0f);
+}
+
+TEST(Adam, ZeroGradLeavesParamUnchanged) {
+  Param p = make_param(2.0f);
+  Adam adam(0.1);
+  Param* arr[] = {&p};
+  adam.step(arr);
+  EXPECT_NEAR(p.value.at(0, 0), 2.0f, 1e-6);
+}
+
+TEST(Adam, RejectsBadHyperparams) {
+  EXPECT_THROW(Adam(0.0), ContractViolation);
+  EXPECT_THROW(Adam(0.1, 1.0), ContractViolation);
+  EXPECT_THROW(Adam(0.1, 0.9, 1.0), ContractViolation);
+  EXPECT_THROW(Adam(0.1, 0.9, 0.999, 0.0), ContractViolation);
+}
+
+
+TEST(Adam, WeightDecayShrinksWeightsWithZeroGrad) {
+  Param p = make_param(10.0f);
+  Adam adam(0.1);
+  adam.with_weight_decay(0.5);
+  Param* arr[] = {&p};
+  adam.step(arr);  // w -= lr * decay * w = 0.1*0.5*10 = 0.5
+  EXPECT_NEAR(p.value.at(0, 0), 9.5f, 1e-5);
+}
+
+TEST(Adam, WeightDecayIsDecoupledFromMoments) {
+  // Same gradient, with and without decay: the moment-driven part of the
+  // update must be identical (decay acts directly on the weight).
+  Param a = make_param(2.0f), b = make_param(2.0f);
+  a.grad = Matrix::full(1, 1, 1.0f);
+  b.grad = Matrix::full(1, 1, 1.0f);
+  Adam plain(0.01);
+  Adam decayed(0.01);
+  decayed.with_weight_decay(0.1);
+  Param* pa[] = {&a};
+  Param* pb[] = {&b};
+  plain.step(pa);
+  decayed.step(pb);
+  const float decay_part = 0.01f * 0.1f * 2.0f;
+  EXPECT_NEAR(b.value.at(0, 0), a.value.at(0, 0) - decay_part, 1e-6);
+}
+
+TEST(Adam, GradientClippingBoundsUpdateDirection) {
+  // A huge gradient with clipping behaves like the same direction at the
+  // clipped norm: first-step magnitude is still ~lr either way, so check
+  // the moment state via a second, zero-gradient step instead.
+  Param a = make_param(0.0f), b = make_param(0.0f);
+  Adam clipped(0.1);
+  clipped.with_gradient_clipping(1.0);
+  Adam plain(0.1);
+  Param* pa[] = {&a};
+  Param* pb[] = {&b};
+  a.grad = Matrix::full(1, 1, 1000.0f);
+  b.grad = Matrix::full(1, 1, 1000.0f);
+  clipped.step(pa);
+  plain.step(pb);
+  a.grad.set_zero();
+  b.grad.set_zero();
+  clipped.step(pa);
+  plain.step(pb);
+  // With clipping the second-step momentum corresponds to a gradient of 1,
+  // not 1000; the absolute weight movement must be no larger than plain.
+  EXPECT_LE(std::fabs(a.value.at(0, 0)), std::fabs(b.value.at(0, 0)) + 1e-6);
+}
+
+TEST(Adam, ClippingInactiveBelowThreshold) {
+  Param a = make_param(0.0f), b = make_param(0.0f);
+  Adam clipped(0.1);
+  clipped.with_gradient_clipping(100.0);
+  Adam plain(0.1);
+  Param* pa[] = {&a};
+  Param* pb[] = {&b};
+  a.grad = Matrix::full(1, 1, 2.0f);
+  b.grad = Matrix::full(1, 1, 2.0f);
+  clipped.step(pa);
+  plain.step(pb);
+  EXPECT_NEAR(a.value.at(0, 0), b.value.at(0, 0), 1e-7);
+}
+
+TEST(Adam, RejectsBadDecayAndClip) {
+  Adam adam(0.1);
+  EXPECT_THROW(adam.with_weight_decay(-0.1), ContractViolation);
+  EXPECT_THROW(adam.with_gradient_clipping(0.0), ContractViolation);
+}
+
+TEST(Optimizers, RejectNullParam) {
+  Sgd sgd(0.1);
+  Adam adam(0.1);
+  Param* arr[] = {nullptr};
+  EXPECT_THROW(sgd.step(arr), ContractViolation);
+  EXPECT_THROW(adam.step(arr), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cpsguard::nn

@@ -1,0 +1,106 @@
+#include "attack/pgd.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/fgsm.h"
+#include "monitor/features.h"
+#include "nn/classifier.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace cpsguard::attack {
+namespace {
+
+using monitor::Features;
+
+nn::Tensor3 random_windows(int n, int t, util::Rng& rng) {
+  nn::Tensor3 x(n, t, Features::kNumFeatures);
+  for (float& v : x.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return x;
+}
+
+class PgdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(1);
+    clf_ = std::make_unique<nn::MlpClassifier>(
+        3, Features::kNumFeatures, std::vector<int>{16}, 2, rng);
+    util::Rng xr(2);
+    x_ = random_windows(30, 3, xr);
+    labels_.assign(30, 0);
+    for (int i = 15; i < 30; ++i) labels_[static_cast<std::size_t>(i)] = 1;
+  }
+
+  double loss_of(const nn::Tensor3& x) {
+    const nn::SoftmaxCrossEntropy ce;
+    clf_->zero_grad();
+    const double l = clf_->accumulate_gradients(x, labels_, {}, ce);
+    clf_->zero_grad();
+    return l;
+  }
+
+  std::unique_ptr<nn::Classifier> clf_;
+  nn::Tensor3 x_;
+  std::vector<int> labels_;
+};
+
+TEST_F(PgdTest, RespectsEpsilonBall) {
+  PgdConfig cfg;
+  cfg.epsilon = 0.1;
+  cfg.step_size = 0.04;
+  cfg.iterations = 10;
+  const nn::Tensor3 adv = pgd_attack(*clf_, x_, labels_, cfg);
+  EXPECT_LE(linf_distance(adv, x_), cfg.epsilon + 1e-6);
+}
+
+TEST_F(PgdTest, AtLeastAsStrongAsFgsm) {
+  PgdConfig pc;
+  pc.epsilon = 0.15;
+  pc.step_size = 0.05;
+  pc.iterations = 8;
+  FgsmConfig fc;
+  fc.epsilon = 0.15;
+  const double pgd_loss = loss_of(pgd_attack(*clf_, x_, labels_, pc));
+  const double fgsm_loss = loss_of(fgsm_attack(*clf_, x_, labels_, fc));
+  EXPECT_GE(pgd_loss, fgsm_loss - 1e-3);
+  EXPECT_GT(pgd_loss, loss_of(x_));
+}
+
+TEST_F(PgdTest, SingleIterationFullStepEqualsFgsm) {
+  PgdConfig pc;
+  pc.epsilon = 0.1;
+  pc.step_size = 0.1;
+  pc.iterations = 1;
+  FgsmConfig fc;
+  fc.epsilon = 0.1;
+  EXPECT_TRUE(pgd_attack(*clf_, x_, labels_, pc) ==
+              fgsm_attack(*clf_, x_, labels_, fc));
+}
+
+TEST_F(PgdTest, MaskRestrictsPerturbation) {
+  PgdConfig cfg;
+  cfg.epsilon = 0.1;
+  cfg.mask = FeatureMask::kSensorsOnly;
+  const nn::Tensor3 adv = pgd_attack(*clf_, x_, labels_, cfg);
+  for (int b = 0; b < x_.batch(); ++b) {
+    for (int t = 0; t < x_.time(); ++t) {
+      for (int f = 0; f < x_.features(); ++f) {
+        if (Features::is_command_feature(f)) {
+          EXPECT_FLOAT_EQ(adv.at(b, t, f), x_.at(b, t, f));
+        }
+      }
+    }
+  }
+}
+
+TEST_F(PgdTest, RejectsBadConfig) {
+  PgdConfig cfg;
+  cfg.iterations = 0;
+  EXPECT_THROW(pgd_attack(*clf_, x_, labels_, cfg), cpsguard::ContractViolation);
+  cfg.iterations = 1;
+  cfg.step_size = 0.0;
+  EXPECT_THROW(pgd_attack(*clf_, x_, labels_, cfg), cpsguard::ContractViolation);
+}
+
+}  // namespace
+}  // namespace cpsguard::attack

@@ -1,0 +1,72 @@
+#include "eval/pr_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace cpsguard::eval {
+namespace {
+
+TEST(PrCurve, PerfectClassifier) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  const auto curve = precision_recall_curve(scores, labels);
+  // At the highest thresholds, precision 1; recall reaches 1 at the end.
+  EXPECT_DOUBLE_EQ(curve.front().precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+  EXPECT_DOUBLE_EQ(average_precision(scores, labels), 1.0);
+}
+
+TEST(PrCurve, RecallIsMonotone) {
+  const std::vector<double> scores = {0.1, 0.9, 0.5, 0.3, 0.7, 0.2};
+  const std::vector<int> labels = {0, 1, 1, 0, 0, 1};
+  const auto curve = precision_recall_curve(scores, labels);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+    EXPECT_LT(curve[i].threshold, curve[i - 1].threshold);
+  }
+}
+
+TEST(PrCurve, TiedScoresCollapseToOnePoint) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5};
+  const std::vector<int> labels = {1, 0, 1};
+  const auto curve = precision_recall_curve(scores, labels);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_NEAR(curve[0].precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 1.0);
+}
+
+TEST(PrCurve, HandComputedAp) {
+  // Descending scores: labels 1, 0, 1.
+  // After 1st: P=1, R=0.5 → AP += 0.5*1.
+  // After 2nd: P=0.5, R=0.5 → no recall gain.
+  // After 3rd: P=2/3, R=1 → AP += 0.5*(2/3).
+  const std::vector<double> scores = {0.9, 0.6, 0.3};
+  const std::vector<int> labels = {1, 0, 1};
+  EXPECT_NEAR(average_precision(scores, labels), 0.5 + 0.5 * 2.0 / 3.0, 1e-12);
+}
+
+TEST(PrCurve, AllNegativeLabels) {
+  const std::vector<double> scores = {0.9, 0.1};
+  const std::vector<int> labels = {0, 0};
+  EXPECT_DOUBLE_EQ(average_precision(scores, labels), 0.0);
+}
+
+TEST(PrCurve, BestF1ThresholdSeparates) {
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.3, 0.2, 0.1};
+  const std::vector<int> labels = {1, 1, 1, 0, 0, 0};
+  const double t = best_f1_threshold(scores, labels);
+  // Any threshold in (0.3, 0.7] classifies perfectly; the curve reports 0.7.
+  EXPECT_GT(t, 0.3);
+  EXPECT_LE(t, 0.7);
+}
+
+TEST(PrCurve, RejectsBadInput) {
+  const std::vector<double> s = {0.5};
+  const std::vector<int> two = {1, 0};
+  EXPECT_THROW(precision_recall_curve(s, two), cpsguard::ContractViolation);
+  EXPECT_THROW(precision_recall_curve({}, {}), cpsguard::ContractViolation);
+}
+
+}  // namespace
+}  // namespace cpsguard::eval

@@ -1,0 +1,171 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/contracts.h"
+#include "util/stats.h"
+
+namespace cpsguard::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DifferentStreamsDiverge) {
+  Rng a(7, 1), b(7, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(4);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.stddev(), std::sqrt(1.0 / 12.0), 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformRangeRejectsInverted) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), ContractViolation);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(6);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(8);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(9);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.gaussian(10.0, 2.5));
+  EXPECT_NEAR(s.mean(), 10.0, 0.06);
+  EXPECT_NEAR(s.stddev(), 2.5, 0.05);
+}
+
+TEST(Rng, GaussianRejectsNegativeStddev) {
+  Rng rng(9);
+  EXPECT_THROW(rng.gaussian(0.0, -1.0), ContractViolation);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(10);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(11), b(11);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(ca(), cb());
+}
+
+TEST(Rng, SplitIndependentOfParentContinuation) {
+  Rng parent(12);
+  Rng child = parent.split();
+  // Child stream should not simply replay the parent stream.
+  Rng parent2(12);
+  (void)parent2.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child() == parent2()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(13);
+  const auto p = rng.permutation(100);
+  ASSERT_EQ(p.size(), 100u);
+  std::set<int> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 99);
+}
+
+TEST(Rng, PermutationActuallyShuffles) {
+  Rng rng(14);
+  const auto p = rng.permutation(50);
+  int fixed = 0;
+  for (int i = 0; i < 50; ++i) fixed += (p[static_cast<std::size_t>(i)] == i) ? 1 : 0;
+  EXPECT_LT(fixed, 10);
+}
+
+TEST(Rng, PermutationEmptyAndSingle) {
+  Rng rng(15);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  const auto p = rng.permutation(1);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 0);
+}
+
+}  // namespace
+}  // namespace cpsguard::util

@@ -1,0 +1,84 @@
+#include "safety/rule_coverage.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/closed_loop.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace cpsguard::safety {
+namespace {
+
+std::vector<sim::Trace> small_campaign() {
+  std::vector<sim::Trace> traces;
+  auto patient = sim::make_patient(sim::Testbed::kGlucosymOpenAps);
+  auto controller = sim::make_controller(sim::Testbed::kGlucosymOpenAps);
+  const auto profiles =
+      sim::testbed_profiles(sim::Testbed::kGlucosymOpenAps, 2, 5);
+  util::Rng rng(9);
+  for (int i = 0; i < 6; ++i) {
+    sim::SimConfig cfg;
+    cfg.steps = 80;
+    cfg.inject_fault = i % 2 == 0;
+    traces.push_back(run_closed_loop(*patient, *controller,
+                                     profiles[static_cast<std::size_t>(i % 2)],
+                                     cfg, rng));
+  }
+  return traces;
+}
+
+TEST(RuleCoverage, OneEntryPerRuleWithConsistentCounts) {
+  const auto traces = small_campaign();
+  const auto stats = rule_coverage(traces, 12);
+  ASSERT_EQ(stats.size(), 12u);
+  long expected_steps = 0;
+  for (const auto& t : traces) expected_steps += t.length();
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.total_steps, expected_steps);
+    EXPECT_LE(s.true_positives, s.fires);
+    EXPECT_LE(s.fires, s.total_steps);
+    EXPECT_GE(s.rule_id, 1);
+    EXPECT_LE(s.rule_id, 12);
+    EXPECT_FALSE(s.description.empty());
+    EXPECT_GE(s.fire_rate(), 0.0);
+    EXPECT_LE(s.fire_rate(), 1.0);
+  }
+}
+
+TEST(RuleCoverage, SomeRuleFiresOnFaultyCampaign) {
+  const auto traces = small_campaign();
+  const auto stats = rule_coverage(traces, 12);
+  long total_fires = 0;
+  for (const auto& s : stats) total_fires += s.fires;
+  EXPECT_GT(total_fires, 0) << "a faulty campaign must trip at least one rule";
+}
+
+TEST(RuleCoverage, PrecisionRecallWellDefined) {
+  const auto traces = small_campaign();
+  for (const auto& s : rule_coverage(traces, 12)) {
+    EXPECT_GE(s.precision(), 0.0);
+    EXPECT_LE(s.precision(), 1.0);
+    EXPECT_GE(s.recall(), 0.0);
+    EXPECT_LE(s.recall(), 1.0);
+  }
+}
+
+TEST(RuleCoverage, EmptyTraceSetYieldsZeroCounts) {
+  const std::vector<sim::Trace> none;
+  const auto stats = rule_coverage(none, 12);
+  ASSERT_EQ(stats.size(), 12u);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.total_steps, 0);
+    EXPECT_DOUBLE_EQ(s.fire_rate(), 0.0);
+    EXPECT_DOUBLE_EQ(s.precision(), 0.0);
+    EXPECT_DOUBLE_EQ(s.recall(), 0.0);
+  }
+}
+
+TEST(RuleCoverage, RejectsNegativeHorizon) {
+  const std::vector<sim::Trace> none;
+  EXPECT_THROW(rule_coverage(none, -1), cpsguard::ContractViolation);
+}
+
+}  // namespace
+}  // namespace cpsguard::safety

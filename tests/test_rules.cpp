@@ -1,0 +1,154 @@
+// Table I rules: every one of the 12 formulas fires on a crafted matching
+// context and stays quiet on safe contexts; the semantic indicator equals
+// the disjunction.
+#include "safety/rules_aps.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace cpsguard::safety {
+namespace {
+
+using sim::ControlAction;
+
+WindowContext ctx(double bg, double d_bg, double d_iob, ControlAction a) {
+  WindowContext c;
+  c.bg = bg;
+  c.d_bg = d_bg;
+  c.d_iob = d_iob;
+  c.action = a;
+  return c;
+}
+
+bool rule_fires(int id, const WindowContext& c) {
+  for (const auto& r : aps_safety_rules()) {
+    if (r.id == id) return r.formula->eval(context_signals(c), 0);
+  }
+  ADD_FAILURE() << "unknown rule id " << id;
+  return false;
+}
+
+TEST(ApsRules, ExactlyTwelveRulesWithMetadata) {
+  const auto rules = aps_safety_rules();
+  ASSERT_EQ(rules.size(), 12u);
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].id, static_cast<int>(i) + 1);
+    EXPECT_NE(rules[i].hazard, HazardType::kNone);
+    EXPECT_FALSE(rules[i].description.empty());
+    EXPECT_NE(rules[i].formula, nullptr);
+  }
+}
+
+TEST(ApsRules, HazardAssignmentsMatchTableI) {
+  const auto rules = aps_safety_rules();
+  // Rules 1-5 and 9, 11 imply H2; rules 6-8, 10, 12 imply H1.
+  for (const auto& r : rules) {
+    const bool h2_expected =
+        (r.id >= 1 && r.id <= 5) || r.id == 9 || r.id == 11;
+    EXPECT_EQ(r.hazard, h2_expected ? HazardType::kH2TooLittleInsulin
+                                    : HazardType::kH1TooMuchInsulin)
+        << "rule " << r.id;
+  }
+}
+
+// One positive context per rule (BGT = 120 default).
+TEST(ApsRules, Rule1Fires) {
+  EXPECT_TRUE(rule_fires(1, ctx(180, +0.5, -0.01, ControlAction::kDecreaseInsulin)));
+}
+TEST(ApsRules, Rule2Fires) {
+  EXPECT_TRUE(rule_fires(2, ctx(180, +0.5, 0.0, ControlAction::kDecreaseInsulin)));
+}
+TEST(ApsRules, Rule3Fires) {
+  EXPECT_TRUE(rule_fires(3, ctx(180, -0.5, +0.01, ControlAction::kDecreaseInsulin)));
+}
+TEST(ApsRules, Rule4Fires) {
+  EXPECT_TRUE(rule_fires(4, ctx(180, -0.5, -0.01, ControlAction::kDecreaseInsulin)));
+}
+TEST(ApsRules, Rule5Fires) {
+  EXPECT_TRUE(rule_fires(5, ctx(180, -0.5, 0.0, ControlAction::kDecreaseInsulin)));
+}
+TEST(ApsRules, Rule6Fires) {
+  EXPECT_TRUE(rule_fires(6, ctx(100, -0.5, +0.01, ControlAction::kIncreaseInsulin)));
+}
+TEST(ApsRules, Rule7Fires) {
+  EXPECT_TRUE(rule_fires(7, ctx(100, -0.5, -0.01, ControlAction::kIncreaseInsulin)));
+}
+TEST(ApsRules, Rule8Fires) {
+  EXPECT_TRUE(rule_fires(8, ctx(100, -0.5, 0.0, ControlAction::kIncreaseInsulin)));
+}
+TEST(ApsRules, Rule9Fires) {
+  EXPECT_TRUE(rule_fires(9, ctx(180, 0.0, 0.0, ControlAction::kStopInsulin)));
+}
+TEST(ApsRules, Rule10Fires) {
+  EXPECT_TRUE(rule_fires(10, ctx(60, 0.0, 0.0, ControlAction::kKeepInsulin)));
+  EXPECT_TRUE(rule_fires(10, ctx(60, 0.0, 0.0, ControlAction::kIncreaseInsulin)));
+}
+TEST(ApsRules, Rule10QuietWhenStopping) {
+  EXPECT_FALSE(rule_fires(10, ctx(60, 0.0, 0.0, ControlAction::kStopInsulin)));
+}
+TEST(ApsRules, Rule11Fires) {
+  EXPECT_TRUE(rule_fires(11, ctx(180, +0.5, -0.01, ControlAction::kKeepInsulin)));
+  EXPECT_TRUE(rule_fires(11, ctx(180, +0.5, 0.0, ControlAction::kKeepInsulin)));
+}
+TEST(ApsRules, Rule12Fires) {
+  EXPECT_TRUE(rule_fires(12, ctx(100, -0.5, +0.01, ControlAction::kKeepInsulin)));
+  EXPECT_TRUE(rule_fires(12, ctx(100, -0.5, 0.0, ControlAction::kKeepInsulin)));
+}
+
+TEST(ApsRules, SafeContextsFireNothing) {
+  // In range, stable, keeping insulin: no rule should fire.
+  const auto safe1 = ctx(120, 0.0, 0.0, ControlAction::kKeepInsulin);
+  EXPECT_TRUE(firing_rules(safe1).empty());
+  // Hyperglycemic but correctly increasing insulin.
+  const auto safe2 = ctx(200, +0.5, +0.01, ControlAction::kIncreaseInsulin);
+  EXPECT_TRUE(firing_rules(safe2).empty());
+  // Heading low and correctly decreasing.
+  const auto safe3 = ctx(100, -0.5, -0.01, ControlAction::kDecreaseInsulin);
+  EXPECT_TRUE(firing_rules(safe3).empty());
+}
+
+TEST(ApsRules, IndicatorEqualsDisjunction) {
+  const auto disj = unsafe_action_disjunction();
+  const std::vector<WindowContext> contexts = {
+      ctx(180, +0.5, -0.01, ControlAction::kDecreaseInsulin),
+      ctx(120, 0.0, 0.0, ControlAction::kKeepInsulin),
+      ctx(60, 0.0, 0.0, ControlAction::kKeepInsulin),
+      ctx(200, +0.5, +0.01, ControlAction::kIncreaseInsulin),
+  };
+  for (const auto& c : contexts) {
+    EXPECT_EQ(semantic_indicator(c),
+              disj->eval(context_signals(c), 0) ? 1 : 0);
+  }
+}
+
+TEST(ApsRules, IndicatorRespectsBgTarget) {
+  // BG 130 with falling trend and increase action: unsafe iff BGT above 130.
+  const auto c = ctx(130, -0.5, 0.0, ControlAction::kIncreaseInsulin);
+  EXPECT_EQ(semantic_indicator(c, 140.0), 1);  // BG < BGT → rule 8
+  EXPECT_EQ(semantic_indicator(c, 120.0), 0);  // BG > BGT, no u2 rule matches
+}
+
+TEST(ApsRules, DerivativeDeadBandTreatedAsZero) {
+  // |dIOB| below the dead-band counts as "= 0" (rule 2, not rule 1).
+  const auto c = ctx(180, +0.5, kDiobZeroEps / 2, ControlAction::kDecreaseInsulin);
+  const auto firing = firing_rules(c);
+  EXPECT_NE(std::find(firing.begin(), firing.end(), 2), firing.end());
+  EXPECT_EQ(std::find(firing.begin(), firing.end(), 1), firing.end());
+}
+
+TEST(ApsRules, ContextSignalsCarryOneHotAction) {
+  const auto st = context_signals(ctx(120, 0, 0, ControlAction::kStopInsulin));
+  EXPECT_DOUBLE_EQ(st.value("u3", 0), 1.0);
+  EXPECT_DOUBLE_EQ(st.value("u1", 0), 0.0);
+  EXPECT_DOUBLE_EQ(st.value("u2", 0), 0.0);
+  EXPECT_DOUBLE_EQ(st.value("u4", 0), 0.0);
+  EXPECT_DOUBLE_EQ(st.value("BG", 0), 120.0);
+}
+
+TEST(ApsRules, RejectsBadBgTarget) {
+  EXPECT_THROW(aps_safety_rules(50.0), cpsguard::ContractViolation);
+}
+
+}  // namespace
+}  // namespace cpsguard::safety

@@ -1,0 +1,126 @@
+#include "monitor/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace cpsguard::monitor {
+namespace {
+
+nn::Tensor3 random_data(int b, int t, int f, util::Rng& rng) {
+  nn::Tensor3 x(b, t, f);
+  for (int bi = 0; bi < b; ++bi) {
+    for (int ti = 0; ti < t; ++ti) {
+      for (int fi = 0; fi < f; ++fi) {
+        // Each feature has its own scale/offset.
+        x.at(bi, ti, fi) =
+            static_cast<float>(rng.gaussian(10.0 * fi, 1.0 + fi));
+      }
+    }
+  }
+  return x;
+}
+
+TEST(Scaler, TransformStandardizesEachFeature) {
+  util::Rng rng(1);
+  const nn::Tensor3 x = random_data(200, 3, 4, rng);
+  StandardScaler scaler;
+  scaler.fit(x);
+  const nn::Tensor3 z = scaler.transform(x);
+  for (int f = 0; f < 4; ++f) {
+    util::RunningStats s;
+    for (int b = 0; b < z.batch(); ++b) {
+      for (int t = 0; t < z.time(); ++t) s.add(z.at(b, t, f));
+    }
+    EXPECT_NEAR(s.mean(), 0.0, 1e-3) << "feature " << f;
+    EXPECT_NEAR(s.stddev(), 1.0, 1e-2) << "feature " << f;
+  }
+}
+
+TEST(Scaler, InverseTransformRoundtrips) {
+  util::Rng rng(2);
+  const nn::Tensor3 x = random_data(50, 2, 3, rng);
+  StandardScaler scaler;
+  scaler.fit(x);
+  const nn::Tensor3 back = scaler.inverse_transform(scaler.transform(x));
+  for (int b = 0; b < x.batch(); ++b) {
+    for (int t = 0; t < x.time(); ++t) {
+      for (int f = 0; f < x.features(); ++f) {
+        EXPECT_NEAR(back.at(b, t, f), x.at(b, t, f), 1e-2);
+      }
+    }
+  }
+}
+
+TEST(Scaler, StdOfReportsRawUnits) {
+  util::Rng rng(3);
+  const nn::Tensor3 x = random_data(400, 2, 3, rng);
+  StandardScaler scaler;
+  scaler.fit(x);
+  // Feature 2 was generated with std 3.
+  EXPECT_NEAR(scaler.std_of(2), 3.0, 0.15);
+  EXPECT_NEAR(scaler.mean_of(2), 20.0, 0.3);
+}
+
+TEST(Scaler, ConstantFeaturePassesThroughCentered) {
+  nn::Tensor3 x(10, 1, 2);
+  for (int b = 0; b < 10; ++b) {
+    x.at(b, 0, 0) = 7.0f;                        // constant
+    x.at(b, 0, 1) = static_cast<float>(b);       // varying
+  }
+  StandardScaler scaler;
+  scaler.fit(x);
+  const nn::Tensor3 z = scaler.transform(x);
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_FLOAT_EQ(z.at(b, 0, 0), 0.0f);  // centered, unit divisor
+  }
+  EXPECT_DOUBLE_EQ(scaler.std_of(0), 1.0);
+}
+
+TEST(Scaler, SaveLoadRoundtrip) {
+  util::Rng rng(4);
+  const nn::Tensor3 x = random_data(30, 2, 5, rng);
+  StandardScaler a;
+  a.fit(x);
+  std::stringstream ss;
+  a.save(ss);
+  StandardScaler b;
+  b.load(ss);
+  ASSERT_EQ(b.features(), 5);
+  for (int f = 0; f < 5; ++f) {
+    EXPECT_DOUBLE_EQ(b.mean_of(f), a.mean_of(f));
+    EXPECT_DOUBLE_EQ(b.std_of(f), a.std_of(f));
+  }
+}
+
+TEST(Scaler, UnfittedOperationsThrow) {
+  StandardScaler scaler;
+  EXPECT_FALSE(scaler.fitted());
+  nn::Tensor3 x(1, 1, 1);
+  EXPECT_THROW(scaler.transform(x), cpsguard::ContractViolation);
+  EXPECT_THROW(scaler.std_of(0), cpsguard::ContractViolation);
+  std::stringstream ss;
+  EXPECT_THROW(scaler.save(ss), cpsguard::ContractViolation);
+}
+
+TEST(Scaler, FeatureWidthMismatchThrows) {
+  util::Rng rng(5);
+  const nn::Tensor3 x = random_data(10, 1, 3, rng);
+  StandardScaler scaler;
+  scaler.fit(x);
+  const nn::Tensor3 wrong = random_data(10, 1, 4, rng);
+  EXPECT_THROW(scaler.transform(wrong), cpsguard::ContractViolation);
+}
+
+TEST(Scaler, LoadTruncatedStreamThrows) {
+  StandardScaler scaler;
+  std::stringstream ss("abc");
+  EXPECT_THROW(scaler.load(ss), cpsguard::ContractViolation);
+}
+
+}  // namespace
+}  // namespace cpsguard::monitor

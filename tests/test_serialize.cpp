@@ -1,0 +1,120 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace cpsguard::nn {
+namespace {
+
+Tensor3 random_tensor(int b, int t, int f, util::Rng& rng) {
+  Tensor3 x(b, t, f);
+  for (float& v : x.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return x;
+}
+
+TEST(Serialize, StreamRoundtripPreservesWeights) {
+  util::Rng rng(1);
+  MlpClassifier a(2, 3, {5}, 2, rng);
+  util::Rng rng2(99);
+  MlpClassifier b(2, 3, {5}, 2, rng2);
+
+  std::stringstream ss;
+  {
+    const auto ps = a.params();
+    save_params(ss, ps);
+  }
+  {
+    const auto ps = b.params();
+    load_params(ss, ps);
+  }
+  const auto pa = a.params();
+  const auto pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i]->value == pb[i]->value) << pa[i]->name;
+  }
+}
+
+TEST(Serialize, LoadedModelPredictsIdentically) {
+  util::Rng rng(2);
+  LstmClassifier a(3, 2, {4}, 2, rng);
+  util::Rng rng2(77);
+  LstmClassifier b(3, 2, {4}, 2, rng2);
+  std::stringstream ss;
+  {
+    const auto ps = a.params();
+    save_params(ss, ps);
+  }
+  {
+    const auto ps = b.params();
+    load_params(ss, ps);
+  }
+  util::Rng xr(3);
+  const Tensor3 x = random_tensor(4, 3, 2, xr);
+  EXPECT_TRUE(a.predict_proba(x) == b.predict_proba(x));
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  util::Rng rng(4);
+  MlpClassifier clf(1, 2, {3}, 2, rng);
+  std::stringstream ss("XXXXGARBAGE");
+  const auto ps = clf.params();
+  EXPECT_THROW(load_params(ss, ps), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  util::Rng rng(5);
+  MlpClassifier clf(1, 2, {3}, 2, rng);
+  std::stringstream ss;
+  {
+    const auto ps = clf.params();
+    save_params(ss, ps);
+  }
+  std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  const auto ps = clf.params();
+  EXPECT_THROW(load_params(truncated, ps), std::runtime_error);
+}
+
+TEST(Serialize, RejectsShapeMismatch) {
+  util::Rng rng(6);
+  MlpClassifier small(1, 2, {3}, 2, rng);
+  util::Rng rng2(7);
+  MlpClassifier big(1, 2, {9}, 2, rng2);
+  std::stringstream ss;
+  {
+    const auto ps = small.params();
+    save_params(ss, ps);
+  }
+  const auto ps = big.params();
+  EXPECT_THROW(load_params(ss, ps), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundtrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cpsguard_model_test.bin").string();
+  util::Rng rng(8);
+  MlpClassifier a(2, 2, {4}, 2, rng);
+  save_classifier(path, a);
+  util::Rng rng2(9);
+  MlpClassifier b(2, 2, {4}, 2, rng2);
+  load_classifier(path, b);
+  util::Rng xr(10);
+  const Tensor3 x = random_tensor(2, 2, 2, xr);
+  EXPECT_TRUE(a.predict_proba(x) == b.predict_proba(x));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  util::Rng rng(11);
+  MlpClassifier clf(1, 2, {3}, 2, rng);
+  EXPECT_THROW(load_classifier("/nonexistent/model.bin", clf), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cpsguard::nn

@@ -1,0 +1,143 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace cpsguard::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  const double m = (1 + 2 + 4 + 8 + 16) / 5.0;
+  double var = 0.0;
+  for (double x : xs) var += (x - m) * (x - m);
+  var /= 5.0;
+  EXPECT_NEAR(s.mean(), m, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  Rng rng(1);
+  RunningStats a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(3.0, 2.0);
+    if (i % 2 == 0) {
+      a.add(x);
+    } else {
+      b.add(x);
+    }
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean_before);
+}
+
+TEST(SpanStats, MeanAndStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(mean(xs), 5.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), 2.0, 1e-12);
+}
+
+TEST(SpanStats, FloatVariant) {
+  const std::vector<float> xs = {1.0f, 3.0f};
+  EXPECT_NEAR(mean_f(xs), 2.0, 1e-6);
+  EXPECT_NEAR(stddev_f(xs), 1.0, 1e-6);
+}
+
+TEST(Quantile, MedianOfOddSet) {
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> xs = {5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 9.0);
+}
+
+TEST(Quantile, Interpolates) {
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Quantile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Quantile, RejectsOutOfRangeQ) {
+  EXPECT_THROW(quantile({1.0}, 1.5), ContractViolation);
+}
+
+TEST(Histogram, BinsAndCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(Histogram, CountsAndDensity) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);  // bin 0
+  h.add(1.5);  // bin 0
+  h.add(5.0);  // bin 2
+  h.add(9.9);  // bin 4
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_DOUBLE_EQ(h.density(0), 0.5);
+}
+
+TEST(Histogram, ClampsOutliers) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-100.0);
+  h.add(+100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+  EXPECT_THROW(Histogram(1.0, 0.0, 3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cpsguard::util

@@ -1,0 +1,145 @@
+#include "safety/stl_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace cpsguard::safety {
+namespace {
+
+SignalTrace make_trace() {
+  SignalTrace st;
+  st.add_signal("BG", {100, 130, 170, 190, 210});
+  st.add_signal("dBG", {0.0, 0.5, 0.8, 0.6, 0.4});
+  st.add_signal("u3", {0, 0, 0, 1, 1});
+  return st;
+}
+
+TEST(StlParser, SimpleAtom) {
+  const auto f = parse_stl("BG > 180");
+  const SignalTrace st = make_trace();
+  EXPECT_FALSE(f->eval(st, 2));
+  EXPECT_TRUE(f->eval(st, 3));
+}
+
+TEST(StlParser, AllComparisonOperators) {
+  const SignalTrace st = make_trace();
+  EXPECT_TRUE(parse_stl("BG >= 100")->eval(st, 0));
+  EXPECT_TRUE(parse_stl("BG <= 100")->eval(st, 0));
+  EXPECT_FALSE(parse_stl("BG < 100")->eval(st, 0));
+  EXPECT_FALSE(parse_stl("BG > 100")->eval(st, 0));
+  EXPECT_TRUE(parse_stl("BG == 100")->eval(st, 0));
+  EXPECT_TRUE(parse_stl("BG == 100.5 ~ 1.0")->eval(st, 0));
+  EXPECT_FALSE(parse_stl("BG == 102 ~ 1.0")->eval(st, 0));
+}
+
+TEST(StlParser, NegativeThreshold) {
+  SignalTrace st;
+  st.add_signal("dIOB", {-0.5});
+  EXPECT_TRUE(parse_stl("dIOB < -0.1")->eval(st, 0));
+  EXPECT_FALSE(parse_stl("dIOB > -0.6 && dIOB > 0")->eval(st, 0));
+}
+
+TEST(StlParser, BooleanConnectivesAndPrecedence) {
+  const SignalTrace st = make_trace();
+  // && binds tighter than ||: false && false || true == true.
+  const auto f = parse_stl("BG > 500 && dBG > 0 || u3 > 0.5");
+  EXPECT_TRUE(f->eval(st, 3));
+  EXPECT_FALSE(f->eval(st, 0));
+}
+
+TEST(StlParser, Negation) {
+  const SignalTrace st = make_trace();
+  EXPECT_TRUE(parse_stl("!(BG > 180)")->eval(st, 0));
+  EXPECT_FALSE(parse_stl("!!(BG > 500)")->eval(st, 0));
+}
+
+TEST(StlParser, TemporalOperators) {
+  const SignalTrace st = make_trace();
+  EXPECT_TRUE(parse_stl("F[0,4](BG > 200)")->eval(st, 0));
+  EXPECT_FALSE(parse_stl("F[0,2](BG > 200)")->eval(st, 0));
+  EXPECT_TRUE(parse_stl("G[0,4](BG >= 100)")->eval(st, 0));
+  EXPECT_FALSE(parse_stl("G[1,3](BG > 150)")->eval(st, 0));
+}
+
+TEST(StlParser, UntilOperator) {
+  const SignalTrace st = make_trace();
+  // BG stays below 200 until u3 fires within [0,4].
+  const auto f = parse_stl("BG < 200 U[0,4] u3 > 0.5");
+  EXPECT_TRUE(f->eval(st, 0));
+  // Impossible right-hand side.
+  EXPECT_FALSE(parse_stl("BG < 200 U[0,4] BG > 500")->eval(st, 0));
+}
+
+TEST(StlParser, UntilSemanticLhsMustHold) {
+  SignalTrace st;
+  st.add_signal("a", {1, 0, 1});
+  st.add_signal("b", {0, 0, 1});
+  // a fails at index 1, before b holds at 2.
+  EXPECT_FALSE(parse_stl("a > 0.5 U[0,2] b > 0.5")->eval(st, 0));
+  // With the window starting where b already holds it still fails because
+  // a must hold on [t, u) and a(1)=0 with u=2... but u can also be 0/1? b=0 there.
+  st = SignalTrace();
+  st.add_signal("a", {1, 1, 1});
+  st.add_signal("b", {0, 0, 1});
+  EXPECT_TRUE(parse_stl("a > 0.5 U[0,2] b > 0.5")->eval(st, 0));
+}
+
+TEST(StlParser, KeywordsAndRoundtrip) {
+  const SignalTrace st = make_trace();
+  EXPECT_TRUE(parse_stl("true")->eval(st, 0));
+  EXPECT_FALSE(parse_stl("false")->eval(st, 0));
+  // Round-trip: parse → print → parse yields the same evaluations.
+  const auto f = parse_stl("(BG > 120 && dBG > 0.1) || F[0,3](u3 > 0.5)");
+  const auto g = parse_stl(f->to_string());
+  for (int t = 0; t < st.length(); ++t) {
+    EXPECT_EQ(f->eval(st, t), g->eval(st, t)) << "t=" << t;
+  }
+}
+
+TEST(StlParser, SignalNamesWithUnderscoresAndDigits) {
+  SignalTrace st;
+  st.add_signal("u1_decrease", {1});
+  EXPECT_TRUE(parse_stl("u1_decrease > 0.5")->eval(st, 0));
+}
+
+TEST(StlParser, TableIRulesParseFromText) {
+  // Rule 9 and rule 10 of Table I, as a safety engineer would author them.
+  const auto rule9 = parse_stl("BG > 120 && u3 > 0.5");
+  const auto rule10 = parse_stl("BG < 70 && !(u3 > 0.5)");
+  SignalTrace st;
+  st.add_signal("BG", {190, 60});
+  st.add_signal("u3", {1, 0});
+  EXPECT_TRUE(rule9->eval(st, 0));
+  EXPECT_FALSE(rule9->eval(st, 1));
+  EXPECT_TRUE(rule10->eval(st, 1));
+  EXPECT_FALSE(rule10->eval(st, 0));
+}
+
+TEST(StlParser, ErrorsCarryPosition) {
+  try {
+    parse_stl("BG >");
+    FAIL() << "expected parse error";
+  } catch (const StlParseError& e) {
+    EXPECT_GE(e.position(), 4u);
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(StlParser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_stl(""), StlParseError);
+  EXPECT_THROW(parse_stl("BG"), StlParseError);
+  EXPECT_THROW(parse_stl("BG > abc"), StlParseError);
+  EXPECT_THROW(parse_stl("(BG > 1"), StlParseError);
+  EXPECT_THROW(parse_stl("BG > 1 extra"), StlParseError);
+  EXPECT_THROW(parse_stl("G[3,1](BG > 1)"), StlParseError);
+  EXPECT_THROW(parse_stl("F[0,2] BG > 1"), StlParseError);
+  EXPECT_THROW(parse_stl("&& BG > 1"), StlParseError);
+}
+
+TEST(StlParser, WhitespaceInsensitive) {
+  const SignalTrace st = make_trace();
+  const auto f = parse_stl("  BG>180&&dBG  >0.1  ");
+  EXPECT_TRUE(f->eval(st, 3));
+}
+
+}  // namespace
+}  // namespace cpsguard::safety

@@ -1,0 +1,44 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace cpsguard::util {
+namespace {
+
+TEST(Table, FixedFormatting) {
+  EXPECT_EQ(Table::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fixed(2.0, 0), "2");
+  EXPECT_EQ(Table::fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  // Header row, separator, two data rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22 |"), std::string::npos);
+}
+
+TEST(Table, SeparatorMatchesWidths) {
+  Table t({"ab"});
+  t.add_row({"xyzw"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("|------|"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), ContractViolation);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cpsguard::util

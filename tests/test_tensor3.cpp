@@ -1,0 +1,125 @@
+#include "nn/tensor3.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace cpsguard::nn {
+namespace {
+
+Tensor3 random_tensor(int b, int t, int f, util::Rng& rng) {
+  Tensor3 x(b, t, f);
+  for (float& v : x.data()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return x;
+}
+
+TEST(Tensor3, ShapeAndIndexing) {
+  Tensor3 x(2, 3, 4);
+  EXPECT_EQ(x.batch(), 2);
+  EXPECT_EQ(x.time(), 3);
+  EXPECT_EQ(x.features(), 4);
+  EXPECT_EQ(x.size(), 24);
+  x.at(1, 2, 3) = 7.0f;
+  EXPECT_FLOAT_EQ(x.at(1, 2, 3), 7.0f);
+  EXPECT_FLOAT_EQ(x.at(0, 0, 0), 0.0f);
+}
+
+TEST(Tensor3, IndexOutOfRangeThrows) {
+  Tensor3 x(1, 1, 1);
+  EXPECT_THROW(x.at(1, 0, 0), ContractViolation);
+  EXPECT_THROW(x.at(0, 1, 0), ContractViolation);
+  EXPECT_THROW(x.at(0, 0, 1), ContractViolation);
+}
+
+TEST(Tensor3, RowViewIsWritable) {
+  Tensor3 x(1, 2, 3);
+  auto row = x.row(0, 1);
+  row[2] = 9.0f;
+  EXPECT_FLOAT_EQ(x.at(0, 1, 2), 9.0f);
+}
+
+TEST(Tensor3, TimeSliceRoundtrip) {
+  util::Rng rng(31);
+  Tensor3 x = random_tensor(3, 4, 5, rng);
+  const Matrix slice = x.time_slice(2);
+  EXPECT_EQ(slice.rows(), 3);
+  EXPECT_EQ(slice.cols(), 5);
+  for (int b = 0; b < 3; ++b) {
+    for (int f = 0; f < 5; ++f) {
+      EXPECT_FLOAT_EQ(slice.at(b, f), x.at(b, 2, f));
+    }
+  }
+  Tensor3 y(3, 4, 5);
+  y.set_time_slice(2, slice);
+  for (int b = 0; b < 3; ++b) {
+    for (int f = 0; f < 5; ++f) {
+      EXPECT_FLOAT_EQ(y.at(b, 2, f), x.at(b, 2, f));
+    }
+  }
+}
+
+TEST(Tensor3, FlattenRoundtrip) {
+  util::Rng rng(32);
+  const Tensor3 x = random_tensor(4, 3, 2, rng);
+  const Matrix flat = x.flatten();
+  EXPECT_EQ(flat.rows(), 4);
+  EXPECT_EQ(flat.cols(), 6);
+  const Tensor3 back = Tensor3::from_flat(flat, 3, 2);
+  EXPECT_TRUE(back == x);
+}
+
+TEST(Tensor3, FlattenLayoutIsTimeMajor) {
+  Tensor3 x(1, 2, 2);
+  x.at(0, 0, 0) = 1;
+  x.at(0, 0, 1) = 2;
+  x.at(0, 1, 0) = 3;
+  x.at(0, 1, 1) = 4;
+  const Matrix flat = x.flatten();
+  EXPECT_FLOAT_EQ(flat.at(0, 0), 1);
+  EXPECT_FLOAT_EQ(flat.at(0, 1), 2);
+  EXPECT_FLOAT_EQ(flat.at(0, 2), 3);
+  EXPECT_FLOAT_EQ(flat.at(0, 3), 4);
+}
+
+TEST(Tensor3, FromFlatRejectsBadWidth) {
+  EXPECT_THROW(Tensor3::from_flat(Matrix(2, 5), 2, 2), ContractViolation);
+}
+
+TEST(Tensor3, GatherSelectsRows) {
+  util::Rng rng(33);
+  const Tensor3 x = random_tensor(5, 2, 3, rng);
+  const std::vector<int> idx = {4, 0, 4};
+  const Tensor3 g = x.gather(idx);
+  EXPECT_EQ(g.batch(), 3);
+  for (int t = 0; t < 2; ++t) {
+    for (int f = 0; f < 3; ++f) {
+      EXPECT_FLOAT_EQ(g.at(0, t, f), x.at(4, t, f));
+      EXPECT_FLOAT_EQ(g.at(1, t, f), x.at(0, t, f));
+      EXPECT_FLOAT_EQ(g.at(2, t, f), x.at(4, t, f));
+    }
+  }
+}
+
+TEST(Tensor3, GatherRejectsBadIndex) {
+  const Tensor3 x(2, 1, 1);
+  const std::vector<int> idx = {2};
+  EXPECT_THROW(x.gather(idx), ContractViolation);
+}
+
+TEST(Tensor3, FillAndMaxAbs) {
+  Tensor3 x(2, 2, 2);
+  x.fill(-3.0f);
+  EXPECT_FLOAT_EQ(x.max_abs(), 3.0f);
+  x.at(1, 1, 1) = 10.0f;
+  EXPECT_FLOAT_EQ(x.max_abs(), 10.0f);
+}
+
+TEST(Tensor3, EmptyTensor) {
+  const Tensor3 x;
+  EXPECT_TRUE(x.empty());
+  EXPECT_EQ(x.size(), 0);
+}
+
+}  // namespace
+}  // namespace cpsguard::nn

@@ -1,0 +1,84 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace cpsguard::util {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SizeReflectsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(257, [&](int i) { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterations) {
+  parallel_for(0, [](int) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, SingleThreadRunsInline) {
+  std::vector<int> order;
+  parallel_for(5, [&](int i) { order.push_back(i); }, /*threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(
+      parallel_for(10, [](int i) {
+        if (i == 7) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, CompletesAllDespiteOneFailure) {
+  std::atomic<int> completed{0};
+  try {
+    parallel_for(50, [&](int i) {
+      if (i == 3) throw std::runtime_error("boom");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(completed.load(), 49);
+}
+
+TEST(ParallelFor, ParallelSumMatchesSerial) {
+  const int n = 1000;
+  std::vector<long> parts(static_cast<std::size_t>(n));
+  parallel_for(n, [&](int i) { parts[static_cast<std::size_t>(i)] = static_cast<long>(i) * i; });
+  const long got = std::accumulate(parts.begin(), parts.end(), 0L);
+  long want = 0;
+  for (int i = 0; i < n; ++i) want += static_cast<long>(i) * i;
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace cpsguard::util

@@ -1,0 +1,128 @@
+#include "attack/universal.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/robustness.h"
+#include "monitor/features.h"
+#include "nn/classifier.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace cpsguard::attack {
+namespace {
+
+using monitor::Features;
+
+nn::Tensor3 random_windows(int n, int t, util::Rng& rng) {
+  nn::Tensor3 x(n, t, Features::kNumFeatures);
+  for (float& v : x.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return x;
+}
+
+// Train a small model on a separable task so there is real structure for a
+// universal perturbation to exploit.
+std::unique_ptr<nn::Classifier> trained_model(const nn::Tensor3& x,
+                                              const std::vector<int>& y) {
+  util::Rng rng(3);
+  auto clf = std::make_unique<nn::MlpClassifier>(
+      x.time(), x.features(), std::vector<int>{16}, 2, rng);
+  nn::Adam adam(0.01);
+  const nn::SoftmaxCrossEntropy ce;
+  for (int e = 0; e < 30; ++e) clf->train_batch(x, y, {}, ce, adam);
+  return clf;
+}
+
+class UniversalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng xr(4);
+    x_ = random_windows(200, 2, xr);
+    y_.resize(200);
+    for (int i = 0; i < 200; ++i) {
+      y_[static_cast<std::size_t>(i)] =
+          x_.at(i, 0, Features::kBg) + x_.at(i, 1, Features::kBg) > 0 ? 1 : 0;
+    }
+    clf_ = trained_model(x_, y_);
+  }
+
+  nn::Tensor3 x_;
+  std::vector<int> y_;
+  std::unique_ptr<nn::Classifier> clf_;
+};
+
+TEST_F(UniversalTest, DeltaRespectsBudgetAndShape) {
+  UniversalConfig cfg;
+  cfg.epsilon = 0.15;
+  const nn::Tensor3 delta = craft_universal_perturbation(*clf_, x_, y_, cfg);
+  EXPECT_EQ(delta.batch(), 1);
+  EXPECT_EQ(delta.time(), x_.time());
+  EXPECT_EQ(delta.features(), x_.features());
+  EXPECT_LE(delta.max_abs(), cfg.epsilon + 1e-6);
+}
+
+TEST_F(UniversalTest, SingleDeltaFlipsManyPredictions) {
+  UniversalConfig cfg;
+  cfg.epsilon = 0.4;  // generous budget on a linear-ish task
+  cfg.epochs = 8;
+  const nn::Tensor3 delta = craft_universal_perturbation(*clf_, x_, y_, cfg);
+  const auto clean = nn::predict_classes(*clf_, x_);
+  const auto adv =
+      nn::predict_classes(*clf_, apply_universal_perturbation(x_, delta));
+  const double err = eval::robustness_error(clean, adv);
+  EXPECT_GT(err, 0.15) << "one shared delta should flip a sizable fraction";
+}
+
+TEST_F(UniversalTest, TransfersToUnseenWindows) {
+  UniversalConfig cfg;
+  cfg.epsilon = 0.4;
+  cfg.epochs = 8;
+  const nn::Tensor3 delta = craft_universal_perturbation(*clf_, x_, y_, cfg);
+  util::Rng xr(9);
+  const nn::Tensor3 unseen = random_windows(100, 2, xr);
+  const auto clean = nn::predict_classes(*clf_, unseen);
+  const auto adv =
+      nn::predict_classes(*clf_, apply_universal_perturbation(unseen, delta));
+  EXPECT_GT(eval::robustness_error(clean, adv), 0.1)
+      << "universal perturbations must be input-agnostic";
+}
+
+TEST_F(UniversalTest, MaskZerosCommandCoordinates) {
+  UniversalConfig cfg;
+  cfg.epsilon = 0.2;
+  cfg.mask = FeatureMask::kSensorsOnly;
+  const nn::Tensor3 delta = craft_universal_perturbation(*clf_, x_, y_, cfg);
+  for (int t = 0; t < delta.time(); ++t) {
+    for (int f = 0; f < delta.features(); ++f) {
+      if (Features::is_command_feature(f)) {
+        EXPECT_FLOAT_EQ(delta.at(0, t, f), 0.0f);
+      }
+    }
+  }
+}
+
+TEST_F(UniversalTest, ApplyAddsDeltaEverywhere) {
+  nn::Tensor3 delta(1, x_.time(), x_.features());
+  delta.fill(0.5f);
+  const nn::Tensor3 shifted = apply_universal_perturbation(x_, delta);
+  for (int b = 0; b < 5; ++b) {
+    for (int t = 0; t < x_.time(); ++t) {
+      EXPECT_FLOAT_EQ(shifted.at(b, t, 0), x_.at(b, t, 0) + 0.5f);
+    }
+  }
+}
+
+TEST_F(UniversalTest, ApplyRejectsShapeMismatch) {
+  nn::Tensor3 wrong(1, x_.time() + 1, x_.features());
+  EXPECT_THROW(apply_universal_perturbation(x_, wrong),
+               cpsguard::ContractViolation);
+}
+
+TEST_F(UniversalTest, RejectsBadConfig) {
+  UniversalConfig cfg;
+  cfg.epochs = 0;
+  EXPECT_THROW(craft_universal_perturbation(*clf_, x_, y_, cfg),
+               cpsguard::ContractViolation);
+}
+
+}  // namespace
+}  // namespace cpsguard::attack
