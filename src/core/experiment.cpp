@@ -1,8 +1,10 @@
 #include "core/experiment.h"
 
+#include "core/online_monitor.h"
 #include "monitor/features.h"
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <sstream>
 
@@ -363,6 +365,150 @@ EvalResult Experiment::evaluate_under_blackbox(const MonitorVariant& v,
   r.confusion = evaluate(preds);
   r.robustness_err = eval::robustness_error(clean_predictions(v), preds);
   return r;
+}
+
+std::string to_string(RuntimeMode m) {
+  switch (m) {
+    case RuntimeMode::kRawMl: return "ml_raw";
+    case RuntimeMode::kResilient: return "resilient";
+    case RuntimeMode::kRuleOnly: return "rule_only";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double default_input_fault_magnitude(sim::FaultType t) {
+  switch (t) {
+    case sim::FaultType::kSensorDelay: return 4.0;     // cycles (20 min)
+    case sim::FaultType::kSensorGarbage: return 5000.0;  // wild-value ceiling
+    case sim::FaultType::kSensorSpike: return 150.0;   // mg/dL
+    default: return 0.0;
+  }
+}
+
+/// Corrupt the monitor's view of a trace: the sensor channel goes through
+/// the injector and d_bg is re-derived from the corrupted stream with the
+/// same 15-minute lookback the closed loop uses (NaN propagates).
+std::vector<sim::StepRecord> corrupt_monitor_input(const sim::Trace& trace,
+                                                   sim::FaultInjector& faults) {
+  constexpr int kTrendLookback = 3;
+  std::vector<sim::StepRecord> out;
+  out.reserve(trace.steps.size());
+  std::vector<double> bg_history;
+  for (const auto& orig : trace.steps) {
+    sim::StepRecord r = orig;
+    r.sensor_bg = faults.sense(orig.sensor_bg, orig.step);
+    const int lag =
+        std::min<int>(kTrendLookback, static_cast<int>(bg_history.size()));
+    r.d_bg = lag > 0
+                 ? (r.sensor_bg -
+                    bg_history[bg_history.size() - static_cast<std::size_t>(lag)]) /
+                       (lag * sim::kControlPeriodMin)
+                 : 0.0;
+    bg_history.push_back(r.sensor_bg);
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+eval::ResilienceReport Experiment::evaluate_resilience(
+    const MonitorVariant& variant, RuntimeMode mode, sim::FaultType fault_type,
+    double fault_rate, const ResilienceEvalConfig& rc) {
+  prepare();
+  expects(fault_type == sim::FaultType::kNone || sim::is_input_fault(fault_type),
+          "resilience evaluation takes a monitor-input fault (or kNone)");
+  expects(fault_rate >= 0.0 && fault_rate <= 1.0, "fault rate must be in [0,1]");
+
+  monitor::MlMonitor* ml =
+      mode == RuntimeMode::kRuleOnly ? nullptr : &monitor(variant);
+  safety::RuleBasedMonitor& rules = rule_monitor();
+
+  eval::ResilienceReport total;
+  const auto& traces = data_->test_traces;
+  for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+    const sim::Trace& trace = traces[ti];
+    sim::FaultSpec spec;
+    if (fault_type != sim::FaultType::kNone) {
+      spec.type = fault_type;
+      spec.start_step = rc.runtime.window;  // let the ML window warm up
+      spec.duration_steps = trace.length();
+      spec.rate = fault_rate;
+      spec.magnitude = default_input_fault_magnitude(fault_type);
+    }
+    sim::FaultInjector faults(spec,
+                              rc.fault_seed + 0x9e3779b97f4a7c15ULL * (ti + 1));
+    const std::vector<sim::StepRecord> corrupted =
+        corrupt_monitor_input(trace, faults);
+
+    std::vector<eval::StepOutcome> outcomes;
+    outcomes.reserve(corrupted.size());
+    switch (mode) {
+      case RuntimeMode::kResilient: {
+        ResilientMonitor rm(*ml, rc.runtime);
+        for (const auto& r : corrupted) {
+          const ResilientVerdict v = rm.step(r);
+          eval::StepOutcome o;
+          o.prediction = v.prediction;
+          o.ready = v.ready;
+          o.sample_valid = v.sample_fault == SampleFault::kNone;
+          switch (v.state) {
+            case MonitorState::kMlActive: o.regime = eval::Regime::kMl; break;
+            case MonitorState::kDegraded: o.regime = eval::Regime::kFallback; break;
+            case MonitorState::kFailSafe: o.regime = eval::Regime::kFailSafe; break;
+          }
+          o.available = v.ready && v.state != MonitorState::kFailSafe;
+          outcomes.push_back(o);
+        }
+        eval::ResilienceReport rep =
+            eval::evaluate_resilience(trace, outcomes, rc.tolerance_delta);
+        const ResilienceTelemetry& tel = rm.telemetry();
+        rep.fallback_entries = tel.fallback_entries;
+        rep.recoveries = tel.recoveries;
+        rep.recovery_latency_sum = tel.recovery_latency_sum;
+        total += rep;
+        break;
+      }
+      case RuntimeMode::kRawMl: {
+        OnlineMonitor om(*ml, rc.runtime.window);
+        InputValidator validator(rc.runtime.validator);
+        int clean_run = 0;  // cycles since the last corrupted sample
+        for (const auto& r : corrupted) {
+          const OnlineVerdict v = om.step(r);
+          const bool valid = validator.check(r) == SampleFault::kNone;
+          clean_run = valid ? clean_run + 1 : 0;
+          eval::StepOutcome o;
+          o.prediction = v.prediction;
+          o.ready = v.ready;
+          o.sample_valid = valid;
+          o.regime = eval::Regime::kMl;
+          // A raw verdict is trustworthy only when the whole inference
+          // window was uncorrupted — the monitor itself cannot tell.
+          o.available = v.ready && clean_run >= rc.runtime.window;
+          outcomes.push_back(o);
+        }
+        total += eval::evaluate_resilience(trace, outcomes, rc.tolerance_delta);
+        break;
+      }
+      case RuntimeMode::kRuleOnly: {
+        InputValidator validator(rc.runtime.validator);
+        for (const auto& r : corrupted) {
+          eval::StepOutcome o;
+          o.prediction = rules.predict_step(r);
+          o.ready = true;
+          o.sample_valid = validator.check(r) == SampleFault::kNone;
+          o.regime = eval::Regime::kFallback;
+          o.available = o.sample_valid;
+          outcomes.push_back(o);
+        }
+        total += eval::evaluate_resilience(trace, outcomes, rc.tolerance_delta);
+        break;
+      }
+    }
+  }
+  return total;
 }
 
 }  // namespace cpsguard::core

@@ -13,7 +13,9 @@
 #include "attack/blackbox.h"
 #include "attack/fgsm.h"
 #include "attack/gaussian.h"
+#include "core/resilient_monitor.h"
 #include "eval/metrics.h"
+#include "eval/resilience.h"
 #include "eval/robustness.h"
 #include "monitor/ml_monitor.h"
 #include "safety/rule_monitor.h"
@@ -78,6 +80,21 @@ struct ExperimentConfig {
   std::string cache_dir = "cpsguard_cache";  // "" disables model caching
 };
 
+/// How the trained monitor is deployed for resilience evaluation.
+enum class RuntimeMode : int {
+  kRawMl = 0,   // bare OnlineMonitor: corrupted samples feed inference
+  kResilient,   // ResilientMonitor: validation + degradation state machine
+  kRuleOnly,    // knowledge-only baseline, no ML path at all
+};
+
+std::string to_string(RuntimeMode m);
+
+struct ResilienceEvalConfig {
+  ResilientConfig runtime;   // window, hysteresis, validators
+  int tolerance_delta = 6;   // oracle look-ahead (30 min), as in Table II
+  std::uint64_t fault_seed = 777;  // decorrelates per-trace fault streams
+};
+
 /// Metrics of one evaluation (clean or under perturbation).
 struct EvalResult {
   eval::ConfusionCounts confusion;
@@ -134,6 +151,16 @@ class Experiment {
   /// trained once per target variant and memoized.
   EvalResult evaluate_under_blackbox(const MonitorVariant& variant,
                                      double epsilon);
+
+  /// Stream every test trace through the chosen runtime while an
+  /// input-stream fault corrupts the monitor's sensor channel, aggregating
+  /// resilience metrics across traces. `fault_type` must be kNone (clean
+  /// baseline) or one of the monitor-input faults; `fault_rate` is the
+  /// per-cycle manifestation probability.
+  eval::ResilienceReport evaluate_resilience(
+      const MonitorVariant& variant, RuntimeMode mode,
+      sim::FaultType fault_type, double fault_rate,
+      const ResilienceEvalConfig& rc = {});
 
  private:
   std::string cache_path(const MonitorVariant& variant) const;

@@ -1,0 +1,95 @@
+#include "eval/resilience.h"
+
+#include "util/contracts.h"
+
+namespace cpsguard::eval {
+
+double ResilienceReport::availability() const {
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(available_cycles) / static_cast<double>(cycles);
+}
+
+double ResilienceReport::time_in_fallback() const {
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(cycles_fallback) / static_cast<double>(cycles);
+}
+
+double ResilienceReport::time_in_fail_safe() const {
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(cycles_fail_safe) / static_cast<double>(cycles);
+}
+
+double ResilienceReport::mean_recovery_latency() const {
+  if (recoveries == 0) return 0.0;
+  return static_cast<double>(recovery_latency_sum) /
+         static_cast<double>(recoveries);
+}
+
+ResilienceReport& ResilienceReport::operator+=(const ResilienceReport& other) {
+  cycles += other.cycles;
+  cycles_ml += other.cycles_ml;
+  cycles_fallback += other.cycles_fallback;
+  cycles_fail_safe += other.cycles_fail_safe;
+  cycles_unready += other.cycles_unready;
+  available_cycles += other.available_cycles;
+  invalid_samples += other.invalid_samples;
+  fallback_entries += other.fallback_entries;
+  recoveries += other.recoveries;
+  recovery_latency_sum += other.recovery_latency_sum;
+  overall += other.overall;
+  ml_regime += other.ml_regime;
+  fallback_regime += other.fallback_regime;
+  return *this;
+}
+
+namespace {
+
+void count(ConfusionCounts& c, int label, int prediction) {
+  if (label == 1) {
+    prediction == 1 ? ++c.tp : ++c.fn;
+  } else {
+    prediction == 1 ? ++c.fp : ++c.tn;
+  }
+}
+
+}  // namespace
+
+ResilienceReport evaluate_resilience(const sim::Trace& trace,
+                                     std::span<const StepOutcome> outcomes,
+                                     int tolerance_delta) {
+  expects(static_cast<int>(outcomes.size()) == trace.length(),
+                "one outcome per trace step required");
+  expects(tolerance_delta >= 0, "tolerance must be non-negative");
+
+  ResilienceReport report;
+  for (int t = 0; t < trace.length(); ++t) {
+    const StepOutcome& o = outcomes[static_cast<std::size_t>(t)];
+    ++report.cycles;
+    if (o.available) ++report.available_cycles;
+    if (!o.sample_valid) ++report.invalid_samples;
+    if (!o.ready) {
+      ++report.cycles_unready;
+      // No verdict emitted: scored as "no alarm" against the oracle.
+      count(report.overall, sim::hazard_within(trace, t, t + tolerance_delta), 0);
+      continue;
+    }
+    const int label = sim::hazard_within(trace, t, t + tolerance_delta) ? 1 : 0;
+    count(report.overall, label, o.prediction);
+    switch (o.regime) {
+      case Regime::kMl:
+        ++report.cycles_ml;
+        count(report.ml_regime, label, o.prediction);
+        break;
+      case Regime::kFallback:
+        ++report.cycles_fallback;
+        count(report.fallback_regime, label, o.prediction);
+        break;
+      case Regime::kFailSafe:
+        ++report.cycles_fail_safe;
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace cpsguard::eval

@@ -1,0 +1,73 @@
+// Resilience metrics for the degraded-mode monitoring runtime: availability,
+// time-in-fallback, detection quality versus the hazard oracle per
+// degradation regime, and recovery latency. The evaluator consumes per-cycle
+// outcomes produced by any runtime (raw OnlineMonitor, ResilientMonitor, or
+// the rule-only baseline) so the three can be compared on equal footing.
+#pragma once
+
+#include <span>
+
+#include "eval/metrics.h"
+#include "sim/trace.h"
+
+namespace cpsguard::eval {
+
+/// Which path produced the verdict of one cycle.
+enum class Regime : int {
+  kMl = 0,       // ML inference on a clean window
+  kFallback,     // knowledge-driven rule fallback
+  kFailSafe,     // alarm-on (no trustworthy input)
+};
+
+/// One cycle of a monitoring run, as reported by the runtime harness.
+struct StepOutcome {
+  int prediction = 0;     // 1 = unsafe
+  bool ready = false;     // the runtime emitted a verdict this cycle
+  bool available = false; // the verdict is trustworthy (uncorrupted inputs
+                          // for the ML path, or a rule verdict on a valid
+                          // context) — the harness decides, since only it
+                          // knows which cycles were corrupted
+  Regime regime = Regime::kMl;
+  bool sample_valid = true;  // this cycle's input passed validation
+};
+
+struct ResilienceReport {
+  long cycles = 0;
+  long cycles_ml = 0;
+  long cycles_fallback = 0;
+  long cycles_fail_safe = 0;
+  long cycles_unready = 0;
+  long available_cycles = 0;
+  long invalid_samples = 0;
+  // Filled by the harness from runtime telemetry (the evaluator cannot see
+  // state-machine internals):
+  long fallback_entries = 0;
+  long recoveries = 0;
+  long recovery_latency_sum = 0;
+
+  ConfusionCounts overall;         // every cycle; unready counts as negative
+  ConfusionCounts ml_regime;       // ready cycles served by the ML path
+  ConfusionCounts fallback_regime; // ready cycles served by the rule base
+
+  /// Fraction of cycles with a trustworthy verdict.
+  [[nodiscard]] double availability() const;
+  /// Fraction of cycles served by the rule fallback.
+  [[nodiscard]] double time_in_fallback() const;
+  /// Fraction of cycles spent alarm-on.
+  [[nodiscard]] double time_in_fail_safe() const;
+  /// Mean cycles from losing the ML path to re-arming it (0 if never).
+  [[nodiscard]] double mean_recovery_latency() const;
+
+  ResilienceReport& operator+=(const ResilienceReport& other);
+};
+
+/// Score one monitored trace against the hazard oracle: the label of cycle t
+/// is "a hazard (true-BG out of the safe band) occurs within [t, t+delta]" —
+/// an alarm up to `tolerance_delta` cycles ahead of the hazard is a correct
+/// alarm, mirroring the Table II tolerance-window semantics.
+/// `outcomes` must have one entry per trace step.
+ResilienceReport evaluate_resilience(const sim::Trace& trace,
+                                     std::span<const StepOutcome> outcomes,
+                                     int tolerance_delta);
+
+}  // namespace cpsguard::eval

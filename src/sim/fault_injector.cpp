@@ -1,10 +1,15 @@
 #include "sim/fault_injector.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/contracts.h"
 
 namespace cpsguard::sim {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
 
 std::string to_string(FaultType t) {
   switch (t) {
@@ -18,19 +23,41 @@ std::string to_string(FaultType t) {
     case FaultType::kPumpStuckMax: return "pump_stuck_max";
     case FaultType::kPumpStuckZero: return "pump_stuck_zero";
     case FaultType::kSensorDropout: return "sensor_dropout";
+    case FaultType::kSensorLoss: return "sensor_loss";
+    case FaultType::kSensorDelay: return "sensor_delay";
+    case FaultType::kSensorGarbage: return "sensor_garbage";
+    case FaultType::kSensorSpike: return "sensor_spike";
   }
   return "unknown";
 }
 
+bool is_input_fault(FaultType t) {
+  switch (t) {
+    case FaultType::kSensorLoss:
+    case FaultType::kSensorDelay:
+    case FaultType::kSensorGarbage:
+    case FaultType::kSensorSpike:
+      return true;
+    default:
+      return false;
+  }
+}
+
 FaultInjector::FaultInjector(FaultSpec spec)
-    : spec_(spec),
-      rng_(static_cast<std::uint64_t>(spec.start_step) * 1000003u +
-               static_cast<std::uint64_t>(spec.duration_steps),
-           0x44524f50u /* 'DROP' */) {
+    : FaultInjector(spec,
+                    static_cast<std::uint64_t>(spec.start_step) * 1000003u +
+                        static_cast<std::uint64_t>(spec.duration_steps)) {}
+
+FaultInjector::FaultInjector(FaultSpec spec, std::uint64_t stream_seed)
+    : spec_(spec), rng_(stream_seed, 0x44524f50u /* 'DROP' */) {
   expects(spec.start_step >= 0 && spec.duration_steps >= 0, "invalid fault window");
+  expects(spec.rate >= 0.0 && spec.rate <= 1.0, "fault rate must be in [0,1]");
 }
 
 double FaultInjector::sense(double true_bg, int step) {
+  // The delay buffer must record history even before onset so stale samples
+  // are available from the first faulty cycle.
+  if (spec_.type == FaultType::kSensorDelay) delay_buffer_.push_back(true_bg);
   if (!spec_.active(step)) return true_bg;
   switch (spec_.type) {
     case FaultType::kSensorBiasHigh:
@@ -49,6 +76,28 @@ double FaultInjector::sense(double true_bg, int step) {
       const bool dropped = last_reading_ >= 0.0 && rng_.bernoulli(spec_.magnitude);
       if (!dropped) last_reading_ = true_bg;
       return last_reading_;
+    }
+    case FaultType::kSensorLoss:
+      return rng_.bernoulli(spec_.rate) ? kNan : true_bg;
+    case FaultType::kSensorDelay: {
+      if (!rng_.bernoulli(spec_.rate)) return true_bg;
+      const auto k = static_cast<std::size_t>(std::max(0.0, spec_.magnitude));
+      const std::size_t newest = delay_buffer_.size() - 1;
+      return delay_buffer_[newest >= k ? newest - k : 0];
+    }
+    case FaultType::kSensorGarbage: {
+      if (!rng_.bernoulli(spec_.rate)) return true_bg;
+      // One third of corrupted samples are NaN, the rest wild values far
+      // outside the physiological range (both signs).
+      const double u = rng_.uniform(0.0, 1.0);
+      if (u < 1.0 / 3.0) return kNan;
+      const double wild = rng_.uniform(600.0, std::max(601.0, spec_.magnitude));
+      return u < 2.0 / 3.0 ? -wild : wild;
+    }
+    case FaultType::kSensorSpike: {
+      if (!rng_.bernoulli(spec_.rate)) return true_bg;
+      const double sign = rng_.bernoulli(0.5) ? 1.0 : -1.0;
+      return true_bg + sign * spec_.magnitude;
     }
     default:
       return true_bg;  // actuation faults don't touch sensing
@@ -74,7 +123,7 @@ double FaultInjector::actuate(double commanded_rate, int step) const {
 FaultSpec FaultInjector::random_spec(int trace_steps, util::Rng& rng) {
   expects(trace_steps > 3, "trace too short for fault injection");
   FaultSpec spec;
-  spec.type = static_cast<FaultType>(rng.uniform_int(1, kNumFaultTypes - 1));
+  spec.type = static_cast<FaultType>(rng.uniform_int(1, kNumPlantFaultTypes - 1));
   spec.start_step = rng.uniform_int(2, std::max(3, trace_steps / 2));
   // 1.5 h - 8 h: insulin deprivation/overdose takes hours to push a
   // controlled loop across a hazard threshold (subcutaneous depots keep
@@ -101,6 +150,31 @@ FaultSpec FaultInjector::random_spec(int trace_steps, util::Rng& rng) {
       spec.magnitude = rng.uniform(0.5, 0.9);  // per-sample hold probability
       break;
     default:
+      spec.magnitude = 0.0;
+      break;
+  }
+  return spec;
+}
+
+FaultSpec FaultInjector::random_input_spec(int trace_steps, util::Rng& rng) {
+  expects(trace_steps > 3, "trace too short for fault injection");
+  FaultSpec spec;
+  spec.type = static_cast<FaultType>(
+      rng.uniform_int(kNumPlantFaultTypes, kNumFaultTypes - 1));
+  spec.start_step = rng.uniform_int(2, std::max(3, trace_steps / 2));
+  spec.duration_steps = rng.uniform_int(18, 96);
+  spec.rate = rng.uniform(0.2, 0.9);
+  switch (spec.type) {
+    case FaultType::kSensorDelay:
+      spec.magnitude = rng.uniform_int(2, 8);  // staleness in cycles
+      break;
+    case FaultType::kSensorGarbage:
+      spec.magnitude = rng.uniform(1000.0, 10000.0);  // wild-value ceiling
+      break;
+    case FaultType::kSensorSpike:
+      spec.magnitude = rng.uniform(80.0, 300.0);  // mg/dL burst amplitude
+      break;
+    default:  // kSensorLoss needs no magnitude
       spec.magnitude = 0.0;
       break;
   }

@@ -3,9 +3,17 @@
 // paper's testbed [Zhou et al., DSN'21]). Faults hit either the sensing path
 // (the controller and monitor see wrong BG) or the actuation path (the pump
 // delivers a different rate than commanded).
+//
+// Beyond the nine plant faults, a second family of *monitor-input* faults
+// models degraded delivery of samples to the safety monitor itself (sample
+// loss, stale delivery, garbage corruption, burst spikes). These can emit
+// NaN or wildly out-of-range readings — they are meant for the resilient
+// monitoring runtime (core::ResilientMonitor), not for closed-loop plant
+// campaigns, which draw only the plant faults via random_spec().
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -22,17 +30,32 @@ enum class FaultType : int {
   kPumpStuckMax,     // pump stuck at `magnitude` U/h regardless of command
   kPumpStuckZero,    // pump delivers nothing
   kSensorDropout,    // CGM intermittently repeats its last reading
+
+  // Monitor-input faults (per-cycle manifestation probability = `rate`):
+  kSensorLoss,       // reading absent: NaN delivered instead of a sample
+  kSensorDelay,      // reading delivered `magnitude` cycles late (stale)
+  kSensorGarbage,    // reading replaced by NaN or a wild garbage value
+  kSensorSpike,      // additive burst spike of ±`magnitude` mg/dL
 };
 
-inline constexpr int kNumFaultTypes = 10;
+inline constexpr int kNumFaultTypes = 14;
+/// The original plant-fault family (incl. kNone); random_spec draws only
+/// from these so closed-loop campaigns never see NaN readings.
+inline constexpr int kNumPlantFaultTypes = 10;
 
 std::string to_string(FaultType t);
+
+/// True for the monitor-input fault family (kSensorLoss..kSensorSpike).
+bool is_input_fault(FaultType t);
 
 struct FaultSpec {
   FaultType type = FaultType::kNone;
   int start_step = 0;
   int duration_steps = 0;
   double magnitude = 0.0;
+  /// Per-cycle probability that an *input* fault manifests inside the active
+  /// window (plant faults ignore it and always manifest). 1.0 = every cycle.
+  double rate = 1.0;
 
   [[nodiscard]] bool active(int step) const {
     return type != FaultType::kNone && step >= start_step &&
@@ -44,8 +67,13 @@ class FaultInjector {
  public:
   FaultInjector() = default;  // no fault
   explicit FaultInjector(FaultSpec spec);
+  /// As above but with an explicit seed for the intermittency stream, so
+  /// identical specs applied to many traces decorrelate.
+  FaultInjector(FaultSpec spec, std::uint64_t stream_seed);
 
-  /// Transform the true BG into what the CGM reports at `step`.
+  /// Transform the true BG into what the CGM reports at `step`. Stateful:
+  /// must be called once per step, in step order. Monitor-input faults may
+  /// return NaN (sample absent / corrupted).
   double sense(double true_bg, int step);
 
   /// Transform the commanded rate into what the pump delivers at `step`.
@@ -54,17 +82,24 @@ class FaultInjector {
   [[nodiscard]] bool active(int step) const { return spec_.active(step); }
   [[nodiscard]] const FaultSpec& spec() const { return spec_; }
 
-  /// Random fault campaign for a trace of `trace_steps` cycles: uniformly
-  /// chosen fault type (never kNone), onset in the first two-thirds of the
-  /// run, duration 30 min - 5 h, plausible magnitudes per type.
+  /// Random plant-fault campaign for a trace of `trace_steps` cycles:
+  /// uniformly chosen plant fault type (never kNone, never an input fault),
+  /// onset in the first half of the run, duration 1.5 h - 8 h (18-96 steps),
+  /// plausible magnitudes per type.
   static FaultSpec random_spec(int trace_steps, util::Rng& rng);
+
+  /// Random monitor-input fault: uniformly chosen among the input-fault
+  /// family, onset in the first half, duration 18-96 steps, manifestation
+  /// rate 0.2-0.9, plausible magnitudes per type.
+  static FaultSpec random_input_spec(int trace_steps, util::Rng& rng);
 
  private:
   FaultSpec spec_;
   double stuck_value_ = -1.0;  // latched CGM value for kSensorStuck
   int drift_origin_ = -1;      // onset step for kSensorDrift
   double last_reading_ = -1.0; // held sample for kSensorDropout
-  util::Rng rng_{0x44524f50ULL};  // drives dropout; reseeded per spec
+  std::vector<double> delay_buffer_;  // past readings for kSensorDelay
+  util::Rng rng_{0x44524f50ULL};  // drives intermittency; reseeded per spec
 };
 
 }  // namespace cpsguard::sim

@@ -38,6 +38,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err;
+    std::swap(err, first_error_);
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -51,9 +56,15 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       const std::scoped_lock lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -21,11 +22,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task; tasks must not throw (exceptions terminate the pool's
-  /// worker). Wrap fallible work and stash errors yourself.
+  /// Enqueue a task. A throwing task does not terminate its worker: the
+  /// first exception is captured and rethrown by the next wait_idle() call
+  /// (later ones are dropped). Exceptions from tasks never waited on are
+  /// discarded at destruction.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished, then rethrow the first
+  /// exception any of them threw (clearing it, so the pool is reusable).
   void wait_idle();
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
@@ -35,6 +39,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
+  std::exception_ptr first_error_;
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <set>
+
 #include "util/contracts.h"
 #include "util/rng.h"
 
@@ -99,13 +102,13 @@ TEST(FaultInjector, RandomSpecWithinBounds) {
   }
 }
 
-TEST(FaultInjector, RandomSpecCoversAllTypes) {
+TEST(FaultInjector, RandomSpecCoversAllPlantTypes) {
   util::Rng rng(4);
   std::set<int> seen;
   for (int i = 0; i < 500; ++i) {
     seen.insert(static_cast<int>(FaultInjector::random_spec(150, rng).type));
   }
-  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNumFaultTypes - 1));
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNumPlantFaultTypes - 1));
 }
 
 
@@ -136,10 +139,164 @@ TEST(FaultInjector, SensorDropoutHoldsRoughlyAtProbability) {
   EXPECT_NEAR(held / 1999.0, 0.7, 0.05);
 }
 
-TEST(FaultInjector, ToStringCoversAllTypes) {
-  for (int i = 0; i < kNumFaultTypes; ++i) {
-    EXPECT_NE(to_string(static_cast<FaultType>(i)), "unknown");
+// Every FaultType, parameterized: names must round-trip and the injector
+// must be the identity outside the active window, for all 14 types.
+class FaultTypeTest : public ::testing::TestWithParam<int> {
+ protected:
+  [[nodiscard]] FaultType type() const {
+    return static_cast<FaultType>(GetParam());
   }
+};
+
+TEST_P(FaultTypeTest, ToStringNeverUnknown) {
+  EXPECT_NE(to_string(type()), "unknown");
+}
+
+TEST_P(FaultTypeTest, ToStringNamesAreUnique) {
+  for (int other = 0; other < kNumFaultTypes; ++other) {
+    if (other == GetParam()) continue;
+    EXPECT_NE(to_string(type()), to_string(static_cast<FaultType>(other)));
+  }
+}
+
+TEST_P(FaultTypeTest, IdentityOutsideActiveWindow) {
+  FaultInjector fi(spec(type(), 50.0, /*start=*/5, /*dur=*/10));
+  for (const int step : {0, 4, 15, 20}) {
+    EXPECT_DOUBLE_EQ(fi.sense(140.0, step), 140.0) << "step " << step;
+    EXPECT_DOUBLE_EQ(fi.actuate(1.5, step), 1.5) << "step " << step;
+  }
+}
+
+TEST_P(FaultTypeTest, InputFaultPredicateMatchesFamily) {
+  const bool expected = GetParam() >= kNumPlantFaultTypes;
+  EXPECT_EQ(is_input_fault(type()), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, FaultTypeTest,
+                         ::testing::Range(0, kNumFaultTypes),
+                         [](const auto& info) {
+                           return to_string(static_cast<FaultType>(info.param));
+                         });
+
+TEST(FaultInjector, SensorLossDeliversNaN) {
+  FaultSpec s = spec(FaultType::kSensorLoss, 0.0);
+  s.rate = 1.0;
+  FaultInjector fi(s);
+  EXPECT_TRUE(std::isnan(fi.sense(120.0, 7)));
+  EXPECT_DOUBLE_EQ(fi.sense(120.0, 15), 120.0);  // window over
+}
+
+TEST(FaultInjector, SensorLossRateZeroIsTransparent) {
+  FaultSpec s = spec(FaultType::kSensorLoss, 0.0);
+  s.rate = 0.0;
+  FaultInjector fi(s);
+  EXPECT_DOUBLE_EQ(fi.sense(120.0, 7), 120.0);
+}
+
+TEST(FaultInjector, SensorLossRateControlsFrequency) {
+  FaultSpec s = spec(FaultType::kSensorLoss, 0.0, 0, 2000);
+  s.rate = 0.4;
+  FaultInjector fi(s);
+  int lost = 0;
+  for (int t = 0; t < 2000; ++t) {
+    if (std::isnan(fi.sense(120.0, t))) ++lost;
+  }
+  EXPECT_NEAR(lost / 2000.0, 0.4, 0.05);
+}
+
+TEST(FaultInjector, SensorDelayDeliversStaleSamples) {
+  FaultSpec s = spec(FaultType::kSensorDelay, /*k=*/3.0, /*start=*/5, /*dur=*/10);
+  s.rate = 1.0;
+  FaultInjector fi(s);
+  // Readings ramp 100, 101, 102, ...: inside the window the injector must
+  // deliver the value from 3 cycles earlier.
+  for (int t = 0; t < 5; ++t) {
+    EXPECT_DOUBLE_EQ(fi.sense(100.0 + t, t), 100.0 + t);
+  }
+  EXPECT_DOUBLE_EQ(fi.sense(105.0, 5), 102.0);
+  EXPECT_DOUBLE_EQ(fi.sense(106.0, 6), 103.0);
+  EXPECT_DOUBLE_EQ(fi.sense(115.0, 15), 115.0);  // window over
+}
+
+TEST(FaultInjector, SensorDelayClampsAtStreamStart) {
+  FaultSpec s = spec(FaultType::kSensorDelay, /*k=*/10.0, /*start=*/1, /*dur=*/5);
+  s.rate = 1.0;
+  FaultInjector fi(s);
+  EXPECT_DOUBLE_EQ(fi.sense(100.0, 0), 100.0);
+  // Only two samples exist; a 10-cycle delay clamps to the oldest one.
+  EXPECT_DOUBLE_EQ(fi.sense(105.0, 1), 100.0);
+}
+
+TEST(FaultInjector, SensorGarbageIsNaNOrWildlyOutOfRange) {
+  FaultSpec s = spec(FaultType::kSensorGarbage, 5000.0, 0, 500);
+  s.rate = 1.0;
+  FaultInjector fi(s);
+  int nan_count = 0, wild = 0;
+  for (int t = 0; t < 500; ++t) {
+    const double v = fi.sense(120.0, t);
+    if (std::isnan(v)) {
+      ++nan_count;
+    } else {
+      EXPECT_GE(std::abs(v), 600.0);  // far outside the physiological band
+      ++wild;
+    }
+  }
+  EXPECT_GT(nan_count, 0);
+  EXPECT_GT(wild, 0);
+}
+
+TEST(FaultInjector, SensorSpikeAddsBurstOfMagnitude) {
+  FaultSpec s = spec(FaultType::kSensorSpike, 150.0, 0, 500);
+  s.rate = 1.0;
+  FaultInjector fi(s);
+  for (int t = 0; t < 500; ++t) {
+    const double v = fi.sense(120.0, t);
+    EXPECT_NEAR(std::abs(v - 120.0), 150.0, 1e-12);
+  }
+}
+
+TEST(FaultInjector, SeededStreamsDecorrelate) {
+  FaultSpec s = spec(FaultType::kSensorLoss, 0.0, 0, 200);
+  s.rate = 0.5;
+  FaultInjector a(s, /*stream_seed=*/1), b(s, /*stream_seed=*/2);
+  int differing = 0;
+  for (int t = 0; t < 200; ++t) {
+    if (std::isnan(a.sense(120.0, t)) != std::isnan(b.sense(120.0, t))) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjector, RandomInputSpecWithinBoundsAndCoversFamily) {
+  util::Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    const FaultSpec s = FaultInjector::random_input_spec(150, rng);
+    EXPECT_TRUE(is_input_fault(s.type));
+    EXPECT_GE(s.start_step, 2);
+    EXPECT_LE(s.start_step, 75);
+    EXPECT_GE(s.duration_steps, 18);
+    EXPECT_LE(s.duration_steps, 96);
+    EXPECT_GE(s.rate, 0.2);
+    EXPECT_LE(s.rate, 0.9);
+    seen.insert(static_cast<int>(s.type));
+  }
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(kNumFaultTypes - kNumPlantFaultTypes));
+}
+
+TEST(FaultInjector, RandomSpecNeverDrawsInputFaults) {
+  util::Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_FALSE(is_input_fault(FaultInjector::random_spec(150, rng).type));
+  }
+}
+
+TEST(FaultInjector, RejectsOutOfRangeRate) {
+  FaultSpec s = spec(FaultType::kSensorLoss, 0.0);
+  s.rate = 1.5;
+  EXPECT_THROW(FaultInjector{s}, ContractViolation);
 }
 
 }  // namespace

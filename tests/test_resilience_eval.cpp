@@ -1,0 +1,154 @@
+#include "eval/resilience.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace cpsguard::eval {
+namespace {
+
+/// Trace whose true BG is safe (120) except for hazard steps (50).
+sim::Trace trace_with_hazards(int length, std::initializer_list<int> hazards) {
+  sim::Trace t;
+  for (int i = 0; i < length; ++i) {
+    sim::StepRecord r;
+    r.step = i;
+    r.true_bg = 120.0;
+    r.sensor_bg = 120.0;
+    t.steps.push_back(r);
+  }
+  for (const int h : hazards) {
+    t.steps[static_cast<std::size_t>(h)].true_bg = 50.0;
+  }
+  return t;
+}
+
+StepOutcome outcome(int prediction, Regime regime = Regime::kMl,
+                    bool ready = true, bool available = true,
+                    bool sample_valid = true) {
+  StepOutcome o;
+  o.prediction = prediction;
+  o.ready = ready;
+  o.available = available;
+  o.regime = regime;
+  o.sample_valid = sample_valid;
+  return o;
+}
+
+TEST(ResilienceEval, CountsRegimeOccupancyAndAvailability) {
+  const sim::Trace t = trace_with_hazards(6, {});
+  const std::vector<StepOutcome> outcomes = {
+      outcome(0, Regime::kMl),
+      outcome(0, Regime::kMl),
+      outcome(0, Regime::kFallback),
+      outcome(1, Regime::kFailSafe, true, false),
+      outcome(0, Regime::kFallback, true, true, false),
+      outcome(0, Regime::kMl, false, false),  // unready warm-up style cycle
+  };
+  const ResilienceReport r = evaluate_resilience(t, outcomes, 0);
+  EXPECT_EQ(r.cycles, 6);
+  EXPECT_EQ(r.cycles_ml, 2);  // the unready cycle is not attributed to ML
+  EXPECT_EQ(r.cycles_fallback, 2);
+  EXPECT_EQ(r.cycles_fail_safe, 1);
+  EXPECT_EQ(r.cycles_unready, 1);
+  EXPECT_EQ(r.invalid_samples, 1);
+  EXPECT_DOUBLE_EQ(r.availability(), 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(r.time_in_fallback(), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(r.time_in_fail_safe(), 1.0 / 6.0);
+}
+
+TEST(ResilienceEval, ScoresPredictionsAgainstHazardOracle) {
+  //            step:   0    1    2    3(H)  4
+  const sim::Trace t = trace_with_hazards(5, {3});
+  const std::vector<StepOutcome> outcomes = {
+      outcome(0), outcome(0), outcome(1), outcome(1), outcome(1),
+  };
+  // delta = 0: label is in_hazard at the step itself.
+  const ResilienceReport r = evaluate_resilience(t, outcomes, 0);
+  EXPECT_EQ(r.overall.tp, 1);  // step 3
+  EXPECT_EQ(r.overall.fp, 2);  // steps 2 and 4
+  EXPECT_EQ(r.overall.tn, 2);  // steps 0 and 1
+  EXPECT_EQ(r.overall.fn, 0);
+}
+
+TEST(ResilienceEval, ToleranceWindowCreditsEarlyAlarms) {
+  const sim::Trace t = trace_with_hazards(5, {3});
+  const std::vector<StepOutcome> outcomes = {
+      outcome(0), outcome(1), outcome(1), outcome(1), outcome(0),
+  };
+  // delta = 2: steps 1..3 carry a positive label (hazard within look-ahead).
+  const ResilienceReport r = evaluate_resilience(t, outcomes, 2);
+  EXPECT_EQ(r.overall.tp, 3);
+  EXPECT_EQ(r.overall.fp, 0);
+  EXPECT_EQ(r.overall.tn, 2);  // steps 0 and 4: hazard out of look-ahead
+  EXPECT_EQ(r.overall.fn, 0);
+}
+
+TEST(ResilienceEval, UnreadyCyclesScoreAsMissedAlarms) {
+  const sim::Trace t = trace_with_hazards(3, {1});
+  const std::vector<StepOutcome> outcomes = {
+      outcome(1, Regime::kMl, /*ready=*/false),  // would-be alarm, not emitted
+      outcome(1, Regime::kMl, /*ready=*/false),
+      outcome(0),
+  };
+  const ResilienceReport r = evaluate_resilience(t, outcomes, 0);
+  EXPECT_EQ(r.overall.fn, 1);  // the hazard step had no verdict → missed
+  EXPECT_EQ(r.overall.tn, 2);
+  EXPECT_EQ(r.cycles_unready, 2);
+}
+
+TEST(ResilienceEval, SplitsConfusionByRegime) {
+  const sim::Trace t = trace_with_hazards(4, {0, 1});
+  const std::vector<StepOutcome> outcomes = {
+      outcome(1, Regime::kMl),        // tp for the ML regime
+      outcome(0, Regime::kFallback),  // fn for the fallback regime
+      outcome(0, Regime::kMl),        // tn for the ML regime
+      outcome(1, Regime::kFallback),  // fp for the fallback regime
+  };
+  const ResilienceReport r = evaluate_resilience(t, outcomes, 0);
+  EXPECT_EQ(r.ml_regime.tp, 1);
+  EXPECT_EQ(r.ml_regime.tn, 1);
+  EXPECT_EQ(r.ml_regime.fp + r.ml_regime.fn, 0);
+  EXPECT_EQ(r.fallback_regime.fn, 1);
+  EXPECT_EQ(r.fallback_regime.fp, 1);
+  EXPECT_EQ(r.fallback_regime.tp + r.fallback_regime.tn, 0);
+  // Fail-safe cycles are availability bookkeeping, not detection skill; the
+  // overall confusion still covers every cycle.
+  EXPECT_EQ(r.overall.total(), 4);
+}
+
+TEST(ResilienceEval, ReportAggregationSums) {
+  const sim::Trace t = trace_with_hazards(3, {2});
+  const std::vector<StepOutcome> a = {outcome(0), outcome(0), outcome(1)};
+  const std::vector<StepOutcome> b = {
+      outcome(0), outcome(1, Regime::kFallback), outcome(0)};
+  ResilienceReport total = evaluate_resilience(t, a, 0);
+  ResilienceReport other = evaluate_resilience(t, b, 0);
+  other.fallback_entries = 2;
+  other.recoveries = 1;
+  other.recovery_latency_sum = 7;
+  total += other;
+  EXPECT_EQ(total.cycles, 6);
+  EXPECT_EQ(total.overall.total(), 6);
+  EXPECT_EQ(total.cycles_fallback, 1);
+  EXPECT_EQ(total.fallback_entries, 2);
+  EXPECT_EQ(total.recoveries, 1);
+  EXPECT_DOUBLE_EQ(total.mean_recovery_latency(), 7.0);
+}
+
+TEST(ResilienceEval, MeanRecoveryLatencyZeroWhenNoRecovery) {
+  ResilienceReport r;
+  EXPECT_DOUBLE_EQ(r.mean_recovery_latency(), 0.0);
+  EXPECT_DOUBLE_EQ(r.availability(), 0.0);  // no cycles: degenerate but safe
+}
+
+TEST(ResilienceEval, RejectsMismatchedOutcomeCount) {
+  const sim::Trace t = trace_with_hazards(3, {});
+  const std::vector<StepOutcome> outcomes = {outcome(0)};
+  EXPECT_THROW(evaluate_resilience(t, outcomes, 0), ContractViolation);
+  const std::vector<StepOutcome> ok = {outcome(0), outcome(0), outcome(0)};
+  EXPECT_THROW(evaluate_resilience(t, ok, -1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cpsguard::eval

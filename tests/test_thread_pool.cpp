@@ -33,6 +33,39 @@ TEST(ThreadPool, SizeReflectsThreadCount) {
   EXPECT_EQ(pool.size(), 3u);
 }
 
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPool, SurvivesThrowingTaskAndStaysUsable) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  // The error was cleared and the worker survived: the pool keeps working.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();  // must not rethrow again
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, KeepsFirstExceptionOnly) {
+  ThreadPool pool(1);  // serial worker makes "first" deterministic
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(257);
   parallel_for(257, [&](int i) { hits[static_cast<std::size_t>(i)].fetch_add(1); });
