@@ -22,9 +22,14 @@ int main(int argc, char** argv) {
     util::Table table({"Model", "0.01", "0.05", "0.1", "0.15", "0.2"});
     for (const auto& v : core::all_variants()) {
       std::vector<std::string> row = {v.name()};
-      for (const double eps : bench::epsilon_sweep()) {
-        const double black = exp.evaluate_under_blackbox(v, eps).robustness_err;
-        const double white = exp.evaluate_under_fgsm(v, eps).robustness_err;
+      // Parallel black-box and white-box sweeps (bit-identical to the
+      // serial per-point loops); rows keep their sweep-order emission.
+      const auto blacks = exp.evaluate_under_blackbox_sweep(v, bench::epsilon_sweep());
+      const auto whites = exp.evaluate_under_fgsm_sweep(v, bench::epsilon_sweep());
+      for (std::size_t i = 0; i < blacks.size(); ++i) {
+        const double eps = bench::epsilon_sweep()[i];
+        const double black = blacks[i].robustness_err;
+        const double white = whites[i].robustness_err;
         row.push_back(util::Table::fixed(black, 3) + " (" +
                       util::Table::fixed(white, 3) + ")");
         csv.add_row({sim::to_string(tb), v.name(), util::CsvWriter::num(eps),

@@ -26,8 +26,12 @@ int main(int argc, char** argv) {
       csv.add_row({sim::to_string(tb), v.name(), "0",
                    util::CsvWriter::num(clean.f1()),
                    util::CsvWriter::num(clean.accuracy())});
-      for (const double sigma : bench::sigma_sweep()) {
-        const auto r = exp.evaluate_under_gaussian(v, sigma);
+      // One parallel sweep over all sigma points (bit-identical to the
+      // serial per-point loop); rows are still emitted in sweep order.
+      const auto sweep = exp.evaluate_under_gaussian_sweep(v, bench::sigma_sweep());
+      for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const double sigma = bench::sigma_sweep()[i];
+        const auto& r = sweep[i];
         row.push_back(util::Table::fixed(r.f1(), 3));
         csv.add_row({sim::to_string(tb), v.name(), util::CsvWriter::num(sigma),
                      util::CsvWriter::num(r.f1()),

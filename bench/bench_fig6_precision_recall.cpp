@@ -34,8 +34,9 @@ int main(int argc, char** argv) {
                    util::CsvWriter::num(r.f1())});
     };
     add(0.0, exp.evaluate_clean(v));
-    for (const double sigma : bench::sigma_sweep()) {
-      add(sigma, exp.evaluate_under_gaussian(v, sigma));
+    const auto sweep = exp.evaluate_under_gaussian_sweep(v, bench::sigma_sweep());
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      add(bench::sigma_sweep()[i], sweep[i]);
     }
   }
 

@@ -60,20 +60,26 @@ int main(int argc, char** argv) {
     for (const auto& v : core::all_variants()) {
       std::vector<std::string> row = {v.name()};
       auto& errs = errors[v.name()];
-      for (const double sigma : bench::sigma_sweep()) {
-        const double e = exp.evaluate_under_gaussian(v, sigma).robustness_err;
+      // Parallel sweeps (bit-identical to the serial per-point loops);
+      // rows keep their sweep-order emission.
+      const auto gauss = exp.evaluate_under_gaussian_sweep(v, bench::sigma_sweep());
+      for (std::size_t i = 0; i < gauss.size(); ++i) {
+        const double e = gauss[i].robustness_err;
         errs.push_back(e);
         row.push_back(util::Table::fixed(e, 3));
         csv.add_row({sim::to_string(tb), v.name(), "gaussian",
-                     util::CsvWriter::num(sigma), util::CsvWriter::num(e)});
+                     util::CsvWriter::num(bench::sigma_sweep()[i]),
+                     util::CsvWriter::num(e)});
       }
-      for (const double eps : bench::epsilon_sweep()) {
-        const double e =
-            exp.evaluate_under_fgsm(v, eps, mask).robustness_err;
+      const auto fgsm =
+          exp.evaluate_under_fgsm_sweep(v, bench::epsilon_sweep(), mask);
+      for (std::size_t i = 0; i < fgsm.size(); ++i) {
+        const double e = fgsm[i].robustness_err;
         errs.push_back(e);
         row.push_back(util::Table::fixed(e, 3));
         csv.add_row({sim::to_string(tb), v.name(), "fgsm",
-                     util::CsvWriter::num(eps), util::CsvWriter::num(e)});
+                     util::CsvWriter::num(bench::epsilon_sweep()[i]),
+                     util::CsvWriter::num(e)});
       }
       table.add_row(std::move(row));
     }

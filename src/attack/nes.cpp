@@ -28,7 +28,12 @@ nn::Tensor3 nes_attack(nn::Classifier& target, const nn::Tensor3& scaled_x,
                        std::span<const int> labels, const NesConfig& config) {
   expects(config.epsilon >= 0.0, "epsilon must be non-negative");
   expects(config.step_size > 0.0, "step size must be positive");
-  expects(config.iterations > 0 && config.samples > 0, "bad NES budget");
+  expects(config.iterations > 0, "bad NES budget");
+  // Probes are consumed as antithetic ± pairs; an odd budget would silently
+  // drop a probe, and samples == 1 used to make the whole attack a no-op
+  // (zero pairs -> zero gradient estimate -> adv == x).
+  expects(config.samples >= 2 && config.samples % 2 == 0,
+          "NES sample budget must be an even count >= 2 (antithetic pairs)");
   expects(config.sigma > 0.0, "probe sigma must be positive");
   expects(scaled_x.batch() == static_cast<int>(labels.size()),
           "one label per window required");
@@ -43,7 +48,8 @@ nn::Tensor3 nes_attack(nn::Classifier& target, const nn::Tensor3& scaled_x,
   for (int it = 0; it < config.iterations; ++it) {
     // NES gradient estimate: g ≈ (1/(2σn)) Σ_k [L(x+σu_k) − L(x−σu_k)] u_k
     nn::Tensor3 grad_est(batch, scaled_x.time(), scaled_x.features());
-    for (int k = 0; k < config.samples / 2; ++k) {
+    const int pairs = std::max(1, config.samples / 2);
+    for (int k = 0; k < pairs; ++k) {
       nn::Tensor3 noise(batch, scaled_x.time(), scaled_x.features());
       for (float& v : noise.data()) {
         v = static_cast<float>(rng.gaussian());

@@ -17,7 +17,11 @@ struct NesConfig {
   double epsilon = 0.1;       // L∞ budget (scaled units)
   double step_size = 0.025;   // per-iteration sign step
   int iterations = 6;
-  int samples = 20;           // Gaussian probes per iteration (antithetic pairs)
+  /// Gaussian probes per iteration, consumed as samples/2 antithetic pairs:
+  /// each pair evaluates L(x + σu) and L(x − σu) for one shared direction u,
+  /// halving estimator variance per query. Must be even and >= 2 — an odd
+  /// budget would silently drop a probe (and 1 probe = zero pairs = no-op).
+  int samples = 20;
   double sigma = 0.01;        // probe standard deviation
   FeatureMask mask = FeatureMask::kAll;
   std::uint64_t seed = 2024;

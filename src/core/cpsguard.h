@@ -34,6 +34,7 @@
 #include "attack/universal.h"
 #include "core/experiment.h"
 #include "core/online_monitor.h"
+#include "eval/batch_eval.h"
 #include "eval/extended_metrics.h"
 #include "eval/metrics.h"
 #include "eval/pr_curve.h"

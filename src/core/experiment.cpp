@@ -25,6 +25,19 @@ std::uint64_t fnv1a(const std::string& s) {
   return h;
 }
 
+// Per-architecture seed tag: every arch must map to a *distinct* value or
+// variants silently share weight-init streams (GRU used to collide with
+// MLP because only kLstm carried a tag). The MLP/LSTM values are frozen to
+// their historical constants so existing caches and CSVs stay bit-identical.
+std::uint64_t arch_seed_tag(monitor::Arch arch) {
+  switch (arch) {
+    case monitor::Arch::kMlp: return 0ULL;            // historical: untagged
+    case monitor::Arch::kLstm: return 0xBEEF0000ULL;  // historical LSTM tag
+    case monitor::Arch::kGru: return 0x47525500ULL;   // 'GRU\0'
+  }
+  return 0ULL;
+}
+
 }  // namespace
 
 std::vector<sim::Trace> generate_campaign(const CampaignConfig& config) {
@@ -160,7 +173,7 @@ monitor::MonitorConfig Experiment::monitor_config(const MonitorVariant& v) const
   mc.batch_size = config_.batch_size;
   mc.learning_rate = config_.learning_rate;
   mc.seed = config_.campaign.seed ^ (v.semantic ? 0xABCDULL : 0x1234ULL) ^
-            (v.arch == monitor::Arch::kLstm ? 0xBEEF0000ULL : 0ULL);
+            arch_seed_tag(v.arch);
   return mc;
 }
 
@@ -365,6 +378,85 @@ EvalResult Experiment::evaluate_under_blackbox(const MonitorVariant& v,
   r.confusion = evaluate(preds);
   r.robustness_err = eval::robustness_error(clean_predictions(v), preds);
   return r;
+}
+
+std::vector<EvalResult> Experiment::evaluate_under_gaussian_sweep(
+    const MonitorVariant& v, std::span<const double> sigma_factors,
+    std::uint64_t noise_seed) {
+  // Hydrate every memoized structure before fanning out: the parallel
+  // bodies must not touch the mutable maps.
+  monitor::MlMonitor& mon = monitor(v);
+  const std::vector<int>& clean = clean_predictions(v);
+  const monitor::Dataset& test = data_->test;
+
+  std::vector<EvalResult> out(sigma_factors.size());
+  util::parallel_for(static_cast<int>(sigma_factors.size()), [&](int i) {
+    const auto si = static_cast<std::size_t>(i);
+    // Forward passes mutate layer caches → one clone per sweep point. The
+    // noise RNG is keyed on the seed alone (not the point index), exactly
+    // as the serial loop over evaluate_under_gaussian() seeded it, so the
+    // outputs stay bit-identical to a serial sweep.
+    const std::unique_ptr<monitor::MlMonitor> local = mon.clone();
+    attack::GaussianNoiseConfig gc;
+    gc.sigma_factor = sigma_factors[si];
+    util::Rng rng(noise_seed, 0x4e4f4953u /* 'NOIS' */);
+    const nn::Tensor3 noisy =
+        attack::add_gaussian_noise(test.x, local->scaler(), gc, rng);
+    const std::vector<int> preds = local->predict(noisy);
+    out[si].confusion =
+        eval::evaluate_with_tolerance(test, preds, config_.tolerance_delta);
+    out[si].robustness_err = eval::robustness_error(clean, preds);
+  });
+  return out;
+}
+
+std::vector<EvalResult> Experiment::evaluate_under_fgsm_sweep(
+    const MonitorVariant& v, std::span<const double> epsilons,
+    attack::FeatureMask mask) {
+  monitor::MlMonitor& mon = monitor(v);
+  const std::vector<int>& clean = clean_predictions(v);
+  const nn::Tensor3& scaled = scaled_test_input(v);
+  const monitor::Dataset& test = data_->test;
+
+  std::vector<EvalResult> out(epsilons.size());
+  util::parallel_for(static_cast<int>(epsilons.size()), [&](int i) {
+    const auto si = static_cast<std::size_t>(i);
+    const std::unique_ptr<monitor::MlMonitor> local = mon.clone();
+    attack::FgsmConfig fc;
+    fc.epsilon = epsilons[si];
+    fc.mask = mask;
+    const nn::Tensor3 adv =
+        attack::fgsm_attack(local->classifier(), scaled, test.labels, fc);
+    const std::vector<int> preds = local->predict_scaled(adv);
+    out[si].confusion =
+        eval::evaluate_with_tolerance(test, preds, config_.tolerance_delta);
+    out[si].robustness_err = eval::robustness_error(clean, preds);
+  });
+  return out;
+}
+
+std::vector<EvalResult> Experiment::evaluate_under_blackbox_sweep(
+    const MonitorVariant& v, std::span<const double> epsilons) {
+  monitor::MlMonitor& mon = monitor(v);
+  attack::SubstituteAttack& sub = substitute_for(v);
+  const std::vector<int>& clean = clean_predictions(v);
+  const nn::Tensor3& scaled = scaled_test_input(v);
+  const monitor::Dataset& test = data_->test;
+
+  std::vector<EvalResult> out(epsilons.size());
+  util::parallel_for(static_cast<int>(epsilons.size()), [&](int i) {
+    const auto si = static_cast<std::size_t>(i);
+    const std::unique_ptr<monitor::MlMonitor> local_mon = mon.clone();
+    const std::unique_ptr<attack::SubstituteAttack> local_sub = sub.clone();
+    attack::FgsmConfig fc;
+    fc.epsilon = epsilons[si];
+    const nn::Tensor3 adv = local_sub->craft(scaled, clean, fc);
+    const std::vector<int> preds = local_mon->predict_scaled(adv);
+    out[si].confusion =
+        eval::evaluate_with_tolerance(test, preds, config_.tolerance_delta);
+    out[si].robustness_err = eval::robustness_error(clean, preds);
+  });
+  return out;
 }
 
 std::string to_string(RuntimeMode m) {

@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -152,6 +153,22 @@ class Experiment {
   EvalResult evaluate_under_blackbox(const MonitorVariant& variant,
                                      double epsilon);
 
+  /// Sweep variants of the three perturbation evaluations. Each hydrates
+  /// the memoized state (monitor, clean predictions, scaled test input,
+  /// substitute) once, then evaluates the sweep points in parallel on the
+  /// shared pool, giving every point its own monitor/substitute clone.
+  /// Results are bit-identical to calling the pointwise methods in a loop:
+  /// clones carry identical weights and each point re-derives the same RNG
+  /// stream the pointwise method would use.
+  std::vector<EvalResult> evaluate_under_gaussian_sweep(
+      const MonitorVariant& variant, std::span<const double> sigma_factors,
+      std::uint64_t noise_seed = 1234);
+  std::vector<EvalResult> evaluate_under_fgsm_sweep(
+      const MonitorVariant& variant, std::span<const double> epsilons,
+      attack::FeatureMask mask = attack::FeatureMask::kAll);
+  std::vector<EvalResult> evaluate_under_blackbox_sweep(
+      const MonitorVariant& variant, std::span<const double> epsilons);
+
   /// Stream every test trace through the chosen runtime while an
   /// input-stream fault corrupts the monitor's sensor channel, aggregating
   /// resilience metrics across traces. `fault_type` must be kNone (clean
@@ -162,9 +179,13 @@ class Experiment {
       sim::FaultType fault_type, double fault_rate,
       const ResilienceEvalConfig& rc = {});
 
+  /// Training configuration a variant resolves to. Public so tests can
+  /// assert the seed-derivation contract (distinct per-arch seed tags).
+  [[nodiscard]] monitor::MonitorConfig monitor_config(
+      const MonitorVariant& variant) const;
+
  private:
   std::string cache_path(const MonitorVariant& variant) const;
-  monitor::MonitorConfig monitor_config(const MonitorVariant& variant) const;
   attack::SubstituteAttack& substitute_for(const MonitorVariant& variant);
   const nn::Tensor3& scaled_test_input(const MonitorVariant& variant);
 

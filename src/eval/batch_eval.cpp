@@ -1,0 +1,72 @@
+#include "eval/batch_eval.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.h"
+#include "util/thread_pool.h"
+
+namespace cpsguard::eval {
+
+namespace {
+
+// Chunked fan-out is only worth the clone cost (scaler + full weight copy
+// per chunk) when several chunks can actually run concurrently.
+bool worth_chunking(int batch, int chunk) {
+  return batch > 2 * chunk && util::shared_pool().size() > 1 &&
+         !util::in_parallel_region();
+}
+
+}  // namespace
+
+nn::Matrix batched_predict_proba(monitor::MlMonitor& mon,
+                                 const nn::Tensor3& raw_windows,
+                                 int chunk) {
+  expects(mon.trained(), "monitor not trained");
+  expects(chunk > 0, "chunk size must be positive");
+  const int batch = raw_windows.batch();
+  if (!worth_chunking(batch, chunk)) return mon.predict_proba(raw_windows);
+
+  const int chunks = (batch + chunk - 1) / chunk;
+  std::vector<nn::Matrix> parts(static_cast<std::size_t>(chunks));
+  util::parallel_for(chunks, [&](int c) {
+    const int b0 = c * chunk;
+    const int b1 = std::min(batch, b0 + chunk);
+    std::vector<int> idx(static_cast<std::size_t>(b1 - b0));
+    std::iota(idx.begin(), idx.end(), b0);
+    const std::unique_ptr<monitor::MlMonitor> local = mon.clone();
+    parts[static_cast<std::size_t>(c)] =
+        local->predict_proba(raw_windows.gather(idx));
+  });
+
+  const int classes = parts.front().cols();
+  nn::Matrix out(batch, classes);
+  int row = 0;
+  for (const nn::Matrix& part : parts) {
+    for (int r = 0; r < part.rows(); ++r, ++row) {
+      std::copy(part.row(r).begin(), part.row(r).end(), out.row(row).begin());
+    }
+  }
+  ensures(row == batch, "stitched row count must match the batch");
+  return out;
+}
+
+std::vector<int> batched_predict(monitor::MlMonitor& mon,
+                                 const nn::Tensor3& raw_windows,
+                                 int chunk) {
+  const nn::Matrix probs = batched_predict_proba(mon, raw_windows, chunk);
+  std::vector<int> out(static_cast<std::size_t>(probs.rows()));
+  for (int r = 0; r < probs.rows(); ++r) {
+    const auto row = probs.row(r);
+    int best = 0;
+    for (int c = 1; c < probs.cols(); ++c) {
+      if (row[static_cast<std::size_t>(c)] > row[static_cast<std::size_t>(best)]) {
+        best = c;
+      }
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+}  // namespace cpsguard::eval

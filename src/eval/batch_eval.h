@@ -1,0 +1,31 @@
+// Batched monitor inference for large evaluation sets: splits the window
+// batch into contiguous chunks and runs them across the shared thread pool.
+//
+// Determinism: every per-window forward pass is independent of its batch
+// neighbours (matmul rows, ReLU, softmax and the recurrent time loops are
+// all row-local), so a chunked run produces bit-identical probabilities to
+// one full-batch call. Classifier forward passes mutate layer caches, so
+// each parallel chunk works on its own MlMonitor clone.
+#pragma once
+
+#include <vector>
+
+#include "monitor/ml_monitor.h"
+#include "nn/matrix.h"
+#include "nn/tensor3.h"
+
+namespace cpsguard::eval {
+
+/// Class probabilities for every window, computed chunk-parallel.
+/// Bit-identical to `mon.predict_proba(raw_windows)`.
+nn::Matrix batched_predict_proba(monitor::MlMonitor& mon,
+                                 const nn::Tensor3& raw_windows,
+                                 int chunk = 512);
+
+/// Argmax classes for every window, computed chunk-parallel.
+/// Bit-identical to `mon.predict(raw_windows)`.
+std::vector<int> batched_predict(monitor::MlMonitor& mon,
+                                 const nn::Tensor3& raw_windows,
+                                 int chunk = 512);
+
+}  // namespace cpsguard::eval

@@ -1,6 +1,7 @@
 #include "monitor/ml_monitor.h"
 
 #include <fstream>
+#include <sstream>
 
 #include "nn/gru_classifier.h"
 #include "nn/serialize.h"
@@ -154,6 +155,20 @@ void MlMonitor::save(const std::string& path) const {
   scaler_.save(f);
   const auto ps = clf_->params();
   nn::save_params(f, ps);
+}
+
+std::unique_ptr<MlMonitor> MlMonitor::clone() const {
+  expects(trained(), "monitor not trained");
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  scaler_.save(buf);
+  const auto src_params = clf_->params();
+  nn::save_params(buf, src_params);
+  auto out = std::make_unique<MlMonitor>(config_);
+  out->scaler_.load(buf);
+  out->build_classifier(clf_->time_steps(), clf_->features());
+  const auto dst_params = out->clf_->params();
+  nn::load_params(buf, dst_params);
+  return out;
 }
 
 void MlMonitor::load(const std::string& path, int window, int features) {

@@ -80,6 +80,12 @@ class MlMonitor {
   void save(const std::string& path) const;
   void load(const std::string& path, int window, int features);
 
+  /// Deep copy of a trained monitor (config + scaler + weights). Classifier
+  /// forward passes mutate layer caches, so concurrent evaluation fan-outs
+  /// give each task its own clone; identical weights guarantee identical
+  /// predictions, keeping parallel sweeps bit-identical to serial ones.
+  [[nodiscard]] std::unique_ptr<MlMonitor> clone() const;
+
  private:
   void build_classifier(int window, int features);
 

@@ -1,6 +1,7 @@
 #include "monitor/scaler.h"
 
 #include <cmath>
+#include <cstdint>
 #include <istream>
 #include <ostream>
 
@@ -87,16 +88,32 @@ void StandardScaler::save(std::ostream& os) const {
 }
 
 void StandardScaler::load(std::istream& is) {
+  // Validate before trusting: a corrupt cache entry must fail the load (so
+  // the caller retrains) rather than produce a silently garbage monitor.
+  // The bound is far above any plausible window feature count but small
+  // enough that a corrupt length can't trigger a giant allocation.
+  constexpr std::uint32_t kMaxFeatures = 1u << 16;
   std::uint32_t n = 0;
   is.read(reinterpret_cast<char*>(&n), sizeof(n));
   expects(static_cast<bool>(is), "scaler stream truncated");
-  mean_.assign(n, 0.0);
-  std_.assign(n, 1.0);
-  is.read(reinterpret_cast<char*>(mean_.data()),
+  expects(n > 0, "scaler stream corrupt: zero features");
+  expects(n <= kMaxFeatures, "scaler stream corrupt: implausible feature count");
+  std::vector<double> mean(n, 0.0);
+  std::vector<double> stdev(n, 1.0);
+  is.read(reinterpret_cast<char*>(mean.data()),
           static_cast<std::streamsize>(n * sizeof(double)));
-  is.read(reinterpret_cast<char*>(std_.data()),
+  is.read(reinterpret_cast<char*>(stdev.data()),
           static_cast<std::streamsize>(n * sizeof(double)));
   expects(static_cast<bool>(is), "scaler stream truncated");
+  for (std::uint32_t f = 0; f < n; ++f) {
+    expects(std::isfinite(mean[f]), "scaler stream corrupt: non-finite mean");
+    expects(std::isfinite(stdev[f]) && stdev[f] > 0.0,
+            "scaler stream corrupt: std must be finite and positive");
+  }
+  // Commit only after full validation so a failed load leaves the scaler in
+  // its previous (typically unfitted) state.
+  mean_ = std::move(mean);
+  std_ = std::move(stdev);
 }
 
 }  // namespace cpsguard::monitor

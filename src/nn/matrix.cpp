@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "util/contracts.h"
+#include "util/thread_pool.h"
 
 namespace cpsguard::nn {
 
@@ -132,20 +134,223 @@ bool operator==(const Matrix& a, const Matrix& b) {
   return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
 }
 
+// ---------------------------------------------------------------------------
+// Matmul kernels.
+//
+// All three products use the same design: unroll-friendly register tiles
+// (4 output rows x 4 reduction steps) that a baseline-x86-64 compiler
+// autovectorizes without -march flags, with every per-element accumulation
+// kept in strictly ascending reduction order. That ordering — plus doing
+// all arithmetic in float with no FMA contraction at the default target —
+// makes the optimized kernels *bit-identical* to the naive triple loops
+// they replaced, so cached monitors and figure CSVs are unaffected.
+//
+// Unlike the previous kernels there is no `a == 0.0f` skip: the skip both
+// defeated vectorization (a branch per reduction step) and silently broke
+// IEEE semantics by suppressing NaN/Inf propagation from the other operand
+// — which matters now that fault injection (kSensorLoss) can legitimately
+// push NaN through the monitor path.
+//
+// Large products additionally shard their output rows across the shared
+// thread pool. Rows are computed independently and each element's reduction
+// order never depends on the shard split, so parallel results stay
+// bit-identical to serial ones.
+
+namespace {
+
+// Parallelize only when the arithmetic dwarfs the fan-out overhead and the
+// machine actually has cores to use. ~4M flops is ~0.1 ms of kernel time.
+constexpr double kParallelFlopThreshold = 4.0e6;
+constexpr int kRowsPerShard = 16;
+
+bool worth_parallelizing(int n, int k, int m) {
+  return 2.0 * n * k * m >= kParallelFlopThreshold && n >= 2 * kRowsPerShard &&
+         std::thread::hardware_concurrency() > 1;
+}
+
+// Run fn over [0, rows) in contiguous row blocks, in parallel when the
+// product is large enough (fn(r0, r1) computes output rows [r0, r1)).
+template <typename Fn>
+void for_row_blocks(int rows, int k, int m, Fn&& fn) {
+  if (!worth_parallelizing(rows, k, m) || util::in_parallel_region()) {
+    fn(0, rows);
+    return;
+  }
+  const int blocks = (rows + kRowsPerShard - 1) / kRowsPerShard;
+  util::parallel_for(blocks, [&](int blk) {
+    const int r0 = blk * kRowsPerShard;
+    fn(r0, std::min(rows, r0 + kRowsPerShard));
+  });
+}
+
+// C[i0..i1) += A[i0..i1) * B for row-major A (n x k), B (k x m), C (n x m).
+// 4x4 (rows x reduction) tile; the j loop vectorizes. Per-element order:
+// ((((c + t_p) + t_{p+1}) + ...) with p ascending — matches the naive loop.
+void matmul_rows(const float* __restrict a, const float* __restrict b,
+                 float* __restrict c, int i0, int i1, int k, int m) {
+  int i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    float* __restrict c0 = c + static_cast<std::size_t>(i + 0) * m;
+    float* __restrict c1 = c + static_cast<std::size_t>(i + 1) * m;
+    float* __restrict c2 = c + static_cast<std::size_t>(i + 2) * m;
+    float* __restrict c3 = c + static_cast<std::size_t>(i + 3) * m;
+    const float* a0 = a + static_cast<std::size_t>(i + 0) * k;
+    const float* a1 = a + static_cast<std::size_t>(i + 1) * k;
+    const float* a2 = a + static_cast<std::size_t>(i + 2) * k;
+    const float* a3 = a + static_cast<std::size_t>(i + 3) * k;
+    int p = 0;
+    for (; p + 4 <= k; p += 4) {
+      const float* __restrict br0 = b + static_cast<std::size_t>(p + 0) * m;
+      const float* __restrict br1 = b + static_cast<std::size_t>(p + 1) * m;
+      const float* __restrict br2 = b + static_cast<std::size_t>(p + 2) * m;
+      const float* __restrict br3 = b + static_cast<std::size_t>(p + 3) * m;
+      for (int j = 0; j < m; ++j) {
+        const float b0 = br0[j], b1 = br1[j], b2 = br2[j], b3 = br3[j];
+        float s0 = c0[j], s1 = c1[j], s2 = c2[j], s3 = c3[j];
+        s0 += a0[p + 0] * b0; s1 += a1[p + 0] * b0; s2 += a2[p + 0] * b0; s3 += a3[p + 0] * b0;
+        s0 += a0[p + 1] * b1; s1 += a1[p + 1] * b1; s2 += a2[p + 1] * b1; s3 += a3[p + 1] * b1;
+        s0 += a0[p + 2] * b2; s1 += a1[p + 2] * b2; s2 += a2[p + 2] * b2; s3 += a3[p + 2] * b2;
+        s0 += a0[p + 3] * b3; s1 += a1[p + 3] * b3; s2 += a2[p + 3] * b3; s3 += a3[p + 3] * b3;
+        c0[j] = s0; c1[j] = s1; c2[j] = s2; c3[j] = s3;
+      }
+    }
+    for (; p < k; ++p) {
+      const float* __restrict brow = b + static_cast<std::size_t>(p) * m;
+      const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+      for (int j = 0; j < m; ++j) {
+        const float bv = brow[j];
+        c0[j] += v0 * bv; c1[j] += v1 * bv; c2[j] += v2 * bv; c3[j] += v3 * bv;
+      }
+    }
+  }
+  for (; i < i1; ++i) {  // row tail
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* __restrict crow = c + static_cast<std::size_t>(i) * m;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* __restrict brow = b + static_cast<std::size_t>(p) * m;
+      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C[p0..p1) += (A^T B)[p0..p1) for A (n x k), B (n x m), C (k x m): the
+// reduction runs over the shared row index i (ascending, as before); the
+// 4-row A slice a[i][p..p+4) is contiguous, so the same tile shape works.
+void matmul_tn_rows(const float* __restrict a, const float* __restrict b,
+                    float* __restrict c, int p0, int p1, int n, int k, int m) {
+  int p = p0;
+  for (; p + 4 <= p1; p += 4) {
+    float* __restrict c0 = c + static_cast<std::size_t>(p + 0) * m;
+    float* __restrict c1 = c + static_cast<std::size_t>(p + 1) * m;
+    float* __restrict c2 = c + static_cast<std::size_t>(p + 2) * m;
+    float* __restrict c3 = c + static_cast<std::size_t>(p + 3) * m;
+    int i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const float* ar0 = a + static_cast<std::size_t>(i + 0) * k + p;
+      const float* ar1 = a + static_cast<std::size_t>(i + 1) * k + p;
+      const float* ar2 = a + static_cast<std::size_t>(i + 2) * k + p;
+      const float* ar3 = a + static_cast<std::size_t>(i + 3) * k + p;
+      const float* __restrict br0 = b + static_cast<std::size_t>(i + 0) * m;
+      const float* __restrict br1 = b + static_cast<std::size_t>(i + 1) * m;
+      const float* __restrict br2 = b + static_cast<std::size_t>(i + 2) * m;
+      const float* __restrict br3 = b + static_cast<std::size_t>(i + 3) * m;
+      for (int j = 0; j < m; ++j) {
+        const float b0 = br0[j], b1 = br1[j], b2 = br2[j], b3 = br3[j];
+        float s0 = c0[j], s1 = c1[j], s2 = c2[j], s3 = c3[j];
+        s0 += ar0[0] * b0; s1 += ar0[1] * b0; s2 += ar0[2] * b0; s3 += ar0[3] * b0;
+        s0 += ar1[0] * b1; s1 += ar1[1] * b1; s2 += ar1[2] * b1; s3 += ar1[3] * b1;
+        s0 += ar2[0] * b2; s1 += ar2[1] * b2; s2 += ar2[2] * b2; s3 += ar2[3] * b2;
+        s0 += ar3[0] * b3; s1 += ar3[1] * b3; s2 += ar3[2] * b3; s3 += ar3[3] * b3;
+        c0[j] = s0; c1[j] = s1; c2[j] = s2; c3[j] = s3;
+      }
+    }
+    for (; i < n; ++i) {  // reduction tail
+      const float* arow = a + static_cast<std::size_t>(i) * k + p;
+      const float* __restrict brow = b + static_cast<std::size_t>(i) * m;
+      const float v0 = arow[0], v1 = arow[1], v2 = arow[2], v3 = arow[3];
+      for (int j = 0; j < m; ++j) {
+        const float bv = brow[j];
+        c0[j] += v0 * bv; c1[j] += v1 * bv; c2[j] += v2 * bv; c3[j] += v3 * bv;
+      }
+    }
+  }
+  for (; p < p1; ++p) {  // output-row tail
+    float* __restrict crow = c + static_cast<std::size_t>(p) * m;
+    for (int i = 0; i < n; ++i) {
+      const float av = a[static_cast<std::size_t>(i) * k + p];
+      const float* __restrict brow = b + static_cast<std::size_t>(i) * m;
+      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C[i0..i1) = (A B^T)[i0..i1) for A (n x k), B (m x k), C (n x m): each
+// element is an independent double-precision dot product in ascending p, as
+// before; 2x4 output tiles give eight independent accumulation chains so
+// the 4-cycle add latency overlaps instead of serializing.
+void matmul_nt_rows(const float* __restrict a, const float* __restrict b,
+                    float* __restrict c, int i0, int i1, int k, int m) {
+  int i = i0;
+  for (; i + 2 <= i1; i += 2) {
+    const float* a0 = a + static_cast<std::size_t>(i + 0) * k;
+    const float* a1 = a + static_cast<std::size_t>(i + 1) * k;
+    float* c0 = c + static_cast<std::size_t>(i + 0) * m;
+    float* c1 = c + static_cast<std::size_t>(i + 1) * m;
+    int j = 0;
+    for (; j + 4 <= m; j += 4) {
+      const float* b0 = b + static_cast<std::size_t>(j + 0) * k;
+      const float* b1 = b + static_cast<std::size_t>(j + 1) * k;
+      const float* b2 = b + static_cast<std::size_t>(j + 2) * k;
+      const float* b3 = b + static_cast<std::size_t>(j + 3) * k;
+      double s00 = 0.0, s01 = 0.0, s02 = 0.0, s03 = 0.0;
+      double s10 = 0.0, s11 = 0.0, s12 = 0.0, s13 = 0.0;
+      for (int p = 0; p < k; ++p) {
+        const double u0 = a0[p], u1 = a1[p];
+        s00 += u0 * b0[p]; s01 += u0 * b1[p]; s02 += u0 * b2[p]; s03 += u0 * b3[p];
+        s10 += u1 * b0[p]; s11 += u1 * b1[p]; s12 += u1 * b2[p]; s13 += u1 * b3[p];
+      }
+      c0[j + 0] = static_cast<float>(s00); c0[j + 1] = static_cast<float>(s01);
+      c0[j + 2] = static_cast<float>(s02); c0[j + 3] = static_cast<float>(s03);
+      c1[j + 0] = static_cast<float>(s10); c1[j + 1] = static_cast<float>(s11);
+      c1[j + 2] = static_cast<float>(s12); c1[j + 3] = static_cast<float>(s13);
+    }
+    for (; j < m; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * k;
+      double s0 = 0.0, s1 = 0.0;
+      for (int p = 0; p < k; ++p) {
+        s0 += static_cast<double>(a0[p]) * brow[p];
+        s1 += static_cast<double>(a1[p]) * brow[p];
+      }
+      c0[j] = static_cast<float>(s0);
+      c1[j] = static_cast<float>(s1);
+    }
+  }
+  for (; i < i1; ++i) {  // row tail
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * m;
+    for (int j = 0; j < m; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * k;
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p)
+        acc += static_cast<double>(arow[p]) * brow[p];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
   cpsguard::expects(a.cols() == b.rows(), "matmul inner dimensions must match");
   Matrix c(a.rows(), b.cols());
   const int n = a.rows(), k = a.cols(), m = b.cols();
-  for (int i = 0; i < n; ++i) {
-    const auto arow = a.row(i);
-    auto crow = c.row(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[static_cast<std::size_t>(p)];
-      if (av == 0.0f) continue;
-      const auto brow = b.row(p);
-      for (int j = 0; j < m; ++j) crow[static_cast<std::size_t>(j)] += av * brow[static_cast<std::size_t>(j)];
-    }
-  }
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  float* cd = c.data().data();
+  for_row_blocks(n, k, m, [&](int r0, int r1) {
+    matmul_rows(ad, bd, cd, r0, r1, k, m);
+  });
   return c;
 }
 
@@ -153,16 +358,12 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b) {
   cpsguard::expects(a.rows() == b.rows(), "matmul_tn: A^T B needs equal row counts");
   Matrix c(a.cols(), b.cols());
   const int n = a.rows(), k = a.cols(), m = b.cols();
-  for (int i = 0; i < n; ++i) {
-    const auto arow = a.row(i);
-    const auto brow = b.row(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[static_cast<std::size_t>(p)];
-      if (av == 0.0f) continue;
-      auto crow = c.row(p);
-      for (int j = 0; j < m; ++j) crow[static_cast<std::size_t>(j)] += av * brow[static_cast<std::size_t>(j)];
-    }
-  }
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  float* cd = c.data().data();
+  for_row_blocks(k, n, m, [&](int p0, int p1) {
+    matmul_tn_rows(ad, bd, cd, p0, p1, n, k, m);
+  });
   return c;
 }
 
@@ -170,17 +371,12 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
   cpsguard::expects(a.cols() == b.cols(), "matmul_nt: A B^T needs equal col counts");
   Matrix c(a.rows(), b.rows());
   const int n = a.rows(), k = a.cols(), m = b.rows();
-  for (int i = 0; i < n; ++i) {
-    const auto arow = a.row(i);
-    auto crow = c.row(i);
-    for (int j = 0; j < m; ++j) {
-      const auto brow = b.row(j);
-      double acc = 0.0;
-      for (int p = 0; p < k; ++p)
-        acc += static_cast<double>(arow[static_cast<std::size_t>(p)]) * brow[static_cast<std::size_t>(p)];
-      crow[static_cast<std::size_t>(j)] = static_cast<float>(acc);
-    }
-  }
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  float* cd = c.data().data();
+  for_row_blocks(n, k, m, [&](int r0, int r1) {
+    matmul_nt_rows(ad, bd, cd, r0, r1, k, m);
+  });
   return c;
 }
 

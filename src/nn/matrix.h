@@ -67,11 +67,16 @@ class Matrix {
   std::vector<float> data_;
 };
 
-/// C = A * B.
+/// C = A * B. Blocked/unrolled kernel; large products shard output rows
+/// across the shared thread pool. Deterministic: per-element accumulation
+/// order is fixed (ascending reduction index), so results are bit-identical
+/// regardless of thread count. NaN/Inf in either operand propagate per IEEE.
 Matrix matmul(const Matrix& a, const Matrix& b);
-/// C = A^T * B (avoids materializing the transpose).
+/// C = A^T * B (avoids materializing the transpose). Same kernel contract
+/// as matmul.
 Matrix matmul_tn(const Matrix& a, const Matrix& b);
-/// C = A * B^T.
+/// C = A * B^T. Per-element double-precision dot products in ascending
+/// reduction order; same determinism contract as matmul.
 Matrix matmul_nt(const Matrix& a, const Matrix& b);
 
 /// Element-wise c = a - b.

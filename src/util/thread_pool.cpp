@@ -7,6 +7,49 @@
 
 namespace cpsguard::util {
 
+namespace {
+
+// Set for shared-pool workers (for their whole lifetime) and for any thread
+// while it executes a parallel_for shard. Either way, a parallel_for issued
+// from such a thread must run inline: fanning out again would queue work
+// behind a blocked worker (deadlock risk on small pools) and oversubscribe
+// the machine.
+thread_local bool tl_in_parallel_region = false;
+
+// Per-call bookkeeping for one parallel_for: a work-stealing index counter
+// shared by the caller and the helper tasks, plus a latch the caller waits
+// on. Lives on the caller's stack; the caller never returns before
+// `pending` drops to zero, so references from helper tasks stay valid.
+struct ForState {
+  const std::function<void(int)>* fn = nullptr;
+  int n = 0;
+  std::atomic<int> next{0};
+  std::mutex mutex;
+  std::condition_variable cv_done;
+  int pending = 0;
+  std::exception_ptr first_error;
+};
+
+// Pull indices until the counter runs dry. All iterations complete even if
+// some throw; only the first exception is kept.
+void run_shard(ForState& st) {
+  const bool saved = tl_in_parallel_region;
+  tl_in_parallel_region = true;
+  for (;;) {
+    const int i = st.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= st.n) break;
+    try {
+      (*st.fn)(i);
+    } catch (...) {
+      const std::scoped_lock lock(st.mutex);
+      if (!st.first_error) st.first_error = std::current_exception();
+    }
+  }
+  tl_in_parallel_region = saved;
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -46,6 +89,7 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+  tl_in_parallel_region = true;  // nested parallel_for on a worker runs inline
   for (;;) {
     std::function<void()> task;
     {
@@ -71,34 +115,44 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void parallel_for(int n, const std::function<void(int)>& fn, std::size_t threads) {
+ThreadPool& shared_pool() {
+  static ThreadPool pool;  // one worker per hardware thread, process lifetime
+  return pool;
+}
+
+bool in_parallel_region() { return tl_in_parallel_region; }
+
+void parallel_for(int n, const std::function<void(int)>& fn,
+                  std::size_t max_shards) {
   expects(n >= 0, "parallel_for size must be non-negative");
   if (n == 0) return;
-  if (threads == 1 || n == 1) {
+  if (max_shards == 1 || n == 1 || tl_in_parallel_region) {
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }
-  ThreadPool pool(threads);
-  std::atomic<int> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  const std::size_t shards = std::min<std::size_t>(pool.size(), static_cast<std::size_t>(n));
-  for (std::size_t s = 0; s < shards; ++s) {
-    pool.submit([&] {
-      for (;;) {
-        const int i = next.fetch_add(1);
-        if (i >= n) return;
-        try {
-          fn(i);
-        } catch (...) {
-          const std::scoped_lock lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-      }
+
+  ThreadPool& pool = shared_pool();
+  std::size_t helpers = pool.size();
+  if (max_shards != 0) helpers = std::min(helpers, max_shards);
+  helpers = std::min(helpers, static_cast<std::size_t>(n));
+
+  ForState st;
+  st.fn = &fn;
+  st.n = n;
+  st.pending = static_cast<int>(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.submit([&st] {
+      run_shard(st);
+      const std::scoped_lock lock(st.mutex);
+      if (--st.pending == 0) st.cv_done.notify_all();
     });
   }
-  pool.wait_idle();
-  if (first_error) std::rethrow_exception(first_error);
+  run_shard(st);  // the caller works too instead of just blocking
+  {
+    std::unique_lock lock(st.mutex);
+    st.cv_done.wait(lock, [&st] { return st.pending == 0; });
+  }
+  if (st.first_error) std::rethrow_exception(st.first_error);
 }
 
 }  // namespace cpsguard::util

@@ -1,5 +1,8 @@
 // Fixed-size thread pool plus a blocking parallel_for used to fan experiment
-// sweeps (per-patient campaigns, per-model attacks) across cores.
+// sweeps (per-patient campaigns, per-model attacks, per-sweep-point
+// evaluations) across cores. parallel_for runs on a lazily-initialized
+// process-wide shared pool so fan-outs pay thread spawn/teardown once per
+// process, not once per call.
 #pragma once
 
 #include <condition_variable>
@@ -47,9 +50,24 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Run fn(i) for i in [0, n) on a transient pool; rethrows the first captured
-/// exception after all iterations complete. `threads == 0` → all cores;
-/// `threads == 1` runs inline (useful under sanitizers and in tests).
-void parallel_for(int n, const std::function<void(int)>& fn, std::size_t threads = 0);
+/// The process-wide pool parallel_for fans out on, lazily constructed with
+/// one worker per hardware thread on first use and reused for the rest of
+/// the process (no per-call spawn/teardown).
+ThreadPool& shared_pool();
+
+/// True when the calling thread is a shared-pool worker or is currently
+/// executing a parallel_for shard — i.e. when a further parallel_for would
+/// run inline instead of fanning out again.
+bool in_parallel_region();
+
+/// Run fn(i) for i in [0, n) across the shared pool (the calling thread
+/// participates too); rethrows the first captured exception after all
+/// iterations complete. Nested calls — from inside a shard or from a pool
+/// worker — run inline, so parallel sections can safely call parallel code
+/// without deadlock or oversubscription. `max_shards == 0` uses every pool
+/// worker; `max_shards == 1` runs inline (useful under sanitizers and in
+/// tests).
+void parallel_for(int n, const std::function<void(int)>& fn,
+                  std::size_t max_shards = 0);
 
 }  // namespace cpsguard::util

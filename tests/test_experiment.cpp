@@ -177,6 +177,83 @@ TEST(ExperimentT1d, SecondTestbedWorksEndToEnd) {
   EXPECT_GE(noisy.robustness_err, 0.0);
 }
 
+// Regression: only kLstm used to carry an arch seed tag, so MLP and GRU
+// variants derived bit-identical training seeds. Every architecture must
+// now map to a distinct seed while MLP/LSTM keep their historical values
+// (so cached monitors and committed figure CSVs stay valid).
+TEST(MonitorConfigSeeds, DistinctPerArchAndHistoricallyStable) {
+  const ExperimentConfig cfg = tiny_config();
+  const Experiment exp(cfg);
+  const std::uint64_t base = cfg.campaign.seed;
+
+  // Historical derivations, frozen.
+  EXPECT_EQ(exp.monitor_config({monitor::Arch::kMlp, false}).seed,
+            base ^ 0x1234ULL);
+  EXPECT_EQ(exp.monitor_config({monitor::Arch::kMlp, true}).seed,
+            base ^ 0xABCDULL);
+  EXPECT_EQ(exp.monitor_config({monitor::Arch::kLstm, false}).seed,
+            base ^ 0x1234ULL ^ 0xBEEF0000ULL);
+  EXPECT_EQ(exp.monitor_config({monitor::Arch::kLstm, true}).seed,
+            base ^ 0xABCDULL ^ 0xBEEF0000ULL);
+
+  // All (arch, semantic) combinations must yield pairwise-distinct seeds —
+  // the GRU/MLP collision was the bug.
+  std::vector<std::uint64_t> seeds;
+  for (const auto arch :
+       {monitor::Arch::kMlp, monitor::Arch::kLstm, monitor::Arch::kGru}) {
+    for (const bool semantic : {false, true}) {
+      seeds.push_back(exp.monitor_config({arch, semantic}).seed);
+    }
+  }
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+      EXPECT_NE(seeds[i], seeds[j]) << "variants " << i << " and " << j;
+    }
+  }
+}
+
+// The parallel sweep APIs must reproduce the pointwise evaluations exactly
+// (identical confusion counts and robustness errors, point by point).
+TEST_F(ExperimentTest, GaussianSweepMatchesPointwise) {
+  const std::vector<double> sigmas = {0.25, 1.0};
+  const auto sweep = exp_.evaluate_under_gaussian_sweep(mlp_, sigmas);
+  ASSERT_EQ(sweep.size(), sigmas.size());
+  for (std::size_t i = 0; i < sigmas.size(); ++i) {
+    const auto point = exp_.evaluate_under_gaussian(mlp_, sigmas[i]);
+    EXPECT_EQ(sweep[i].confusion.tp, point.confusion.tp) << "sigma " << sigmas[i];
+    EXPECT_EQ(sweep[i].confusion.fp, point.confusion.fp) << "sigma " << sigmas[i];
+    EXPECT_EQ(sweep[i].confusion.fn, point.confusion.fn) << "sigma " << sigmas[i];
+    EXPECT_EQ(sweep[i].confusion.tn, point.confusion.tn) << "sigma " << sigmas[i];
+    EXPECT_DOUBLE_EQ(sweep[i].robustness_err, point.robustness_err);
+  }
+}
+
+TEST_F(ExperimentTest, FgsmSweepMatchesPointwise) {
+  const std::vector<double> epsilons = {0.05, 0.2};
+  const auto sweep = exp_.evaluate_under_fgsm_sweep(mlp_, epsilons);
+  ASSERT_EQ(sweep.size(), epsilons.size());
+  for (std::size_t i = 0; i < epsilons.size(); ++i) {
+    const auto point = exp_.evaluate_under_fgsm(mlp_, epsilons[i]);
+    EXPECT_EQ(sweep[i].confusion.tp, point.confusion.tp) << "eps " << epsilons[i];
+    EXPECT_EQ(sweep[i].confusion.fp, point.confusion.fp) << "eps " << epsilons[i];
+    EXPECT_EQ(sweep[i].confusion.fn, point.confusion.fn) << "eps " << epsilons[i];
+    EXPECT_EQ(sweep[i].confusion.tn, point.confusion.tn) << "eps " << epsilons[i];
+    EXPECT_DOUBLE_EQ(sweep[i].robustness_err, point.robustness_err);
+  }
+}
+
+TEST_F(ExperimentTest, BlackboxSweepMatchesPointwise) {
+  const std::vector<double> epsilons = {0.1};
+  const auto sweep = exp_.evaluate_under_blackbox_sweep(mlp_, epsilons);
+  ASSERT_EQ(sweep.size(), epsilons.size());
+  const auto point = exp_.evaluate_under_blackbox(mlp_, epsilons[0]);
+  EXPECT_EQ(sweep[0].confusion.tp, point.confusion.tp);
+  EXPECT_EQ(sweep[0].confusion.fp, point.confusion.fp);
+  EXPECT_EQ(sweep[0].confusion.fn, point.confusion.fn);
+  EXPECT_EQ(sweep[0].confusion.tn, point.confusion.tn);
+  EXPECT_DOUBLE_EQ(sweep[0].robustness_err, point.robustness_err);
+}
+
 TEST(ExperimentTrainAll, HydratesAllVariants) {
   ExperimentConfig cfg = tiny_config();
   cfg.epochs = 1;

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <limits>
 
 #include "util/contracts.h"
 #include "util/rng.h"
@@ -147,6 +149,135 @@ TEST(MatmulNt, MatchesTransposedNaive) {
   const Matrix a = random_matrix(5, 8, rng);
   const Matrix b = random_matrix(6, 8, rng);
   expect_near(matmul_nt(a, b), naive_matmul(a, b.transpose()));
+}
+
+// --- Bitwise parity of the blocked kernels against the accumulation-order
+// references they are contracted to reproduce exactly (see matrix.h): cached
+// monitors and committed figure CSVs depend on these bits not moving.
+
+// Float accumulation in ascending reduction order — the naive ikj loop the
+// optimized matmul replaced.
+Matrix reference_matmul_f32(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int p = 0; p < a.cols(); ++p) {
+      const float av = a.at(i, p);
+      for (int j = 0; j < b.cols(); ++j) c.at(i, j) += av * b.at(p, j);
+    }
+  }
+  return c;
+}
+
+Matrix reference_matmul_tn_f32(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {  // reduction index, ascending
+    for (int p = 0; p < a.cols(); ++p) {
+      const float av = a.at(i, p);
+      for (int j = 0; j < b.cols(); ++j) c.at(p, j) += av * b.at(i, j);
+    }
+  }
+  return c;
+}
+
+// matmul_nt accumulates each element in double (ascending p), then rounds.
+Matrix reference_matmul_nt_f64(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.rows(); ++j) {
+      double acc = 0.0;
+      for (int p = 0; p < a.cols(); ++p) {
+        acc += static_cast<double>(a.at(i, p)) * b.at(j, p);
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+TEST(Matmul, BitIdenticalToReferenceAcrossShapes) {
+  util::Rng rng(31);
+  // Odd shapes exercise every tail loop; 160^3 (2*160^3 ≈ 8.2M flops)
+  // crosses the parallel row-sharding threshold.
+  const std::vector<std::array<int, 3>> shapes = {
+      {1, 1, 1}, {3, 5, 2}, {7, 11, 5}, {33, 17, 9}, {64, 64, 64}, {160, 160, 160}};
+  for (const auto& [n, k, m] : shapes) {
+    const Matrix a = random_matrix(n, k, rng);
+    const Matrix b = random_matrix(k, m, rng);
+    EXPECT_TRUE(matmul(a, b) == reference_matmul_f32(a, b))
+        << "shape " << n << "x" << k << "x" << m;
+  }
+}
+
+TEST(MatmulTn, BitIdenticalToReferenceAcrossShapes) {
+  util::Rng rng(32);
+  const std::vector<std::array<int, 3>> shapes = {
+      {1, 1, 1}, {5, 3, 2}, {9, 6, 4}, {17, 33, 9}, {160, 160, 160}};
+  for (const auto& [n, k, m] : shapes) {
+    const Matrix a = random_matrix(n, k, rng);
+    const Matrix b = random_matrix(n, m, rng);
+    EXPECT_TRUE(matmul_tn(a, b) == reference_matmul_tn_f32(a, b))
+        << "shape " << n << "x" << k << "x" << m;
+  }
+}
+
+TEST(MatmulNt, BitIdenticalToReferenceAcrossShapes) {
+  util::Rng rng(33);
+  const std::vector<std::array<int, 3>> shapes = {
+      {1, 1, 1}, {5, 8, 6}, {13, 7, 3}, {31, 19, 11}, {160, 160, 160}};
+  for (const auto& [n, k, m] : shapes) {
+    const Matrix a = random_matrix(n, k, rng);
+    const Matrix b = random_matrix(m, k, rng);
+    EXPECT_TRUE(matmul_nt(a, b) == reference_matmul_nt_f64(a, b))
+        << "shape " << n << "x" << k << "x" << m;
+  }
+}
+
+// The old kernels skipped a == 0.0f reduction steps, which silently
+// suppressed NaN/Inf from the other operand. IEEE semantics are now exact:
+// 0 * NaN = NaN and 0 * Inf = NaN must propagate (kSensorLoss injects NaN).
+TEST(Matmul, PropagatesNanThroughZeroOperand) {
+  Matrix a = Matrix::from_rows({{0.0f, 1.0f}});
+  Matrix b = Matrix::from_rows({{std::numeric_limits<float>::quiet_NaN(), 2.0f},
+                                {3.0f, 4.0f}});
+  const Matrix c = matmul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));  // 0*NaN + 1*3 = NaN
+  EXPECT_FLOAT_EQ(c.at(0, 1), 4.0f);
+}
+
+TEST(Matmul, PropagatesInfThroughZeroOperand) {
+  Matrix a = Matrix::from_rows({{0.0f, 1.0f}});
+  Matrix b = Matrix::from_rows({{std::numeric_limits<float>::infinity(), 2.0f},
+                                {3.0f, 4.0f}});
+  const Matrix c = matmul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));  // 0*Inf = NaN
+  EXPECT_FLOAT_EQ(c.at(0, 1), 4.0f);
+}
+
+TEST(Matmul, NanInputPoisonsItsOutputRowOnly) {
+  util::Rng rng(34);
+  Matrix a = random_matrix(3, 4, rng);
+  a.at(1, 2) = std::numeric_limits<float>::quiet_NaN();
+  const Matrix b = random_matrix(4, 5, rng);
+  const Matrix c = matmul(a, b);
+  for (int j = 0; j < c.cols(); ++j) {
+    EXPECT_FALSE(std::isnan(c.at(0, j)));
+    EXPECT_TRUE(std::isnan(c.at(1, j)));
+    EXPECT_FALSE(std::isnan(c.at(2, j)));
+  }
+}
+
+TEST(MatmulTnNt, PropagateNanLikeMatmul) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  {
+    const Matrix a = Matrix::from_rows({{0.0f}, {1.0f}});
+    const Matrix b = Matrix::from_rows({{nan}, {2.0f}});
+    EXPECT_TRUE(std::isnan(matmul_tn(a, b).at(0, 0)));  // 0*NaN + 1*2
+  }
+  {
+    const Matrix a = Matrix::from_rows({{0.0f, 1.0f}});
+    const Matrix b = Matrix::from_rows({{nan, 2.0f}});
+    EXPECT_TRUE(std::isnan(matmul_nt(a, b).at(0, 0)));
+  }
 }
 
 TEST(ElementWise, AddSubtractHadamard) {

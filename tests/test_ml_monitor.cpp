@@ -1,5 +1,6 @@
 #include "monitor/ml_monitor.h"
 
+#include "eval/batch_eval.h"
 #include "monitor/features.h"
 
 #include <gtest/gtest.h>
@@ -145,6 +146,30 @@ TEST(MlMonitor, SeedChangesModel) {
   double diff = 0.0;
   for (int r = 0; r < pa.rows(); ++r) diff += std::abs(pa.at(r, 1) - pb.at(r, 1));
   EXPECT_GT(diff, 1e-3);
+}
+
+TEST(MlMonitor, CloneIsBitIdenticalAndIndependent) {
+  const Dataset ds = small_dataset(8);
+  MlMonitor mon(fast_config(Arch::kMlp, false));
+  mon.train(ds);
+  const auto copy = mon.clone();
+  ASSERT_TRUE(copy->trained());
+  EXPECT_TRUE(mon.predict_proba(ds.x) == copy->predict_proba(ds.x));
+  EXPECT_EQ(mon.predict(ds.x), copy->predict(ds.x));
+  // Independent object: the clone survives the original.
+  EXPECT_NE(&mon.classifier(), &copy->classifier());
+}
+
+TEST(BatchEval, ChunkedPredictProbaMatchesSingleCall) {
+  const Dataset ds = small_dataset(9);
+  MlMonitor mon(fast_config(Arch::kMlp, false));
+  mon.train(ds);
+  const nn::Matrix whole = mon.predict_proba(ds.x);
+  // Tiny chunk forces many shards (when the pool has >1 worker); either way
+  // the stitched result must be bit-identical to the one-shot call.
+  const nn::Matrix chunked = eval::batched_predict_proba(mon, ds.x, 8);
+  EXPECT_TRUE(whole == chunked);
+  EXPECT_EQ(eval::batched_predict(mon, ds.x, 8), mon.predict(ds.x));
 }
 
 TEST(MlMonitor, RejectsBadConfig) {

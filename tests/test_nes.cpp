@@ -97,5 +97,29 @@ TEST_F(NesTest, RejectsBadConfig) {
   EXPECT_THROW(nes_attack(*clf_, x_, labels_, cfg), cpsguard::ContractViolation);
 }
 
+// Regression: samples=1 used to integer-divide to zero antithetic pairs and
+// return the input untouched — a silent no-op attack. Odd budgets now fail
+// fast instead of silently rounding the budget down.
+TEST_F(NesTest, RejectsOddOrTooSmallSampleBudget) {
+  NesConfig cfg;
+  cfg.samples = 1;
+  EXPECT_THROW(nes_attack(*clf_, x_, labels_, cfg), cpsguard::ContractViolation);
+  cfg.samples = 7;
+  EXPECT_THROW(nes_attack(*clf_, x_, labels_, cfg), cpsguard::ContractViolation);
+  cfg.samples = 0;
+  EXPECT_THROW(nes_attack(*clf_, x_, labels_, cfg), cpsguard::ContractViolation);
+}
+
+TEST_F(NesTest, MinimalEvenBudgetActuallyPerturbs) {
+  NesConfig cfg;
+  cfg.samples = 2;  // one antithetic pair — the smallest legal budget
+  cfg.iterations = 4;
+  cfg.epsilon = 0.2;
+  cfg.step_size = 0.1;
+  const nn::Tensor3 adv = nes_attack(*clf_, x_, labels_, cfg);
+  EXPECT_FALSE(adv == x_) << "the attack must not silently no-op";
+  EXPECT_GT(linf_distance(adv, x_), 0.0);
+}
+
 }  // namespace
 }  // namespace cpsguard::attack

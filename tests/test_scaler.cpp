@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <sstream>
+#include <vector>
 
 #include "util/contracts.h"
 #include "util/rng.h"
@@ -120,6 +123,71 @@ TEST(Scaler, LoadTruncatedStreamThrows) {
   StandardScaler scaler;
   std::stringstream ss("abc");
   EXPECT_THROW(scaler.load(ss), cpsguard::ContractViolation);
+}
+
+// Corrupt-cache hardening: load() must reject streams whose header or
+// payload is implausible instead of trusting them, and a failed load must
+// leave the scaler unfitted so the caller falls back to retraining.
+
+namespace {
+
+// Serialize a scaler image with the given header and payload vectors.
+std::stringstream corrupt_stream(std::uint32_t n, const std::vector<double>& mean,
+                                 const std::vector<double>& stdev) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ss.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  ss.write(reinterpret_cast<const char*>(mean.data()),
+           static_cast<std::streamsize>(mean.size() * sizeof(double)));
+  ss.write(reinterpret_cast<const char*>(stdev.data()),
+           static_cast<std::streamsize>(stdev.size() * sizeof(double)));
+  return ss;
+}
+
+}  // namespace
+
+TEST(Scaler, LoadRejectsZeroFeatureCount) {
+  StandardScaler scaler;
+  auto ss = corrupt_stream(0, {}, {});
+  EXPECT_THROW(scaler.load(ss), cpsguard::ContractViolation);
+  EXPECT_FALSE(scaler.fitted());
+}
+
+TEST(Scaler, LoadRejectsImplausibleFeatureCount) {
+  StandardScaler scaler;
+  // A giant header must fail the bound check, not attempt the allocation.
+  auto ss = corrupt_stream(0xFFFFFFFFu, {}, {});
+  EXPECT_THROW(scaler.load(ss), cpsguard::ContractViolation);
+  EXPECT_FALSE(scaler.fitted());
+}
+
+TEST(Scaler, LoadRejectsNonFiniteMean) {
+  StandardScaler scaler;
+  auto ss = corrupt_stream(
+      2, {1.0, std::numeric_limits<double>::quiet_NaN()}, {1.0, 1.0});
+  EXPECT_THROW(scaler.load(ss), cpsguard::ContractViolation);
+  EXPECT_FALSE(scaler.fitted());
+}
+
+TEST(Scaler, LoadRejectsNonPositiveOrNonFiniteStd) {
+  for (const double bad : {0.0, -1.0, std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN()}) {
+    StandardScaler scaler;
+    auto ss = corrupt_stream(2, {1.0, 2.0}, {1.0, bad});
+    EXPECT_THROW(scaler.load(ss), cpsguard::ContractViolation) << "std " << bad;
+    EXPECT_FALSE(scaler.fitted());
+  }
+}
+
+TEST(Scaler, FailedLoadPreservesPreviousState) {
+  util::Rng rng(6);
+  const nn::Tensor3 x = random_data(20, 1, 3, rng);
+  StandardScaler scaler;
+  scaler.fit(x);
+  const double mean0 = scaler.mean_of(0);
+  auto ss = corrupt_stream(1, {std::numeric_limits<double>::quiet_NaN()}, {1.0});
+  EXPECT_THROW(scaler.load(ss), cpsguard::ContractViolation);
+  ASSERT_TRUE(scaler.fitted());
+  EXPECT_DOUBLE_EQ(scaler.mean_of(0), mean0);  // untouched by the bad load
 }
 
 }  // namespace

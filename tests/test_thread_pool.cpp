@@ -103,6 +103,58 @@ TEST(ParallelFor, CompletesAllDespiteOneFailure) {
   EXPECT_EQ(completed.load(), 49);
 }
 
+TEST(SharedPool, IsAProcessWideSingleton) {
+  ThreadPool& a = shared_pool();
+  ThreadPool& b = shared_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+TEST(SharedPool, ReusedAcrossParallelForCalls) {
+  // parallel_for must not spin up transient pools: both calls drain through
+  // the same shared workers, and the pool stays usable afterwards.
+  std::atomic<int> count{0};
+  parallel_for(64, [&](int) { count.fetch_add(1); });
+  parallel_for(64, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 128);
+  shared_pool().wait_idle();  // must not hang or rethrow
+}
+
+TEST(InParallelRegion, FalseOutsideTrueInside) {
+  EXPECT_FALSE(in_parallel_region());
+  std::atomic<int> inside{0};
+  parallel_for(8, [&](int) {
+    if (in_parallel_region()) inside.fetch_add(1);
+  });
+  EXPECT_EQ(inside.load(), 8);
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  // A nested parallel_for must degrade to an inline loop (no new shards on
+  // the already-busy pool) — otherwise a small pool deadlocks waiting on
+  // itself. 8x16 indices must all run exactly once.
+  std::vector<std::atomic<int>> hits(128);
+  parallel_for(8, [&](int outer) {
+    EXPECT_TRUE(in_parallel_region());
+    parallel_for(16, [&](int inner) {
+      hits[static_cast<std::size_t>(outer * 16 + inner)].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, NestedExceptionPropagatesToOuterCaller) {
+  EXPECT_THROW(parallel_for(4,
+                            [&](int outer) {
+                              parallel_for(4, [&](int inner) {
+                                if (outer == 2 && inner == 3)
+                                  throw std::runtime_error("inner boom");
+                              });
+                            }),
+               std::runtime_error);
+}
+
 TEST(ParallelFor, ParallelSumMatchesSerial) {
   const int n = 1000;
   std::vector<long> parts(static_cast<std::size_t>(n));
