@@ -13,8 +13,10 @@ using namespace cpsguard;
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   util::set_log_level(util::LogLevel::kInfo);
-  const std::string out = cli.get("out", "ablation_defenses.csv");
+  bench::BenchRun run("ablation_defenses", cli);
   const double eps = cli.get_double("eps", 0.1);
+  run.manifest().set_param("eps", eps);
+  run.manifest().set_param("arch", cli.get("arch", "mlp"));
   const monitor::Arch arch = cli.get("arch", "mlp") == "lstm"
                                  ? monitor::Arch::kLstm
                                  : monitor::Arch::kMlp;
@@ -22,7 +24,7 @@ int main(int argc, char** argv) {
                               ? sim::Testbed::kT1dBasalBolus
                               : sim::Testbed::kGlucosymOpenAps;
 
-  core::ExperimentConfig cfg = bench::bench_config(tb, cli);
+  core::ExperimentConfig cfg = run.config(tb, cli);
   core::Experiment exp(cfg);
   exp.prepare();
   const auto& train = exp.train_data();
@@ -91,10 +93,10 @@ int main(int argc, char** argv) {
                  util::CsvWriter::num(pgd_err)});
   }
 
-  bench::reject_unknown_flags(cli);
   std::printf("Ablation — defenses (%s, %s, eps=%.2f)\n",
               to_string(arch).c_str(), sim::to_string(tb).c_str(), eps);
   table.print();
-  bench::maybe_write_csv(csv, out);
+  run.write_csv(csv);
+  run.finish(cli);
   return 0;
 }

@@ -26,9 +26,12 @@ std::vector<double> parse_list(const std::string& csv) {
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   util::set_log_level(util::LogLevel::kInfo);
-  const std::string out = cli.get("out", "ablation_semantic_weight.csv");
+  bench::BenchRun run("ablation_semantic_weight", cli);
   const double eps = cli.get_double("eps", 0.1);
   const auto ws = parse_list(cli.get("ws", "0,0.25,0.5,1,2,4"));
+  run.manifest().set_param("eps", eps);
+  run.manifest().set_param("ws", cli.get("ws", "0,0.25,0.5,1,2,4"));
+  run.manifest().set_param("arch", cli.get("arch", "mlp"));
   const monitor::Arch arch = cli.get("arch", "mlp") == "lstm"
                                  ? monitor::Arch::kLstm
                                  : monitor::Arch::kMlp;
@@ -36,7 +39,7 @@ int main(int argc, char** argv) {
                               ? sim::Testbed::kT1dBasalBolus
                               : sim::Testbed::kGlucosymOpenAps;
 
-  core::ExperimentConfig cfg = bench::bench_config(tb, cli);
+  core::ExperimentConfig cfg = run.config(tb, cli);
   core::Experiment exp(cfg);
   exp.prepare();
   const auto& train = exp.train_data();
@@ -78,10 +81,10 @@ int main(int argc, char** argv) {
                  util::CsvWriter::num(attacked.f1()), util::CsvWriter::num(rerr)});
   }
 
-  bench::reject_unknown_flags(cli);
   std::printf("Ablation — semantic weight w (%s, %s, FGSM eps=%.2f)\n",
               to_string(arch).c_str(), sim::to_string(tb).c_str(), eps);
   table.print();
-  bench::maybe_write_csv(csv, out);
+  run.write_csv(csv);
+  run.finish(cli);
   return 0;
 }

@@ -14,13 +14,26 @@
 //   --w W          semantic-loss weight, Eq. 2, both archs
 //   --w-mlp/--w-lstm  per-architecture weights      (defaults 0.5 / 1.0)
 //   --cache DIR    model cache dir ("" disables)    (default cpsguard_cache)
-//   --out FILE     also write the series as CSV
+//   --out FILE     CSV output path ("" disables)    (default <bench>.csv)
+//   --threads N    cap parallel fan-out at N shards (default 0 = all cores)
+//   --manifest B   write BENCH_<name>.json          (default true)
+//   --events FILE  append NDJSON events to FILE     (default off)
+//
+// Every bench owns a BenchRun: it parses the observability flags, routes all
+// CSV output through the run manifest (so a bench *cannot* silently write an
+// unregistered CSV), and finishes by dumping BENCH_<name>.json — git SHA,
+// build flags, seeds, thread counts, per-phase timing quantiles, counters,
+// and the SHA-256 of every CSV written. See DESIGN.md § Observability.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "core/cpsguard.h"
+#include "obs/events.h"
+#include "obs/manifest.h"
+#include "util/thread_pool.h"
 
 namespace cpsguard::bench {
 
@@ -50,12 +63,73 @@ inline void reject_unknown_flags(const util::Cli& cli) {
   std::exit(2);
 }
 
-/// Write a CSV if --out was given.
-inline void maybe_write_csv(const util::CsvWriter& csv, const std::string& out) {
-  if (out.empty()) return;
-  csv.write(out);
-  std::fprintf(stderr, "wrote %s\n", out.c_str());
-}
+/// One bench invocation: observability flags, manifest, and the only CSV
+/// output path. Construct it first thing in main(); call finish() last.
+class BenchRun {
+ public:
+  BenchRun(std::string name, const util::Cli& cli)
+      : name_(std::move(name)), manifest_(name_) {
+    const int threads = cli.get_int("threads", 0);
+    if (threads > 0) {
+      util::set_max_parallelism(static_cast<std::size_t>(threads));
+    }
+    manifest_enabled_ = cli.get_bool("manifest", true);
+    const std::string events = cli.get("events", "");
+    if (!events.empty()) obs::enable_events(events);
+    manifest_.set_threads(std::thread::hardware_concurrency(),
+                          util::max_parallelism());
+    out_ = cli.get("out", name_ + ".csv");
+  }
+
+  /// bench_config() plus manifest bookkeeping (seed and sweep parameters).
+  core::ExperimentConfig config(sim::Testbed tb, const util::Cli& cli) {
+    core::ExperimentConfig cfg = bench_config(tb, cli);
+    manifest_.set_seed(cfg.campaign.seed);
+    manifest_.set_param("testbed", sim::to_string(tb));
+    manifest_.set_param("patients",
+                        static_cast<long long>(cfg.campaign.patients));
+    manifest_.set_param("sims_per_patient",
+                        static_cast<long long>(cfg.campaign.sims_per_patient));
+    manifest_.set_param("trace_steps",
+                        static_cast<long long>(cfg.campaign.trace_steps));
+    manifest_.set_param("epochs", static_cast<long long>(cfg.epochs));
+    manifest_.set_param("w_mlp", cfg.semantic_weight_mlp);
+    manifest_.set_param("w_lstm", cfg.semantic_weight_lstm);
+    manifest_.set_param("cache_dir", cfg.cache_dir);
+    return cfg;
+  }
+
+  /// The --out path ("" when the caller disabled CSV output).
+  [[nodiscard]] const std::string& out() const { return out_; }
+
+  obs::RunManifest& manifest() { return manifest_; }
+
+  /// Write the bench's CSV to --out and register its hash in the manifest.
+  void write_csv(const util::CsvWriter& csv) { write_csv(csv, out_); }
+
+  /// Same, to an explicit path (extra outputs beyond --out).
+  void write_csv(const util::CsvWriter& csv, const std::string& path) {
+    if (path.empty()) return;
+    csv.write(path);
+    manifest_.record_output(path, csv.rows());
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+
+  /// Reject typos, then (unless --manifest false) write BENCH_<name>.json.
+  void finish(const util::Cli& cli) {
+    reject_unknown_flags(cli);
+    if (manifest_enabled_) {
+      const std::string path = manifest_.write();
+      std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  obs::RunManifest manifest_;
+  std::string out_;
+  bool manifest_enabled_ = true;
+};
 
 /// The σ sweep of Fig. 5/6/9 and the ε sweep of Fig. 8/9/10.
 inline const std::vector<double>& sigma_sweep() {

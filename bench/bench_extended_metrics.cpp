@@ -9,15 +9,16 @@ using namespace cpsguard;
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   util::set_log_level(util::LogLevel::kInfo);
-  const std::string out = cli.get("out", "extended_metrics.csv");
+  bench::BenchRun run("extended_metrics", cli);
   const int max_lead = cli.get_int("max-lead", 12);  // 1 h look-back
+  run.manifest().set_param("max_lead", static_cast<long long>(max_lead));
 
   util::CsvWriter csv({"simulator", "model", "auc", "episodes",
                        "episode_detection_rate", "mean_lead_min",
                        "h1_recall", "h2_recall"});
 
   for (const sim::Testbed tb : bench::both_testbeds()) {
-    core::Experiment exp(bench::bench_config(tb, cli));
+    core::Experiment exp(run.config(tb, cli));
     exp.train_all();
     const auto& test = exp.test_data();
     const auto& traces = exp.test_traces();
@@ -73,7 +74,7 @@ int main(int argc, char** argv) {
     table.print();
   }
 
-  bench::reject_unknown_flags(cli);
-  bench::maybe_write_csv(csv, out);
+  run.write_csv(csv);
+  run.finish(cli);
   return 0;
 }

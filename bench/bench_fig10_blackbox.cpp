@@ -9,13 +9,13 @@ using namespace cpsguard;
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   util::set_log_level(util::LogLevel::kInfo);
-  const std::string out = cli.get("out", "fig10_blackbox.csv");
+  bench::BenchRun run("fig10_blackbox", cli);
 
   util::CsvWriter csv(
       {"simulator", "model", "epsilon", "blackbox_error", "whitebox_error"});
 
   for (const sim::Testbed tb : bench::both_testbeds()) {
-    core::Experiment exp(bench::bench_config(tb, cli));
+    core::Experiment exp(run.config(tb, cli));
     exp.train_all();
     std::printf("\nFig. 10 — %s: black-box robustness error (white-box in parens)\n",
                 sim::to_string(tb).c_str());
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     table.print();
   }
 
-  bench::reject_unknown_flags(cli);
-  bench::maybe_write_csv(csv, out);
+  run.write_csv(csv);
+  run.finish(cli);
   return 0;
 }

@@ -11,12 +11,14 @@ using namespace cpsguard;
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   util::set_log_level(util::LogLevel::kInfo);
-  const std::string out = cli.get("out", "fig2_fig7_adv_example.csv");
+  bench::BenchRun run("fig2_fig7_adv_example", cli);
   const double eps = cli.get_double("eps", 0.2);
   const std::string arch_name = cli.get("arch", "lstm");
+  run.manifest().set_param("eps", eps);
+  run.manifest().set_param("arch", arch_name);
 
   core::Experiment exp(
-      bench::bench_config(sim::Testbed::kGlucosymOpenAps, cli));
+      run.config(sim::Testbed::kGlucosymOpenAps, cli));
   const core::MonitorVariant variant{
       arch_name == "mlp" ? monitor::Arch::kMlp : monitor::Arch::kLstm, false};
   auto& mon = exp.monitor(variant);
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
   }
   if (best < 0) {
     std::printf("no unsafe->safe flip found at eps=%.2f; try a larger eps\n", eps);
+    run.finish(cli);
     return 0;
   }
 
@@ -78,7 +81,7 @@ int main(int argc, char** argv) {
   std::printf("\nL-infinity distance in model space: %.4f (budget %.2f)\n",
               attack::linf_distance(adv, scaled), eps);
 
-  bench::reject_unknown_flags(cli);
-  bench::maybe_write_csv(csv, out);
+  run.write_csv(csv);
+  run.finish(cli);
   return 0;
 }

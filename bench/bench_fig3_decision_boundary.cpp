@@ -10,11 +10,12 @@ using namespace cpsguard;
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   util::set_log_level(util::LogLevel::kInfo);
-  const std::string out = cli.get("out", "fig3_decision_boundary.csv");
+  bench::BenchRun run("fig3_decision_boundary", cli);
   const int grid = cli.get_int("grid", 25);
+  run.manifest().set_param("grid", static_cast<long long>(grid));
 
   core::Experiment exp(
-      bench::bench_config(sim::Testbed::kGlucosymOpenAps, cli));
+      run.config(sim::Testbed::kGlucosymOpenAps, cli));
   const core::MonitorVariant baseline{monitor::Arch::kMlp, false};
   const core::MonitorVariant custom{monitor::Arch::kMlp, true};
   auto& mon_base = exp.monitor(baseline);
@@ -65,7 +66,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\nBG axis: 40 .. 300 mg/dL left to right\n");
 
-  bench::reject_unknown_flags(cli);
-  bench::maybe_write_csv(csv, out);
+  run.write_csv(csv);
+  run.finish(cli);
   return 0;
 }

@@ -10,14 +10,16 @@ using namespace cpsguard;
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   util::set_log_level(util::LogLevel::kInfo);
-  const std::string out = cli.get("out", "fig4_distributions.csv");
+  bench::BenchRun run("fig4_distributions", cli);
   const double sigma = cli.get_double("sigma", 0.5);
   const int bins = cli.get_int("bins", 26);
+  run.manifest().set_param("sigma", sigma);
+  run.manifest().set_param("bins", static_cast<long long>(bins));
 
   util::CsvWriter csv({"simulator", "variant", "bg_bin_center", "density"});
 
   for (const sim::Testbed tb : bench::both_testbeds()) {
-    core::Experiment exp(bench::bench_config(tb, cli));
+    core::Experiment exp(run.config(tb, cli));
     // Any monitor's scaler supplies the per-feature stds; use baseline MLP.
     auto& mon = exp.monitor({monitor::Arch::kMlp, false});
 
@@ -56,7 +58,7 @@ int main(int argc, char** argv) {
     std::printf("        ('#' clean, '*' with noise)\n");
   }
 
-  bench::reject_unknown_flags(cli);
-  bench::maybe_write_csv(csv, out);
+  run.write_csv(csv);
+  run.finish(cli);
   return 0;
 }

@@ -9,12 +9,12 @@ using namespace cpsguard;
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   util::set_log_level(util::LogLevel::kInfo);
-  const std::string out = cli.get("out", "fig5_gaussian_f1.csv");
+  bench::BenchRun run("fig5_gaussian_f1", cli);
 
   util::CsvWriter csv({"simulator", "model", "sigma", "f1", "acc"});
 
   for (const sim::Testbed tb : bench::both_testbeds()) {
-    core::Experiment exp(bench::bench_config(tb, cli));
+    core::Experiment exp(run.config(tb, cli));
     exp.train_all();
     std::printf("\nFig. 5 — %s: F1 vs Gaussian noise sigma (x std)\n",
                 sim::to_string(tb).c_str());
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     table.print();
   }
 
-  bench::reject_unknown_flags(cli);
-  bench::maybe_write_csv(csv, out);
+  run.write_csv(csv);
+  run.finish(cli);
   return 0;
 }

@@ -9,10 +9,10 @@ using namespace cpsguard;
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   util::set_log_level(util::LogLevel::kInfo);
-  const std::string out = cli.get("out", "fig6_precision_recall.csv");
+  bench::BenchRun run("fig6_precision_recall", cli);
 
   core::Experiment exp(
-      bench::bench_config(sim::Testbed::kT1dBasalBolus, cli));
+      run.config(sim::Testbed::kT1dBasalBolus, cli));
 
   const core::MonitorVariant baseline{monitor::Arch::kMlp, false};
   const core::MonitorVariant custom{monitor::Arch::kMlp, true};
@@ -40,8 +40,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::reject_unknown_flags(cli);
   table.print();
-  bench::maybe_write_csv(csv, out);
+  run.write_csv(csv);
+  run.finish(cli);
   return 0;
 }

@@ -39,15 +39,16 @@ struct Reduction {
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   util::set_log_level(util::LogLevel::kInfo);
-  const std::string out = cli.get("out", "fig9_robustness_error.csv");
+  bench::BenchRun run("fig9_robustness_error", cli);
   const attack::FeatureMask mask = parse_mask(cli.get("mask", "all"));
+  run.manifest().set_param("mask", cli.get("mask", "all"));
 
   util::CsvWriter csv(
       {"simulator", "model", "perturbation", "level", "robustness_error"});
   Reduction gaussian_reduction, fgsm_reduction;
 
   for (const sim::Testbed tb : bench::both_testbeds()) {
-    core::Experiment exp(bench::bench_config(tb, cli));
+    core::Experiment exp(run.config(tb, cli));
     exp.train_all();
     std::printf("\nFig. 9 — %s: robustness error heat-map\n",
                 sim::to_string(tb).c_str());
@@ -102,7 +103,7 @@ int main(int argc, char** argv) {
       "  Gaussian noise: %.1f%%\n  FGSM attacks:   %.1f%%\n",
       gaussian_reduction.percent(), fgsm_reduction.percent());
 
-  bench::reject_unknown_flags(cli);
-  bench::maybe_write_csv(csv, out);
+  run.write_csv(csv);
+  run.finish(cli);
   return 0;
 }

@@ -2,6 +2,9 @@
 // closed-loop cycles, STL rule evaluation, and dataset building.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "monitor/dataset.h"
 #include "safety/rule_monitor.h"
 #include "sim/closed_loop.h"
@@ -81,4 +84,25 @@ BENCHMARK(BM_BuildDataset);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): unless the caller passes their
+// own --benchmark_out, default to emitting BENCH_micro_sim.json next to the
+// binary so CI (and acceptance checks) always get a machine-readable record.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro_sim.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

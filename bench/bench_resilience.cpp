@@ -37,11 +37,13 @@ const std::vector<sim::FaultType>& input_faults() {
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   util::set_log_level(util::LogLevel::kInfo);
-  const std::string out = cli.get("out", "resilience.csv");
+  bench::BenchRun run("resilience", cli);
   const std::vector<double> rates = parse_rates(cli.get("rates", "0.1,0.3,0.6,0.9"));
 
   core::ResilienceEvalConfig rc;
   rc.tolerance_delta = cli.get_int("delta", 6);
+  run.manifest().set_param("rates", cli.get("rates", "0.1,0.3,0.6,0.9"));
+  run.manifest().set_param("delta", static_cast<long long>(rc.tolerance_delta));
 
   util::CsvWriter csv({"simulator", "model", "runtime", "fault", "rate",
                        "availability", "time_in_fallback", "time_in_fail_safe",
@@ -71,7 +73,7 @@ int main(int argc, char** argv) {
   };
 
   for (const sim::Testbed tb : bench::both_testbeds()) {
-    core::Experiment exp(bench::bench_config(tb, cli));
+    core::Experiment exp(run.config(tb, cli));
     rc.runtime.window = exp.config().dataset.window;
     exp.train_all();
 
@@ -119,7 +121,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::reject_unknown_flags(cli);
-  bench::maybe_write_csv(csv, out);
+  run.write_csv(csv);
+  run.finish(cli);
   return 0;
 }

@@ -8,13 +8,13 @@ using namespace cpsguard;
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   util::set_log_level(util::LogLevel::kInfo);
-  const std::string out = cli.get("out", "table3.csv");
+  bench::BenchRun run("table3", cli);
 
   util::Table table({"Simulator", "Model", "No. Sim.", "No. Sample", "ACC", "F1"});
   util::CsvWriter csv({"simulator", "model", "sims", "samples", "acc", "f1"});
 
   for (const sim::Testbed tb : bench::both_testbeds()) {
-    core::Experiment exp(bench::bench_config(tb, cli));
+    core::Experiment exp(run.config(tb, cli));
     exp.train_all();
     const std::string sims = std::to_string(exp.traces().size());
     const std::string samples =
@@ -35,9 +35,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::reject_unknown_flags(cli);
   std::printf("Table III: Overall Performance of Each ML Model without Noises\n");
   table.print();
-  bench::maybe_write_csv(csv, out);
+  run.write_csv(csv);
+  run.finish(cli);
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "nn/serialize.h"
+#include "obs/events.h"
+#include "obs/span.h"
 #include "util/contracts.h"
 
 namespace cpsguard::attack {
@@ -15,6 +17,16 @@ SubstituteAttack::SubstituteAttack(SubstituteConfig config)
 void SubstituteAttack::fit(nn::Classifier& target,
                            const nn::Tensor3& scaled_queries) {
   expects(scaled_queries.batch() > 0, "empty query set");
+  static obs::Counter& fits =
+      obs::Registry::instance().counter("attack.substitute.fits");
+  static obs::Counter& oracle_queries =
+      obs::Registry::instance().counter("attack.substitute.oracle_queries");
+  fits.increment();
+  oracle_queries.add(static_cast<std::uint64_t>(scaled_queries.batch()));
+  const obs::ScopedSpan span("attack.substitute.fit");
+  CPSGUARD_OBS_EVENT("attack.substitute.fit",
+                     obs::f("queries", scaled_queries.batch()));
+
   // Oracle labels: the target's own outputs.
   const std::vector<int> oracle = nn::predict_classes(target, scaled_queries);
 

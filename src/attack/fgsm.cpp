@@ -1,5 +1,7 @@
 #include "attack/fgsm.h"
 
+#include "obs/events.h"
+#include "obs/metrics.h"
 #include "util/contracts.h"
 
 namespace cpsguard::attack {
@@ -9,6 +11,15 @@ nn::Tensor3 fgsm_attack(nn::Classifier& clf, const nn::Tensor3& scaled_x,
   expects(config.epsilon >= 0.0, "epsilon must be non-negative");
   expects(scaled_x.batch() == static_cast<int>(labels.size()),
           "one label per window required");
+
+  static obs::Counter& calls =
+      obs::Registry::instance().counter("attack.fgsm.calls");
+  static obs::Counter& windows =
+      obs::Registry::instance().counter("attack.fgsm.windows");
+  static obs::Histogram& linf_hist =
+      obs::Registry::instance().histogram("attack.fgsm.linf");
+  calls.increment();
+  windows.add(static_cast<std::uint64_t>(scaled_x.batch()));
 
   nn::Tensor3 grad = clf.loss_input_gradient(scaled_x, labels);
   // Δx = ε · sign(∇x J)
@@ -23,7 +34,11 @@ nn::Tensor3 fgsm_attack(nn::Classifier& clf, const nn::Tensor3& scaled_x,
   auto a = adv.data();
   for (std::size_t i = 0; i < a.size(); ++i) a[i] += g[i];
 
-  ensures(linf_distance(adv, scaled_x) <= config.epsilon + 1e-4,
+  const double linf = linf_distance(adv, scaled_x);
+  linf_hist.record(linf);
+  CPSGUARD_OBS_EVENT("attack.fgsm", obs::f("windows", scaled_x.batch()),
+                     obs::f("epsilon", config.epsilon), obs::f("linf", linf));
+  ensures(linf <= config.epsilon + 1e-4,
           "FGSM must respect the L-infinity budget");
   return adv;
 }

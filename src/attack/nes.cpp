@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/events.h"
+#include "obs/metrics.h"
 #include "util/contracts.h"
 
 namespace cpsguard::attack {
@@ -38,6 +40,14 @@ nn::Tensor3 nes_attack(nn::Classifier& target, const nn::Tensor3& scaled_x,
   expects(scaled_x.batch() == static_cast<int>(labels.size()),
           "one label per window required");
 
+  static obs::Counter& calls =
+      obs::Registry::instance().counter("attack.nes.calls");
+  static obs::Counter& queries =
+      obs::Registry::instance().counter("attack.nes.queries");
+  static obs::Histogram& linf_hist =
+      obs::Registry::instance().histogram("attack.nes.linf");
+  calls.increment();
+
   util::Rng rng(config.seed, 0x4e45530aULL);
   nn::Tensor3 adv = scaled_x;
   const auto eps = static_cast<float>(config.epsilon);
@@ -68,6 +78,8 @@ nn::Tensor3 nes_attack(nn::Classifier& target, const nn::Tensor3& scaled_x,
       }
       const auto score_plus = ce_scores(target, plus, labels);
       const auto score_minus = ce_scores(target, minus, labels);
+      // Each antithetic pair costs two full-batch probes of the target.
+      queries.add(2 * static_cast<std::uint64_t>(batch));
       auto g = grad_est.data();
       const auto u = noise.data();
       for (int b = 0; b < batch; ++b) {
@@ -92,7 +104,16 @@ nn::Tensor3 nes_attack(nn::Classifier& target, const nn::Tensor3& scaled_x,
     }
   }
 
-  ensures(linf_distance(adv, scaled_x) <= config.epsilon + 1e-4,
+  const double linf = linf_distance(adv, scaled_x);
+  linf_hist.record(linf);
+  CPSGUARD_OBS_EVENT(
+      "attack.nes", obs::f("windows", batch), obs::f("epsilon", config.epsilon),
+      obs::f("queries",
+             static_cast<std::uint64_t>(config.iterations) *
+                 static_cast<std::uint64_t>(2 * (config.samples / 2)) *
+                 static_cast<std::uint64_t>(batch)),
+      obs::f("linf", linf));
+  ensures(linf <= config.epsilon + 1e-4,
           "NES must respect the L-infinity budget");
   return adv;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/events.h"
+#include "obs/metrics.h"
 #include "util/contracts.h"
 
 namespace cpsguard::attack {
@@ -13,6 +15,18 @@ nn::Tensor3 pgd_attack(nn::Classifier& clf, const nn::Tensor3& scaled_x,
   expects(config.iterations > 0, "need at least one iteration");
   expects(scaled_x.batch() == static_cast<int>(labels.size()),
           "one label per window required");
+
+  static obs::Counter& calls =
+      obs::Registry::instance().counter("attack.pgd.calls");
+  static obs::Counter& windows =
+      obs::Registry::instance().counter("attack.pgd.windows");
+  static obs::Counter& grad_steps =
+      obs::Registry::instance().counter("attack.pgd.grad_steps");
+  static obs::Histogram& linf_hist =
+      obs::Registry::instance().histogram("attack.pgd.linf");
+  calls.increment();
+  windows.add(static_cast<std::uint64_t>(scaled_x.batch()));
+  grad_steps.add(static_cast<std::uint64_t>(config.iterations));
 
   nn::Tensor3 adv = scaled_x;
   const auto eps = static_cast<float>(config.epsilon);
@@ -31,7 +45,13 @@ nn::Tensor3 pgd_attack(nn::Classifier& clf, const nn::Tensor3& scaled_x,
     }
   }
 
-  ensures(linf_distance(adv, scaled_x) <= config.epsilon + 1e-4,
+  const double linf = linf_distance(adv, scaled_x);
+  linf_hist.record(linf);
+  CPSGUARD_OBS_EVENT("attack.pgd", obs::f("windows", scaled_x.batch()),
+                     obs::f("epsilon", config.epsilon),
+                     obs::f("iterations", config.iterations),
+                     obs::f("linf", linf));
+  ensures(linf <= config.epsilon + 1e-4,
           "PGD must respect the L-infinity budget");
   return adv;
 }

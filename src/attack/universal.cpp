@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/events.h"
+#include "obs/metrics.h"
 #include "util/contracts.h"
 
 namespace cpsguard::attack {
@@ -15,6 +17,15 @@ nn::Tensor3 craft_universal_perturbation(nn::Classifier& clf,
   expects(config.epochs > 0 && config.batch_size > 0, "bad crafting budget");
   expects(crafting_x.batch() == static_cast<int>(labels.size()),
           "one label per window required");
+
+  static obs::Counter& crafts =
+      obs::Registry::instance().counter("attack.universal.crafts");
+  static obs::Counter& windows =
+      obs::Registry::instance().counter("attack.universal.crafting_windows");
+  static obs::Histogram& linf_hist =
+      obs::Registry::instance().histogram("attack.universal.linf");
+  crafts.increment();
+  windows.add(static_cast<std::uint64_t>(crafting_x.batch()));
 
   const int time = crafting_x.time();
   const int features = crafting_x.features();
@@ -53,7 +64,11 @@ nn::Tensor3 craft_universal_perturbation(nn::Classifier& clf,
     }
   }
   apply_feature_mask(delta, config.mask);
-  ensures(delta.max_abs() <= config.epsilon + 1e-4,
+  const double linf = delta.max_abs();
+  linf_hist.record(linf);
+  CPSGUARD_OBS_EVENT("attack.universal", obs::f("windows", crafting_x.batch()),
+                     obs::f("epsilon", config.epsilon), obs::f("linf", linf));
+  ensures(linf <= config.epsilon + 1e-4,
           "universal delta must respect the L-infinity budget");
   return delta;
 }

@@ -8,6 +8,8 @@
 #include <filesystem>
 #include <sstream>
 
+#include "obs/events.h"
+#include "obs/span.h"
 #include "util/contracts.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -44,6 +46,12 @@ std::vector<sim::Trace> generate_campaign(const CampaignConfig& config) {
   expects(config.patients > 0 && config.sims_per_patient > 0, "bad campaign");
   expects(config.fault_fraction >= 0.0 && config.fault_fraction <= 1.0,
           "fault fraction must be in [0,1]");
+
+  const obs::ScopedSpan span("campaign.generate");
+  CPSGUARD_OBS_EVENT("campaign.generate",
+                     obs::f("testbed", sim::to_string(config.testbed)),
+                     obs::f("patients", config.patients),
+                     obs::f("sims_per_patient", config.sims_per_patient));
 
   const auto profiles =
       sim::testbed_profiles(config.testbed, config.patients, config.seed);
@@ -235,6 +243,7 @@ monitor::MlMonitor& Experiment::monitor(const MonitorVariant& v) {
 
 void Experiment::train_all() {
   prepare();
+  const obs::ScopedSpan span("train.all");
   const auto variants = all_variants();
   // monitor() mutates shared maps; hydrate sequentially but train the
   // heavy part in parallel by pre-constructing monitors that miss the cache.
@@ -389,6 +398,13 @@ std::vector<EvalResult> Experiment::evaluate_under_gaussian_sweep(
   const std::vector<int>& clean = clean_predictions(v);
   const monitor::Dataset& test = data_->test;
 
+  const obs::ScopedSpan span("sweep.gaussian");
+  static obs::Counter& points =
+      obs::Registry::instance().counter("experiment.sweep_points");
+  points.add(sigma_factors.size());
+  CPSGUARD_OBS_EVENT("sweep.gaussian", obs::f("model", v.name()),
+                     obs::f("points", static_cast<int>(sigma_factors.size())));
+
   std::vector<EvalResult> out(sigma_factors.size());
   util::parallel_for(static_cast<int>(sigma_factors.size()), [&](int i) {
     const auto si = static_cast<std::size_t>(i);
@@ -418,6 +434,13 @@ std::vector<EvalResult> Experiment::evaluate_under_fgsm_sweep(
   const nn::Tensor3& scaled = scaled_test_input(v);
   const monitor::Dataset& test = data_->test;
 
+  const obs::ScopedSpan span("sweep.fgsm");
+  static obs::Counter& points =
+      obs::Registry::instance().counter("experiment.sweep_points");
+  points.add(epsilons.size());
+  CPSGUARD_OBS_EVENT("sweep.fgsm", obs::f("model", v.name()),
+                     obs::f("points", static_cast<int>(epsilons.size())));
+
   std::vector<EvalResult> out(epsilons.size());
   util::parallel_for(static_cast<int>(epsilons.size()), [&](int i) {
     const auto si = static_cast<std::size_t>(i);
@@ -442,6 +465,13 @@ std::vector<EvalResult> Experiment::evaluate_under_blackbox_sweep(
   const std::vector<int>& clean = clean_predictions(v);
   const nn::Tensor3& scaled = scaled_test_input(v);
   const monitor::Dataset& test = data_->test;
+
+  const obs::ScopedSpan span("sweep.blackbox");
+  static obs::Counter& points =
+      obs::Registry::instance().counter("experiment.sweep_points");
+  points.add(epsilons.size());
+  CPSGUARD_OBS_EVENT("sweep.blackbox", obs::f("model", v.name()),
+                     obs::f("points", static_cast<int>(epsilons.size())));
 
   std::vector<EvalResult> out(epsilons.size());
   util::parallel_for(static_cast<int>(epsilons.size()), [&](int i) {
@@ -517,6 +547,12 @@ eval::ResilienceReport Experiment::evaluate_resilience(
   monitor::MlMonitor* ml =
       mode == RuntimeMode::kRuleOnly ? nullptr : &monitor(variant);
   safety::RuleBasedMonitor& rules = rule_monitor();
+
+  const obs::ScopedSpan span("eval.resilience");
+  CPSGUARD_OBS_EVENT("eval.resilience", obs::f("model", variant.name()),
+                     obs::f("mode", to_string(mode)),
+                     obs::f("fault", static_cast<int>(fault_type)),
+                     obs::f("rate", fault_rate));
 
   eval::ResilienceReport total;
   const auto& traces = data_->test_traces;

@@ -5,6 +5,8 @@
 
 #include "nn/gru_classifier.h"
 #include "nn/serialize.h"
+#include "obs/events.h"
+#include "obs/span.h"
 #include "util/contracts.h"
 #include "util/logging.h"
 
@@ -70,9 +72,19 @@ TrainReport MlMonitor::train(const Dataset& train_data) {
   TrainReport report;
   report.samples = train_data.size();
 
+  static obs::Counter& epochs_trained =
+      obs::Registry::instance().counter("nn.epochs_trained");
+  static obs::Counter& batches_trained =
+      obs::Registry::instance().counter("nn.batches_trained");
+  static obs::Counter& samples_trained =
+      obs::Registry::instance().counter("nn.samples_trained");
+  static obs::Histogram& epoch_seconds =
+      obs::Registry::instance().histogram("span.train.epoch");
+
   const int n = train_data.size();
   const int batch = config_.batch_size;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const obs::ScopedSpan epoch_span("train.epoch", epoch_seconds);
     const std::vector<int> order = shuffle_rng.permutation(n);
     double epoch_loss = 0.0;
     int batches = 0;
@@ -117,6 +129,13 @@ TrainReport MlMonitor::train(const Dataset& train_data) {
       ++batches;
     }
     report.epoch_loss.push_back(epoch_loss / std::max(1, batches));
+    epochs_trained.increment();
+    batches_trained.add(static_cast<std::uint64_t>(batches));
+    samples_trained.add(static_cast<std::uint64_t>(n));
+    CPSGUARD_OBS_EVENT("train.epoch", obs::f("model", config_.display_name()),
+                       obs::f("epoch", epoch),
+                       obs::f("loss", report.epoch_loss.back()),
+                       obs::f("secs", epoch_span.elapsed_seconds()));
     util::log_debug(config_.display_name(), " epoch ", epoch, " loss ",
                     report.epoch_loss.back());
   }

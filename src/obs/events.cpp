@@ -1,0 +1,125 @@
+#include "obs/events.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+
+namespace cpsguard::obs {
+
+namespace {
+
+std::mutex g_sink_mutex;
+std::FILE* g_sink = nullptr;
+std::chrono::steady_clock::time_point g_epoch;
+
+// Minimal JSON string escaping (quotes, backslash, control chars).
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // NDJSON consumers reject bare inf/nan
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void enable_events(const std::string& path) {
+  const std::scoped_lock lock(g_sink_mutex);
+  if (g_sink != nullptr) {
+    std::fclose(g_sink);
+    g_sink = nullptr;
+  }
+  g_sink = std::fopen(path.c_str(), "ab");
+  if (g_sink == nullptr) {
+    throw std::runtime_error("cannot open event sink: " + path);
+  }
+  g_epoch = std::chrono::steady_clock::now();
+  detail::g_events_enabled.store(true, std::memory_order_release);
+}
+
+void disable_events() {
+  detail::g_events_enabled.store(false, std::memory_order_release);
+  const std::scoped_lock lock(g_sink_mutex);
+  if (g_sink != nullptr) {
+    std::fclose(g_sink);
+    g_sink = nullptr;
+  }
+}
+
+void emit_event(const char* name, std::initializer_list<Field> fields) {
+  if (!events_enabled()) return;
+  const auto now = std::chrono::steady_clock::now();
+
+  std::string line;
+  line.reserve(128);
+  line += "{\"ts_ns\":";
+  {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRId64,
+                  static_cast<std::int64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          now - g_epoch)
+                          .count()));
+    line += buf;
+  }
+  line += ",\"ev\":\"";
+  append_escaped(line, name);
+  line += '"';
+  for (const Field& field : fields) {
+    line += ",\"";
+    append_escaped(line, field.key);
+    line += "\":";
+    switch (field.kind) {
+      case Field::Kind::kString:
+        line += '"';
+        append_escaped(line, field.sval);
+        line += '"';
+        break;
+      case Field::Kind::kNumber:
+        append_number(line, field.dval);
+        break;
+      case Field::Kind::kInteger: {
+        char buf[24];
+        std::snprintf(buf, sizeof buf, "%lld", field.ival);
+        line += buf;
+        break;
+      }
+      case Field::Kind::kBool:
+        line += field.bval ? "true" : "false";
+        break;
+    }
+  }
+  line += "}\n";
+
+  const std::scoped_lock lock(g_sink_mutex);
+  if (g_sink == nullptr) return;  // raced with disable_events
+  std::fwrite(line.data(), 1, line.size(), g_sink);
+  std::fflush(g_sink);
+}
+
+}  // namespace cpsguard::obs

@@ -1,0 +1,95 @@
+// NDJSON event sink: one JSON object per line, appended to a file the bench
+// selects with --events (or a test selects programmatically). Disabled by
+// default; the CPSGUARD_OBS_EVENT macro costs a single relaxed atomic load
+// and a predictable branch when the sink is off — its arguments are not
+// even evaluated — so hot paths can emit events unconditionally.
+//
+//   CPSGUARD_OBS_EVENT("train.epoch", obs::f("model", name),
+//                      obs::f("epoch", e), obs::f("loss", loss));
+//
+// Line format: {"ts_ns":<steady ns since enable>,"ev":"<name>",...fields}
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace cpsguard::obs {
+
+/// One key/value pair of an event line.
+struct Field {
+  enum class Kind { kString, kNumber, kInteger, kBool };
+
+  const char* key;
+  Kind kind;
+  std::string sval;
+  double dval = 0.0;
+  long long ival = 0;
+  bool bval = false;
+};
+
+inline Field f(const char* key, std::string value) {
+  return {key, Field::Kind::kString, std::move(value)};
+}
+inline Field f(const char* key, const char* value) {
+  return {key, Field::Kind::kString, value};
+}
+inline Field f(const char* key, double value) {
+  Field out{key, Field::Kind::kNumber, {}};
+  out.dval = value;
+  return out;
+}
+inline Field f(const char* key, int value) {
+  Field out{key, Field::Kind::kInteger, {}};
+  out.ival = value;
+  return out;
+}
+inline Field f(const char* key, long long value) {
+  Field out{key, Field::Kind::kInteger, {}};
+  out.ival = value;
+  return out;
+}
+inline Field f(const char* key, std::uint64_t value) {
+  Field out{key, Field::Kind::kInteger, {}};
+  out.ival = static_cast<long long>(value);
+  return out;
+}
+inline Field f(const char* key, bool value) {
+  Field out{key, Field::Kind::kBool, {}};
+  out.bval = value;
+  return out;
+}
+
+namespace detail {
+// Inline so events_enabled() compiles to a load of this flag at every call
+// site with no function-call overhead — the whole point of the macro gate.
+inline std::atomic<bool> g_events_enabled{false};
+}  // namespace detail
+
+[[nodiscard]] inline bool events_enabled() {
+  return detail::g_events_enabled.load(std::memory_order_relaxed);
+}
+
+/// Open `path` for appending and start accepting events. Throws
+/// std::runtime_error if the file cannot be opened.
+void enable_events(const std::string& path);
+
+/// Stop accepting events and close the sink (flushes first). Safe to call
+/// when already disabled.
+void disable_events();
+
+/// Append one NDJSON line (thread-safe, one write per line). No-op when the
+/// sink is disabled — but prefer the macro, which skips argument evaluation.
+void emit_event(const char* name, std::initializer_list<Field> fields);
+
+}  // namespace cpsguard::obs
+
+// Zero-overhead-when-disabled event emission: the field expressions are only
+// evaluated when a sink is attached.
+#define CPSGUARD_OBS_EVENT(name, ...)                        \
+  do {                                                       \
+    if (::cpsguard::obs::events_enabled()) {                 \
+      ::cpsguard::obs::emit_event((name), {__VA_ARGS__});    \
+    }                                                        \
+  } while (0)

@@ -1,0 +1,27 @@
+#include "obs/span.h"
+
+#include "obs/events.h"
+
+namespace cpsguard::obs {
+
+ScopedSpan::ScopedSpan(std::string name)
+    : name_(std::move(name)),
+      sink_(&Registry::instance().histogram("span." + name_)),
+      start_(std::chrono::steady_clock::now()) {}
+
+ScopedSpan::ScopedSpan(const char* name, Histogram& sink)
+    : name_(name), sink_(&sink), start_(std::chrono::steady_clock::now()) {}
+
+ScopedSpan::~ScopedSpan() {
+  const double secs = elapsed_seconds();
+  sink_->record(secs);
+  CPSGUARD_OBS_EVENT("span", f("name", name_), f("secs", secs));
+}
+
+double ScopedSpan::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+}  // namespace cpsguard::obs

@@ -1,0 +1,46 @@
+// RAII phase timers. A ScopedSpan measures the wall-clock time between its
+// construction and destruction and records it (in seconds) into a histogram
+// named "span.<name>" — so repeated spans aggregate into per-phase timing
+// quantiles that the bench manifest dumps. When the NDJSON sink is enabled,
+// each span additionally emits a {"ev":"span",...} event on completion.
+//
+//   {
+//     obs::ScopedSpan span("train.all");
+//     experiment.train_all();
+//   }  // records into histogram "span.train.all"
+//
+// For per-iteration hot loops, resolve the histogram once and use the
+// Histogram& overload — it skips the registry lookup.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cpsguard::obs {
+
+class ScopedSpan {
+ public:
+  /// Records into Registry histogram "span.<name>" (one registry lookup).
+  explicit ScopedSpan(std::string name);
+
+  /// Records into a pre-resolved histogram; `name` is only used for the
+  /// NDJSON event (pass a string literal).
+  ScopedSpan(const char* name, Histogram& sink);
+
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Seconds elapsed so far.
+  [[nodiscard]] double elapsed_seconds() const;
+
+ private:
+  std::string name_;
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cpsguard::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/span.h"
 #include "sim/basal_bolus_controller.h"
 #include "sim/glucosym_patient.h"
 #include "sim/openaps_controller.h"
@@ -14,6 +15,16 @@ Trace run_closed_loop(PatientModel& patient, Controller& controller,
                       const PatientProfile& profile, const SimConfig& config,
                       util::Rng& rng) {
   expects(config.steps > 1, "simulation needs at least two cycles");
+
+  // Per-run (not per-step) telemetry: a run is the natural unit of work and
+  // keeps the instrumentation off the 5-minute-cycle hot loop.
+  static obs::Counter& runs = obs::Registry::instance().counter("sim.runs");
+  static obs::Counter& steps = obs::Registry::instance().counter("sim.steps");
+  static obs::Histogram& run_seconds =
+      obs::Registry::instance().histogram("span.sim.run");
+  runs.increment();
+  steps.add(static_cast<std::uint64_t>(config.steps));
+  const obs::ScopedSpan run_span("sim.run", run_seconds);
 
   patient.reset(profile, rng);
   controller.reset(patient.effective_profile(),

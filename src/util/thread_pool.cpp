@@ -1,8 +1,10 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 
+#include "obs/metrics.h"
 #include "util/contracts.h"
 
 namespace cpsguard::util {
@@ -15,6 +17,35 @@ namespace {
 // behind a blocked worker (deadlock risk on small pools) and oversubscribe
 // the machine.
 thread_local bool tl_in_parallel_region = false;
+
+std::atomic<std::size_t> g_max_parallelism{0};
+
+// Pool/fan-out telemetry, resolved once. Constructing this (and therefore
+// the Registry singleton) before any ThreadPool spawns workers guarantees
+// the registry outlives every pool: workers may record metrics right up to
+// the join in ~ThreadPool.
+struct PoolMetrics {
+  obs::Counter& tasks_submitted;
+  obs::Counter& tasks_executed;
+  obs::Histogram& task_seconds;
+  obs::Histogram& idle_seconds;
+  obs::Counter& parallel_for_calls;
+  obs::Counter& parallel_for_inline;
+  obs::Histogram& parallel_for_shards;
+
+  static PoolMetrics& get() {
+    static PoolMetrics metrics{
+        obs::Registry::instance().counter("threadpool.tasks_submitted"),
+        obs::Registry::instance().counter("threadpool.tasks_executed"),
+        obs::Registry::instance().histogram("threadpool.task_seconds"),
+        obs::Registry::instance().histogram("threadpool.idle_seconds"),
+        obs::Registry::instance().counter("parallel_for.calls"),
+        obs::Registry::instance().counter("parallel_for.inline_calls"),
+        obs::Registry::instance().histogram("parallel_for.shards"),
+    };
+    return metrics;
+  }
+};
 
 // Per-call bookkeeping for one parallel_for: a work-stealing index counter
 // shared by the caller and the helper tasks, plus a latch the caller waits
@@ -51,6 +82,7 @@ void run_shard(ForState& st) {
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
+  PoolMetrics::get();  // force Registry construction before workers exist
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -71,6 +103,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   expects(static_cast<bool>(task), "task must be callable");
+  PoolMetrics::get().tasks_submitted.increment();
   {
     const std::scoped_lock lock(mutex_);
     queue_.push_back(std::move(task));
@@ -90,22 +123,34 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   tl_in_parallel_region = true;  // nested parallel_for on a worker runs inline
+  PoolMetrics& metrics = PoolMetrics::get();
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
+      const auto wait_start = std::chrono::steady_clock::now();
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      metrics.idle_seconds.record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wait_start)
+              .count());
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
     }
     std::exception_ptr error;
+    const auto task_start = std::chrono::steady_clock::now();
     try {
       task();
     } catch (...) {
       error = std::current_exception();
     }
+    metrics.task_seconds.record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      task_start)
+            .count());
+    metrics.tasks_executed.increment();
     {
       const std::scoped_lock lock(mutex_);
       if (error && !first_error_) first_error_ = error;
@@ -122,19 +167,36 @@ ThreadPool& shared_pool() {
 
 bool in_parallel_region() { return tl_in_parallel_region; }
 
+void set_max_parallelism(std::size_t n) {
+  g_max_parallelism.store(n, std::memory_order_relaxed);
+}
+
+std::size_t max_parallelism() {
+  return g_max_parallelism.load(std::memory_order_relaxed);
+}
+
 void parallel_for(int n, const std::function<void(int)>& fn,
                   std::size_t max_shards) {
   expects(n >= 0, "parallel_for size must be non-negative");
   if (n == 0) return;
+  const std::size_t global_cap = max_parallelism();
+  if (global_cap != 0) {
+    max_shards = max_shards == 0 ? global_cap : std::min(max_shards, global_cap);
+  }
   if (max_shards == 1 || n == 1 || tl_in_parallel_region) {
+    PoolMetrics::get().parallel_for_inline.increment();
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }
 
   ThreadPool& pool = shared_pool();
   std::size_t helpers = pool.size();
-  if (max_shards != 0) helpers = std::min(helpers, max_shards);
+  if (max_shards != 0) helpers = std::min(helpers, max_shards - 1);
   helpers = std::min(helpers, static_cast<std::size_t>(n));
+
+  PoolMetrics& metrics = PoolMetrics::get();
+  metrics.parallel_for_calls.increment();
+  metrics.parallel_for_shards.record(static_cast<double>(helpers + 1));
 
   ForState st;
   st.fn = &fn;

@@ -55,6 +55,14 @@ class ThreadPool {
 /// the process (no per-call spawn/teardown).
 ThreadPool& shared_pool();
 
+/// Process-wide cap on how many shards a parallel_for may run concurrently
+/// (counting the calling thread). 0 restores the default (pool-sized
+/// fan-outs); 1 forces fully serial inline execution — the knob the golden
+/// determinism suite and the benches' --threads flag use. Outputs are
+/// bit-identical at any setting; only scheduling changes.
+void set_max_parallelism(std::size_t n);
+[[nodiscard]] std::size_t max_parallelism();
+
 /// True when the calling thread is a shared-pool worker or is currently
 /// executing a parallel_for shard — i.e. when a further parallel_for would
 /// run inline instead of fanning out again.
@@ -64,9 +72,10 @@ bool in_parallel_region();
 /// participates too); rethrows the first captured exception after all
 /// iterations complete. Nested calls — from inside a shard or from a pool
 /// worker — run inline, so parallel sections can safely call parallel code
-/// without deadlock or oversubscription. `max_shards == 0` uses every pool
-/// worker; `max_shards == 1` runs inline (useful under sanitizers and in
-/// tests).
+/// without deadlock or oversubscription. `max_shards` caps the concurrent
+/// shards including the caller: 0 uses every pool worker, 1 runs inline
+/// (useful under sanitizers and in tests). The effective cap is the smaller
+/// of `max_shards` and the process-wide set_max_parallelism() value.
 void parallel_for(int n, const std::function<void(int)>& fn,
                   std::size_t max_shards = 0);
 

@@ -1,0 +1,212 @@
+// Property-based tests for the attack implementations: for randomized
+// inputs across several seeds, every crafted perturbation must stay inside
+// its L-infinity budget, touch only masked features, stay NaN-free for
+// finite inputs, and be bit-reproducible for equal seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "attack/fgsm.h"
+#include "attack/nes.h"
+#include "attack/pgd.h"
+#include "attack/universal.h"
+#include "nn/classifier.h"
+#include "util/rng.h"
+
+namespace cpsguard::attack {
+namespace {
+
+constexpr int kTime = 6;
+constexpr int kFeatures = 9;
+
+nn::Tensor3 random_tensor(int batch, util::Rng& rng) {
+  nn::Tensor3 x(batch, kTime, kFeatures);
+  for (float& v : x.data()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return x;
+}
+
+std::vector<int> alternating_labels(int batch) {
+  std::vector<int> y(static_cast<std::size_t>(batch));
+  for (int i = 0; i < batch; ++i) y[static_cast<std::size_t>(i)] = i % 2;
+  return y;
+}
+
+nn::MlpClassifier make_classifier(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return nn::MlpClassifier(kTime, kFeatures, {16, 8}, 2, rng);
+}
+
+std::vector<float> as_vec(const nn::Tensor3& t) {
+  return {t.data().begin(), t.data().end()};
+}
+
+void expect_finite(const nn::Tensor3& t, const char* what) {
+  for (const float v : t.data()) {
+    ASSERT_TRUE(std::isfinite(v)) << what << " produced non-finite value";
+  }
+}
+
+/// Max |adv - x| over features OUTSIDE the mask — must be exactly zero.
+double off_mask_delta(const nn::Tensor3& adv, const nn::Tensor3& x,
+                      FeatureMask mask) {
+  double worst = 0.0;
+  for (int b = 0; b < x.batch(); ++b) {
+    for (int t = 0; t < x.time(); ++t) {
+      for (int f = 0; f < x.features(); ++f) {
+        if (feature_in_mask(f, mask)) continue;
+        worst = std::max(
+            worst, std::abs(static_cast<double>(adv.at(b, t, f) - x.at(b, t, f))));
+      }
+    }
+  }
+  return worst;
+}
+
+class AttackProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AttackProperties, FgsmStaysInEpsilonBall) {
+  const std::uint64_t seed = GetParam();
+  auto clf = make_classifier(seed);
+  util::Rng rng(seed ^ 0x5eed);
+  const nn::Tensor3 x = random_tensor(12, rng);
+  const auto y = alternating_labels(12);
+  for (const double eps : {0.01, 0.1, 0.3}) {
+    FgsmConfig fc;
+    fc.epsilon = eps;
+    const nn::Tensor3 adv = fgsm_attack(clf, x, y, fc);
+    expect_finite(adv, "fgsm");
+    EXPECT_LE(linf_distance(adv, x), eps + 1e-5);
+  }
+}
+
+TEST_P(AttackProperties, PgdStaysInEpsilonBall) {
+  const std::uint64_t seed = GetParam();
+  auto clf = make_classifier(seed);
+  util::Rng rng(seed ^ 0x9e3779b9);
+  const nn::Tensor3 x = random_tensor(10, rng);
+  const auto y = alternating_labels(10);
+  PgdConfig pc;
+  pc.epsilon = 0.1;
+  pc.step_size = 0.05;  // deliberately > eps/iterations: projection must hold
+  pc.iterations = 5;
+  const nn::Tensor3 adv = pgd_attack(clf, x, y, pc);
+  expect_finite(adv, "pgd");
+  EXPECT_LE(linf_distance(adv, x), pc.epsilon + 1e-5);
+}
+
+TEST_P(AttackProperties, NesStaysInEpsilonBall) {
+  const std::uint64_t seed = GetParam();
+  auto clf = make_classifier(seed);
+  util::Rng rng(seed ^ 0xabcdef);
+  const nn::Tensor3 x = random_tensor(6, rng);
+  const auto y = alternating_labels(6);
+  NesConfig nc;
+  nc.epsilon = 0.15;
+  nc.iterations = 3;
+  nc.samples = 6;
+  nc.seed = seed;
+  const nn::Tensor3 adv = nes_attack(clf, x, y, nc);
+  expect_finite(adv, "nes");
+  EXPECT_LE(linf_distance(adv, x), nc.epsilon + 1e-5);
+}
+
+TEST_P(AttackProperties, UniversalDeltaStaysInEpsilonBall) {
+  const std::uint64_t seed = GetParam();
+  auto clf = make_classifier(seed);
+  util::Rng rng(seed ^ 0x777);
+  const nn::Tensor3 x = random_tensor(16, rng);
+  const auto y = alternating_labels(16);
+  UniversalConfig uc;
+  uc.epsilon = 0.2;
+  uc.epochs = 2;
+  uc.batch_size = 8;
+  const nn::Tensor3 delta = craft_universal_perturbation(clf, x, y, uc);
+  expect_finite(delta, "universal");
+  EXPECT_EQ(delta.batch(), 1);
+  double worst = 0.0;
+  for (const float v : delta.data()) {
+    worst = std::max(worst, std::abs(static_cast<double>(v)));
+  }
+  EXPECT_LE(worst, uc.epsilon + 1e-5);
+
+  const nn::Tensor3 adv = apply_universal_perturbation(x, delta);
+  expect_finite(adv, "universal-apply");
+  EXPECT_LE(linf_distance(adv, x), uc.epsilon + 1e-5);
+}
+
+TEST_P(AttackProperties, MasksLeaveOffMaskFeaturesUntouched) {
+  const std::uint64_t seed = GetParam();
+  auto clf = make_classifier(seed);
+  util::Rng rng(seed ^ 0x31415);
+  const nn::Tensor3 x = random_tensor(8, rng);
+  const auto y = alternating_labels(8);
+  for (const FeatureMask mask :
+       {FeatureMask::kSensorsOnly, FeatureMask::kCommandsOnly}) {
+    FgsmConfig fc;
+    fc.epsilon = 0.2;
+    fc.mask = mask;
+    EXPECT_EQ(off_mask_delta(fgsm_attack(clf, x, y, fc), x, mask), 0.0)
+        << "fgsm wrote outside mask " << to_string(mask);
+
+    PgdConfig pc;
+    pc.epsilon = 0.2;
+    pc.mask = mask;
+    pc.iterations = 3;
+    EXPECT_EQ(off_mask_delta(pgd_attack(clf, x, y, pc), x, mask), 0.0)
+        << "pgd wrote outside mask " << to_string(mask);
+
+    NesConfig nc;
+    nc.epsilon = 0.2;
+    nc.iterations = 2;
+    nc.samples = 4;
+    nc.mask = mask;
+    nc.seed = seed;
+    EXPECT_EQ(off_mask_delta(nes_attack(clf, x, y, nc), x, mask), 0.0)
+        << "nes wrote outside mask " << to_string(mask);
+  }
+}
+
+TEST_P(AttackProperties, EqualSeedsGiveBitIdenticalOutputs) {
+  const std::uint64_t seed = GetParam();
+  auto clf = make_classifier(seed);
+  util::Rng rng(seed ^ 0x8888);
+  const nn::Tensor3 x = random_tensor(8, rng);
+  const auto y = alternating_labels(8);
+
+  // FGSM and PGD are deterministic functions of (model, input).
+  FgsmConfig fc;
+  fc.epsilon = 0.1;
+  EXPECT_EQ(as_vec(fgsm_attack(clf, x, y, fc)), as_vec(fgsm_attack(clf, x, y, fc)));
+  PgdConfig pc;
+  pc.epsilon = 0.1;
+  pc.iterations = 4;
+  EXPECT_EQ(as_vec(pgd_attack(clf, x, y, pc)), as_vec(pgd_attack(clf, x, y, pc)));
+
+  // NES is stochastic but fully seeded.
+  NesConfig nc;
+  nc.epsilon = 0.1;
+  nc.iterations = 2;
+  nc.samples = 4;
+  nc.seed = seed;
+  EXPECT_EQ(as_vec(nes_attack(clf, x, y, nc)), as_vec(nes_attack(clf, x, y, nc)));
+  NesConfig other = nc;
+  other.seed = seed + 1;
+  // Different seed -> different probes (overwhelmingly likely to differ).
+  EXPECT_NE(as_vec(nes_attack(clf, x, y, nc)),
+            as_vec(nes_attack(clf, x, y, other)));
+
+  UniversalConfig uc;
+  uc.epsilon = 0.1;
+  uc.epochs = 2;
+  uc.batch_size = 4;
+  EXPECT_EQ(as_vec(craft_universal_perturbation(clf, x, y, uc)),
+            as_vec(craft_universal_perturbation(clf, x, y, uc)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttackProperties,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99991u));
+
+}  // namespace
+}  // namespace cpsguard::attack

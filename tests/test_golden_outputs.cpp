@@ -1,0 +1,153 @@
+// Golden determinism-regression suite (ctest label: golden).
+//
+// Miniature (2-patient, short-horizon) versions of the fig5 / fig8 / fig10 /
+// resilience pipelines run twice — fully serial (max_parallelism = 1) and on
+// the shared pool — and must produce byte-identical CSV bytes, which must in
+// turn match the checked-in goldens in tests/golden/ (compared both as bytes
+// and as SHA-256, the same fingerprint the bench manifests record).
+//
+// Re-blessing after an *intentional* output change (see EXPERIMENTS.md):
+//   CPSGUARD_BLESS=1 ./build/tests/test_golden_outputs
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "core/experiment.h"
+#include "obs/sha256.h"
+#include "util/csv.h"
+#include "util/thread_pool.h"
+
+#ifndef CPSGUARD_GOLDEN_DIR
+#define CPSGUARD_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace cpsguard {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::ExperimentConfig mini_config(sim::Testbed tb) {
+  core::ExperimentConfig cfg;
+  cfg.campaign.testbed = tb;
+  cfg.campaign.patients = 2;
+  cfg.campaign.sims_per_patient = 3;
+  cfg.campaign.trace_steps = 60;
+  cfg.campaign.seed = 7;
+  cfg.epochs = 2;
+  cfg.cache_dir = "";  // never reuse models across parallelism modes
+  return cfg;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) ADD_FAILURE() << "missing golden " << p;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// Run `pipeline` serially and on the shared pool; the two CSV outputs must
+/// be byte-identical. Then compare against (or, under CPSGUARD_BLESS=1,
+/// rewrite) tests/golden/<name>.csv.
+void check_golden(const std::string& name,
+                  const std::function<std::string()>& pipeline) {
+  util::set_max_parallelism(1);
+  const std::string serial = pipeline();
+  util::set_max_parallelism(0);
+  const std::string pooled = pipeline();
+  ASSERT_EQ(serial, pooled)
+      << name << ": serial and shared-pool runs diverged — a parallel "
+      << "reduction or RNG split is order-dependent";
+
+  const fs::path golden = fs::path(CPSGUARD_GOLDEN_DIR) / (name + ".csv");
+  if (std::getenv("CPSGUARD_BLESS") != nullptr) {
+    fs::create_directories(golden.parent_path());
+    std::ofstream out(golden, std::ios::binary);
+    out << serial;
+    GTEST_SKIP() << "blessed " << golden;
+  }
+  const std::string expected = slurp(golden);
+  EXPECT_EQ(obs::sha256_hex(serial), obs::sha256_hex(expected))
+      << name << ": output drifted from " << golden
+      << " (re-bless with CPSGUARD_BLESS=1 if the change is intentional)";
+  EXPECT_EQ(serial, expected);
+}
+
+std::string fig5_mini() {
+  core::Experiment exp(mini_config(sim::Testbed::kGlucosymOpenAps));
+  util::CsvWriter csv({"model", "sigma", "f1", "acc"});
+  const std::vector<double> sigmas = {0.25, 1.0};
+  for (const auto& v : {core::MonitorVariant{monitor::Arch::kMlp, false},
+                        core::MonitorVariant{monitor::Arch::kMlp, true}}) {
+    const auto clean = exp.evaluate_clean(v);
+    csv.add_row({v.name(), "0", util::CsvWriter::num(clean.f1()),
+                 util::CsvWriter::num(clean.accuracy())});
+    const auto sweep = exp.evaluate_under_gaussian_sweep(v, sigmas);
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      csv.add_row({v.name(), util::CsvWriter::num(sigmas[i]),
+                   util::CsvWriter::num(sweep[i].f1()),
+                   util::CsvWriter::num(sweep[i].accuracy())});
+    }
+  }
+  return csv.to_string();
+}
+
+std::string fig8_mini() {
+  core::Experiment exp(mini_config(sim::Testbed::kT1dBasalBolus));
+  util::CsvWriter csv({"model", "epsilon", "f1", "robustness_error"});
+  const std::vector<double> epsilons = {0.05, 0.2};
+  for (const auto& v : {core::MonitorVariant{monitor::Arch::kMlp, false},
+                        core::MonitorVariant{monitor::Arch::kLstm, false}}) {
+    const auto sweep = exp.evaluate_under_fgsm_sweep(v, epsilons);
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      csv.add_row({v.name(), util::CsvWriter::num(epsilons[i]),
+                   util::CsvWriter::num(sweep[i].f1()),
+                   util::CsvWriter::num(sweep[i].robustness_err)});
+    }
+  }
+  return csv.to_string();
+}
+
+std::string fig10_mini() {
+  core::Experiment exp(mini_config(sim::Testbed::kGlucosymOpenAps));
+  util::CsvWriter csv({"model", "epsilon", "blackbox_error", "whitebox_error"});
+  const std::vector<double> epsilons = {0.1};
+  const core::MonitorVariant v{monitor::Arch::kMlp, false};
+  const auto blacks = exp.evaluate_under_blackbox_sweep(v, epsilons);
+  const auto whites = exp.evaluate_under_fgsm_sweep(v, epsilons);
+  for (std::size_t i = 0; i < epsilons.size(); ++i) {
+    csv.add_row({v.name(), util::CsvWriter::num(epsilons[i]),
+                 util::CsvWriter::num(blacks[i].robustness_err),
+                 util::CsvWriter::num(whites[i].robustness_err)});
+  }
+  return csv.to_string();
+}
+
+std::string resilience_mini() {
+  core::Experiment exp(mini_config(sim::Testbed::kGlucosymOpenAps));
+  core::ResilienceEvalConfig rc;
+  rc.runtime.window = exp.config().dataset.window;
+  util::CsvWriter csv({"runtime", "fault", "rate", "availability",
+                       "time_in_fallback", "f1_overall"});
+  const core::MonitorVariant v{monitor::Arch::kMlp, false};
+  for (const auto mode :
+       {core::RuntimeMode::kRawMl, core::RuntimeMode::kResilient}) {
+    const auto r = exp.evaluate_resilience(
+        v, mode, sim::FaultType::kSensorGarbage, 0.5, rc);
+    csv.add_row({core::to_string(mode), sim::to_string(sim::FaultType::kSensorGarbage),
+                 util::CsvWriter::num(0.5), util::CsvWriter::num(r.availability()),
+                 util::CsvWriter::num(r.time_in_fallback()),
+                 util::CsvWriter::num(r.overall.f1())});
+  }
+  return csv.to_string();
+}
+
+TEST(Golden, Fig5GaussianMini) { check_golden("fig5_mini", fig5_mini); }
+TEST(Golden, Fig8FgsmMini) { check_golden("fig8_mini", fig8_mini); }
+TEST(Golden, Fig10BlackboxMini) { check_golden("fig10_mini", fig10_mini); }
+TEST(Golden, ResilienceMini) { check_golden("resilience_mini", resilience_mini); }
+
+}  // namespace
+}  // namespace cpsguard
