@@ -18,6 +18,11 @@
 //   --threads N    cap parallel fan-out at N shards (default 0 = all cores)
 //   --manifest B   write BENCH_<name>.json          (default true)
 //   --events FILE  append NDJSON events to FILE     (default off)
+//   --checkpoint DIR  persist sweep points + model snapshots to DIR; an
+//                  existing DIR is resumed (default off)
+//   --resume       shorthand for --checkpoint <bench>_ckpt
+//   --deadline-s S soft campaign deadline: sweeps stop cooperatively after
+//                  S seconds (exit 3); rerun with --resume to continue
 //
 // Every bench owns a BenchRun: it parses the observability flags, routes all
 // CSV output through the run manifest (so a bench *cannot* silently write an
@@ -27,12 +32,14 @@
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "core/cpsguard.h"
 #include "obs/events.h"
 #include "obs/manifest.h"
+#include "util/deadline.h"
 #include "util/thread_pool.h"
 
 namespace cpsguard::bench {
@@ -79,6 +86,53 @@ class BenchRun {
     manifest_.set_threads(std::thread::hardware_concurrency(),
                           util::max_parallelism());
     out_ = cli.get("out", name_ + ".csv");
+
+    // Crash-safe campaigns: --resume / --checkpoint open a store whose
+    // records survive kills; --deadline-s arms the cooperative watchdog.
+    const bool resume = cli.get_bool("resume", false);
+    const std::string ckpt_dir =
+        cli.get("checkpoint", resume ? name_ + "_ckpt" : "");
+    if (!ckpt_dir.empty()) {
+      store_ = std::make_unique<core::CheckpointStore>(ckpt_dir);
+      if (!store_->parent_run_id().empty()) {
+        std::fprintf(stderr, "resuming campaign from %s (parent run %s)\n",
+                     ckpt_dir.c_str(), store_->parent_run_id().c_str());
+      }
+    }
+    const double deadline_s = cli.get_double("deadline-s", 0.0);
+    if (deadline_s > 0.0) {
+      util::set_global_deadline(util::Deadline::after_seconds(deadline_s));
+    }
+  }
+
+  /// Attach the run's checkpoint store (if any) to an experiment. Call for
+  /// every Experiment the bench constructs, before training or sweeping.
+  void attach(core::Experiment& exp) {
+    if (store_) exp.set_checkpoint_store(store_.get());
+  }
+
+  [[nodiscard]] core::CheckpointStore* checkpoint_store() {
+    return store_.get();
+  }
+
+  /// Run the campaign body with deadline-aware termination: on
+  /// DeadlineExceeded the partial work is already checkpointed, so report,
+  /// finish the manifest (lineage included), and exit 3 — the documented
+  /// "rerun with --resume" status. Returns the process exit code.
+  template <typename Fn>
+  int campaign(const util::Cli& cli, Fn&& body) {
+    try {
+      body();
+    } catch (const util::DeadlineExceeded& e) {
+      std::fprintf(stderr,
+                   "deadline exceeded (%s); completed points are "
+                   "checkpointed — rerun with --resume to continue\n",
+                   e.what());
+      finish(cli);
+      return 3;
+    }
+    finish(cli);
+    return 0;
   }
 
   /// bench_config() plus manifest bookkeeping (seed and sweep parameters).
@@ -118,6 +172,12 @@ class BenchRun {
   /// Reject typos, then (unless --manifest false) write BENCH_<name>.json.
   void finish(const util::Cli& cli) {
     reject_unknown_flags(cli);
+    if (store_) {
+      const core::CheckpointStats stats = store_->stats();
+      manifest_.set_resume(obs::ResumeInfo{store_->run_id(),
+                                           store_->parent_run_id(), stats.hits,
+                                           stats.discarded});
+    }
     if (manifest_enabled_) {
       const std::string path = manifest_.write();
       std::fprintf(stderr, "wrote %s\n", path.c_str());
@@ -129,6 +189,7 @@ class BenchRun {
   obs::RunManifest manifest_;
   std::string out_;
   bool manifest_enabled_ = true;
+  std::unique_ptr<core::CheckpointStore> store_;
 };
 
 /// The σ sweep of Fig. 5/6/9 and the ε sweep of Fig. 8/9/10.

@@ -14,8 +14,10 @@ int main(int argc, char** argv) {
   util::CsvWriter csv(
       {"simulator", "model", "epsilon", "blackbox_error", "whitebox_error"});
 
+  return run.campaign(cli, [&] {
   for (const sim::Testbed tb : bench::both_testbeds()) {
     core::Experiment exp(run.config(tb, cli));
+    run.attach(exp);
     exp.train_all();
     std::printf("\nFig. 10 — %s: black-box robustness error (white-box in parens)\n",
                 sim::to_string(tb).c_str());
@@ -41,6 +43,5 @@ int main(int argc, char** argv) {
   }
 
   run.write_csv(csv);
-  run.finish(cli);
-  return 0;
+  });
 }

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
 
   core::Experiment exp(
       run.config(sim::Testbed::kT1dBasalBolus, cli));
+  run.attach(exp);
 
   const core::MonitorVariant baseline{monitor::Arch::kMlp, false};
   const core::MonitorVariant custom{monitor::Arch::kMlp, true};
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   util::Table table(
       {"Model", "sigma", "Precision", "Recall", "F1"});
 
+  return run.campaign(cli, [&] {
   for (const auto& v : {baseline, custom}) {
     auto add = [&](double sigma, const core::EvalResult& r) {
       table.add_row({v.name(), util::Table::fixed(sigma, 2),
@@ -42,6 +44,5 @@ int main(int argc, char** argv) {
 
   table.print();
   run.write_csv(csv);
-  run.finish(cli);
-  return 0;
+  });
 }

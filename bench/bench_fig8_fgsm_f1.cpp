@@ -13,8 +13,10 @@ int main(int argc, char** argv) {
 
   util::CsvWriter csv({"simulator", "model", "epsilon", "f1", "acc"});
 
+  return run.campaign(cli, [&] {
   for (const sim::Testbed tb : bench::both_testbeds()) {
     core::Experiment exp(run.config(tb, cli));
+    run.attach(exp);
     exp.train_all();
     std::printf("\nFig. 8 — %s: F1 vs white-box FGSM epsilon\n",
                 sim::to_string(tb).c_str());
@@ -43,6 +45,5 @@ int main(int argc, char** argv) {
   }
 
   run.write_csv(csv);
-  run.finish(cli);
-  return 0;
+  });
 }

@@ -47,8 +47,10 @@ int main(int argc, char** argv) {
       {"simulator", "model", "perturbation", "level", "robustness_error"});
   Reduction gaussian_reduction, fgsm_reduction;
 
+  return run.campaign(cli, [&] {
   for (const sim::Testbed tb : bench::both_testbeds()) {
     core::Experiment exp(run.config(tb, cli));
+    run.attach(exp);
     exp.train_all();
     std::printf("\nFig. 9 — %s: robustness error heat-map\n",
                 sim::to_string(tb).c_str());
@@ -104,6 +106,5 @@ int main(int argc, char** argv) {
       gaussian_reduction.percent(), fgsm_reduction.percent());
 
   run.write_csv(csv);
-  run.finish(cli);
-  return 0;
+  });
 }

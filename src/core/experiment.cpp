@@ -5,13 +5,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 
 #include "obs/events.h"
+#include "obs/sha256.h"
 #include "obs/span.h"
+#include "util/chaos.h"
 #include "util/contracts.h"
+#include "util/deadline.h"
 #include "util/logging.h"
+#include "util/retry.h"
 #include "util/thread_pool.h"
 
 namespace cpsguard::core {
@@ -38,6 +44,51 @@ std::uint64_t arch_seed_tag(monitor::Arch arch) {
     case monitor::Arch::kGru: return 0x47525500ULL;   // 'GRU\0'
   }
   return 0ULL;
+}
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+// Checkpoint payload for one sweep point. robustness_err is stored as its
+// IEEE-754 bit pattern so resumed points round-trip bit-exactly — the whole
+// byte-identical-CSV guarantee hinges on it.
+std::string encode_eval(const EvalResult& r) {
+  std::ostringstream os;
+  os << "eval|tp=" << r.confusion.tp << "|fp=" << r.confusion.fp
+     << "|tn=" << r.confusion.tn << "|fn=" << r.confusion.fn
+     << "|rerr_bits=" << hex_u64(double_bits(r.robustness_err));
+  return os.str();
+}
+
+std::optional<EvalResult> decode_eval(const std::string& payload) {
+  long tp = 0;
+  long fp = 0;
+  long tn = 0;
+  long fn = 0;
+  unsigned long long bits = 0;
+  if (std::sscanf(payload.c_str(),
+                  "eval|tp=%ld|fp=%ld|tn=%ld|fn=%ld|rerr_bits=%16llx", &tp, &fp,
+                  &tn, &fn, &bits) != 5) {
+    return std::nullopt;
+  }
+  EvalResult r;
+  r.confusion.tp = tp;
+  r.confusion.fp = fp;
+  r.confusion.tn = tn;
+  r.confusion.fn = fn;
+  const auto b = static_cast<std::uint64_t>(bits);
+  std::memcpy(&r.robustness_err, &b, sizeof r.robustness_err);
+  return r;
 }
 
 }  // namespace
@@ -185,6 +236,60 @@ monitor::MonitorConfig Experiment::monitor_config(const MonitorVariant& v) const
   return mc;
 }
 
+std::string Experiment::config_fingerprint() const {
+  const auto& c = config_;
+  std::ostringstream key;
+  key << kCheckpointSchema << '|' << sim::to_string(c.campaign.testbed) << '|'
+      << c.campaign.patients << '|' << c.campaign.sims_per_patient << '|'
+      << c.campaign.fault_fraction << '|' << c.campaign.trace_steps << '|'
+      << c.campaign.seed << '|' << c.dataset.window << '|' << c.dataset.horizon
+      << '|' << c.dataset.bg_target << '|' << c.train_fraction << '|'
+      << c.tolerance_delta << '|' << c.epochs << '|' << c.batch_size << '|'
+      << c.learning_rate << '|' << c.semantic_weight_mlp << '|'
+      << c.semantic_weight_lstm;
+  return obs::sha256_hex(key.str()).substr(0, 16);
+}
+
+std::string Experiment::sweep_point_key(const char* kind,
+                                        const MonitorVariant& v, double param,
+                                        std::uint64_t extra) const {
+  // The sweep parameter is keyed on its bit pattern: no formatting round-trip,
+  // so 0.1 + 0.2-style near-misses can never alias a stored point.
+  return std::string("sweep|") + kind + '|' + v.name() + '|' +
+         hex_u64(double_bits(param)) + '|' + hex_u64(extra) + '|' +
+         config_fingerprint();
+}
+
+std::string Experiment::model_snapshot_key(const MonitorVariant& v) const {
+  return "model|" + v.name() + '|' + config_fingerprint();
+}
+
+std::unique_ptr<monitor::MlMonitor> Experiment::try_load_snapshot(
+    const MonitorVariant& v) {
+  if (checkpoint_store_ == nullptr) return nullptr;
+  const auto payload = checkpoint_store_->get(model_snapshot_key(v));
+  if (!payload) return nullptr;
+  auto mon = std::make_unique<monitor::MlMonitor>(monitor_config(v));
+  try {
+    std::istringstream is(*payload);
+    mon->load(is, config_.dataset.window, monitor::Features::kNumFeatures);
+  } catch (const std::exception& e) {
+    util::log_warn("checkpoint snapshot load failed for ", v.name(), " (",
+                   e.what(), "), retraining");
+    return nullptr;
+  }
+  util::log_info("restored ", v.name(), " from checkpoint snapshot");
+  return mon;
+}
+
+void Experiment::snapshot_model(const MonitorVariant& v,
+                                const monitor::MlMonitor& mon) {
+  if (checkpoint_store_ == nullptr) return;
+  std::ostringstream os;
+  mon.save(os);
+  checkpoint_store_->put(model_snapshot_key(v), os.str());
+}
+
 std::string Experiment::cache_path(const MonitorVariant& v) const {
   // Bump whenever simulator/training behaviour changes in ways the config
   // hash cannot see (otherwise stale cached monitors would be reloaded).
@@ -230,12 +335,21 @@ monitor::MlMonitor& Experiment::monitor(const MonitorVariant& v) {
     }
   }
   if (!loaded) {
+    // File cache missed; a checkpoint snapshot (from a killed run of this
+    // same configuration) is the next-cheapest source before retraining.
+    if (auto snap = try_load_snapshot(v)) {
+      mon = std::move(snap);
+      loaded = true;
+    }
+  }
+  if (!loaded) {
     util::log_info("training ", key, " on ", data_->train.size(), " windows");
     mon->train(data_->train);
     if (!config_.cache_dir.empty()) {
       std::filesystem::create_directories(config_.cache_dir);
       mon->save(cache_path(v));
     }
+    snapshot_model(v, *mon);
   }
   auto [ins, _] = monitors_.emplace(key, std::move(mon));
   return *ins->second;
@@ -249,11 +363,16 @@ void Experiment::train_all() {
   // heavy part in parallel by pre-constructing monitors that miss the cache.
   std::vector<const MonitorVariant*> missing;
   for (const auto& v : variants) {
-    if (!monitors_.contains(v.name()) &&
-        (config_.cache_dir.empty() ||
-         !std::filesystem::exists(cache_path(v)))) {
-      missing.push_back(&v);
+    if (monitors_.contains(v.name())) continue;
+    if (!config_.cache_dir.empty() &&
+        std::filesystem::exists(cache_path(v))) {
+      continue;  // monitor(v) below hydrates from the file cache
     }
+    if (auto snap = try_load_snapshot(v)) {
+      monitors_.emplace(v.name(), std::move(snap));
+      continue;
+    }
+    missing.push_back(&v);
   }
   if (!missing.empty()) {
     std::vector<std::unique_ptr<monitor::MlMonitor>> fresh(missing.size());
@@ -268,6 +387,7 @@ void Experiment::train_all() {
         std::filesystem::create_directories(config_.cache_dir);
         fresh[i]->save(cache_path(*missing[i]));
       }
+      snapshot_model(*missing[i], *fresh[i]);
       monitors_.emplace(missing[i]->name(), std::move(fresh[i]));
     }
   }
@@ -389,6 +509,50 @@ EvalResult Experiment::evaluate_under_blackbox(const MonitorVariant& v,
   return r;
 }
 
+std::vector<EvalResult> Experiment::run_checkpointed_sweep(
+    const char* kind, const MonitorVariant& v, std::span<const double> params,
+    std::uint64_t extra, const std::function<EvalResult(int)>& compute_point) {
+  const int n = static_cast<int>(params.size());
+  std::vector<EvalResult> out(static_cast<std::size_t>(n));
+  std::vector<char> done(static_cast<std::size_t>(n), 0);
+  if (checkpoint_store_ != nullptr) {
+    int resumed = 0;
+    for (int i = 0; i < n; ++i) {
+      const auto si = static_cast<std::size_t>(i);
+      const auto payload =
+          checkpoint_store_->get(sweep_point_key(kind, v, params[si], extra));
+      if (!payload) continue;
+      if (const auto r = decode_eval(*payload)) {
+        out[si] = *r;
+        done[si] = 1;
+        ++resumed;
+      }
+    }
+    if (resumed > 0) {
+      util::log_info("sweep.", kind, " ", v.name(), ": resumed ", resumed, "/",
+                     n, " points from ", checkpoint_store_->dir());
+    }
+  }
+  util::parallel_for(n, [&](int i) {
+    const auto si = static_cast<std::size_t>(i);
+    if (done[si]) return;
+    util::check_deadline(kind);
+    // The chaos key is position-stable (kind, variant, index), so a given
+    // chaos seed replays the same fault schedule in every process.
+    const std::string chaos_key =
+        std::string(kind) + '|' + v.name() + '|' + std::to_string(i);
+    util::retry_call(util::RetryPolicy::for_tasks(), "sweep.point", [&] {
+      util::chaos().maybe_throw("sweep.point", chaos_key);
+      out[si] = compute_point(i);
+    });
+    if (checkpoint_store_ != nullptr) {
+      checkpoint_store_->put(sweep_point_key(kind, v, params[si], extra),
+                             encode_eval(out[si]));
+    }
+  });
+  return out;
+}
+
 std::vector<EvalResult> Experiment::evaluate_under_gaussian_sweep(
     const MonitorVariant& v, std::span<const double> sigma_factors,
     std::uint64_t noise_seed) {
@@ -405,25 +569,26 @@ std::vector<EvalResult> Experiment::evaluate_under_gaussian_sweep(
   CPSGUARD_OBS_EVENT("sweep.gaussian", obs::f("model", v.name()),
                      obs::f("points", static_cast<int>(sigma_factors.size())));
 
-  std::vector<EvalResult> out(sigma_factors.size());
-  util::parallel_for(static_cast<int>(sigma_factors.size()), [&](int i) {
-    const auto si = static_cast<std::size_t>(i);
-    // Forward passes mutate layer caches → one clone per sweep point. The
-    // noise RNG is keyed on the seed alone (not the point index), exactly
-    // as the serial loop over evaluate_under_gaussian() seeded it, so the
-    // outputs stay bit-identical to a serial sweep.
-    const std::unique_ptr<monitor::MlMonitor> local = mon.clone();
-    attack::GaussianNoiseConfig gc;
-    gc.sigma_factor = sigma_factors[si];
-    util::Rng rng(noise_seed, 0x4e4f4953u /* 'NOIS' */);
-    const nn::Tensor3 noisy =
-        attack::add_gaussian_noise(test.x, local->scaler(), gc, rng);
-    const std::vector<int> preds = local->predict(noisy);
-    out[si].confusion =
-        eval::evaluate_with_tolerance(test, preds, config_.tolerance_delta);
-    out[si].robustness_err = eval::robustness_error(clean, preds);
-  });
-  return out;
+  return run_checkpointed_sweep(
+      "gaussian", v, sigma_factors, noise_seed, [&](int i) {
+        const auto si = static_cast<std::size_t>(i);
+        // Forward passes mutate layer caches → one clone per sweep point. The
+        // noise RNG is keyed on the seed alone (not the point index), exactly
+        // as the serial loop over evaluate_under_gaussian() seeded it, so the
+        // outputs stay bit-identical to a serial sweep.
+        const std::unique_ptr<monitor::MlMonitor> local = mon.clone();
+        attack::GaussianNoiseConfig gc;
+        gc.sigma_factor = sigma_factors[si];
+        util::Rng rng(noise_seed, 0x4e4f4953u /* 'NOIS' */);
+        const nn::Tensor3 noisy =
+            attack::add_gaussian_noise(test.x, local->scaler(), gc, rng);
+        const std::vector<int> preds = local->predict(noisy);
+        EvalResult r;
+        r.confusion =
+            eval::evaluate_with_tolerance(test, preds, config_.tolerance_delta);
+        r.robustness_err = eval::robustness_error(clean, preds);
+        return r;
+      });
 }
 
 std::vector<EvalResult> Experiment::evaluate_under_fgsm_sweep(
@@ -441,21 +606,22 @@ std::vector<EvalResult> Experiment::evaluate_under_fgsm_sweep(
   CPSGUARD_OBS_EVENT("sweep.fgsm", obs::f("model", v.name()),
                      obs::f("points", static_cast<int>(epsilons.size())));
 
-  std::vector<EvalResult> out(epsilons.size());
-  util::parallel_for(static_cast<int>(epsilons.size()), [&](int i) {
-    const auto si = static_cast<std::size_t>(i);
-    const std::unique_ptr<monitor::MlMonitor> local = mon.clone();
-    attack::FgsmConfig fc;
-    fc.epsilon = epsilons[si];
-    fc.mask = mask;
-    const nn::Tensor3 adv =
-        attack::fgsm_attack(local->classifier(), scaled, test.labels, fc);
-    const std::vector<int> preds = local->predict_scaled(adv);
-    out[si].confusion =
-        eval::evaluate_with_tolerance(test, preds, config_.tolerance_delta);
-    out[si].robustness_err = eval::robustness_error(clean, preds);
-  });
-  return out;
+  return run_checkpointed_sweep(
+      "fgsm", v, epsilons, static_cast<std::uint64_t>(mask), [&](int i) {
+        const auto si = static_cast<std::size_t>(i);
+        const std::unique_ptr<monitor::MlMonitor> local = mon.clone();
+        attack::FgsmConfig fc;
+        fc.epsilon = epsilons[si];
+        fc.mask = mask;
+        const nn::Tensor3 adv =
+            attack::fgsm_attack(local->classifier(), scaled, test.labels, fc);
+        const std::vector<int> preds = local->predict_scaled(adv);
+        EvalResult r;
+        r.confusion =
+            eval::evaluate_with_tolerance(test, preds, config_.tolerance_delta);
+        r.robustness_err = eval::robustness_error(clean, preds);
+        return r;
+      });
 }
 
 std::vector<EvalResult> Experiment::evaluate_under_blackbox_sweep(
@@ -473,20 +639,21 @@ std::vector<EvalResult> Experiment::evaluate_under_blackbox_sweep(
   CPSGUARD_OBS_EVENT("sweep.blackbox", obs::f("model", v.name()),
                      obs::f("points", static_cast<int>(epsilons.size())));
 
-  std::vector<EvalResult> out(epsilons.size());
-  util::parallel_for(static_cast<int>(epsilons.size()), [&](int i) {
-    const auto si = static_cast<std::size_t>(i);
-    const std::unique_ptr<monitor::MlMonitor> local_mon = mon.clone();
-    const std::unique_ptr<attack::SubstituteAttack> local_sub = sub.clone();
-    attack::FgsmConfig fc;
-    fc.epsilon = epsilons[si];
-    const nn::Tensor3 adv = local_sub->craft(scaled, clean, fc);
-    const std::vector<int> preds = local_mon->predict_scaled(adv);
-    out[si].confusion =
-        eval::evaluate_with_tolerance(test, preds, config_.tolerance_delta);
-    out[si].robustness_err = eval::robustness_error(clean, preds);
-  });
-  return out;
+  return run_checkpointed_sweep(
+      "blackbox", v, epsilons, /*extra=*/0, [&](int i) {
+        const auto si = static_cast<std::size_t>(i);
+        const std::unique_ptr<monitor::MlMonitor> local_mon = mon.clone();
+        const std::unique_ptr<attack::SubstituteAttack> local_sub = sub.clone();
+        attack::FgsmConfig fc;
+        fc.epsilon = epsilons[si];
+        const nn::Tensor3 adv = local_sub->craft(scaled, clean, fc);
+        const std::vector<int> preds = local_mon->predict_scaled(adv);
+        EvalResult r;
+        r.confusion =
+            eval::evaluate_with_tolerance(test, preds, config_.tolerance_delta);
+        r.robustness_err = eval::robustness_error(clean, preds);
+        return r;
+      });
 }
 
 std::string to_string(RuntimeMode m) {

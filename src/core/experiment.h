@@ -4,6 +4,7 @@
 // of this header.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -14,6 +15,7 @@
 #include "attack/blackbox.h"
 #include "attack/fgsm.h"
 #include "attack/gaussian.h"
+#include "core/checkpoint.h"
 #include "core/resilient_monitor.h"
 #include "eval/metrics.h"
 #include "eval/resilience.h"
@@ -160,6 +162,13 @@ class Experiment {
   /// Results are bit-identical to calling the pointwise methods in a loop:
   /// clones carry identical weights and each point re-derives the same RNG
   /// stream the pointwise method would use.
+  ///
+  /// With a checkpoint store attached the sweeps are resumable: every
+  /// completed point is persisted, already-stored points are reused instead
+  /// of recomputed, and — because points are independent and re-derive
+  /// their RNG streams — a killed-and-resumed campaign produces the same
+  /// bytes as an uninterrupted one. Point bodies are retried on transient
+  /// faults (util::RetryPolicy) and poll the cooperative deadline watchdog.
   std::vector<EvalResult> evaluate_under_gaussian_sweep(
       const MonitorVariant& variant, std::span<const double> sigma_factors,
       std::uint64_t noise_seed = 1234);
@@ -184,12 +193,41 @@ class Experiment {
   [[nodiscard]] monitor::MonitorConfig monitor_config(
       const MonitorVariant& variant) const;
 
+  /// Attach a checkpoint store (not owned; nullptr detaches): sweep points
+  /// and trained-model snapshots persist through it and are reused on
+  /// resume. Attach before the first sweep/training call.
+  void set_checkpoint_store(CheckpointStore* store) {
+    checkpoint_store_ = store;
+  }
+  [[nodiscard]] CheckpointStore* checkpoint_store() const {
+    return checkpoint_store_;
+  }
+
+  /// Stable digest of every config field that determines campaign outputs.
+  /// Checkpoint keys embed it, so records from a different configuration
+  /// can never be resumed into this one.
+  [[nodiscard]] std::string config_fingerprint() const;
+
  private:
   std::string cache_path(const MonitorVariant& variant) const;
   attack::SubstituteAttack& substitute_for(const MonitorVariant& variant);
   const nn::Tensor3& scaled_test_input(const MonitorVariant& variant);
+  std::string sweep_point_key(const char* kind, const MonitorVariant& variant,
+                              double param, std::uint64_t extra) const;
+  std::string model_snapshot_key(const MonitorVariant& variant) const;
+  std::unique_ptr<monitor::MlMonitor> try_load_snapshot(
+      const MonitorVariant& variant);
+  void snapshot_model(const MonitorVariant& variant,
+                      const monitor::MlMonitor& mon);
+  /// Shared engine of the three sweeps: checkpoint prefill, parallel
+  /// fan-out with retry + chaos seam + deadline polling, checkpoint put.
+  std::vector<EvalResult> run_checkpointed_sweep(
+      const char* kind, const MonitorVariant& variant,
+      std::span<const double> params, std::uint64_t extra,
+      const std::function<EvalResult(int)>& compute_point);
 
   ExperimentConfig config_;
+  CheckpointStore* checkpoint_store_ = nullptr;
   bool prepared_ = false;
   std::vector<sim::Trace> traces_;
   std::optional<SplitDatasets> data_;

@@ -168,12 +168,16 @@ nn::Classifier& MlMonitor::classifier() {
 }
 
 void MlMonitor::save(const std::string& path) const {
-  expects(trained(), "monitor not trained");
   std::ofstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("cannot open monitor file for writing: " + path);
-  scaler_.save(f);
+  save(f);
+}
+
+void MlMonitor::save(std::ostream& os) const {
+  expects(trained(), "monitor not trained");
+  scaler_.save(os);
   const auto ps = clf_->params();
-  nn::save_params(f, ps);
+  nn::save_params(os, ps);
 }
 
 std::unique_ptr<MlMonitor> MlMonitor::clone() const {
@@ -193,10 +197,14 @@ std::unique_ptr<MlMonitor> MlMonitor::clone() const {
 void MlMonitor::load(const std::string& path, int window, int features) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("cannot open monitor file for reading: " + path);
-  scaler_.load(f);
+  load(f, window, features);
+}
+
+void MlMonitor::load(std::istream& is, int window, int features) {
+  scaler_.load(is);
   build_classifier(window, features);
   const auto ps = clf_->params();
-  nn::load_params(f, ps);
+  nn::load_params(is, ps);
 }
 
 }  // namespace cpsguard::monitor

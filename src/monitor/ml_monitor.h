@@ -80,6 +80,11 @@ class MlMonitor {
   void save(const std::string& path) const;
   void load(const std::string& path, int window, int features);
 
+  /// Stream forms, for embedding snapshots in checkpoint records (see
+  /// core::CheckpointStore) instead of loose cache files.
+  void save(std::ostream& os) const;
+  void load(std::istream& is, int window, int features);
+
   /// Deep copy of a trained monitor (config + scaler + weights). Classifier
   /// forward passes mutate layer caches, so concurrent evaluation fan-outs
   /// give each task its own clone; identical weights guarantee identical

@@ -1,0 +1,53 @@
+#include "obs/fileio.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace cpsguard::obs {
+
+namespace {
+
+std::mutex g_hook_mutex;
+WriteFaultHook g_hook;
+
+WriteFaultHook current_hook() {
+  const std::scoped_lock lock(g_hook_mutex);
+  return g_hook;
+}
+
+}  // namespace
+
+void set_write_fault_hook(WriteFaultHook hook) {
+  const std::scoped_lock lock(g_hook_mutex);
+  g_hook = std::move(hook);
+}
+
+void atomic_write_file(const std::string& path, std::string_view data) {
+  static Counter& writes = Registry::instance().counter("io.atomic_writes");
+  static Counter& failures =
+      Registry::instance().counter("io.atomic_write_failures");
+
+  const std::string tmp = path + ".tmp";
+  try {
+    std::FILE* file = std::fopen(tmp.c_str(), "wb");
+    if (file == nullptr) throw IoError("cannot open for writing: " + tmp);
+    const std::size_t written = std::fwrite(data.data(), 1, data.size(), file);
+    const bool flushed = std::fflush(file) == 0;
+    std::fclose(file);
+    if (written != data.size() || !flushed) {
+      throw IoError("short write: " + tmp);
+    }
+    if (const WriteFaultHook hook = current_hook()) hook(path, tmp);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw IoError("rename failed: " + tmp + " -> " + path);
+    }
+  } catch (...) {
+    failures.increment();
+    throw;
+  }
+  writes.increment();
+}
+
+}  // namespace cpsguard::obs

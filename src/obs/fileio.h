@@ -1,0 +1,35 @@
+// Atomic file persistence: write-to-temp + rename, so a reader (or a writer
+// killed mid-write) never observes a partially written file. CSV outputs,
+// run manifests, and checkpoint records all go through this choke point,
+// which is also where the chaos harness injects write faults.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cpsguard::obs {
+
+/// Thrown on any I/O failure inside atomic_write_file. Transient by
+/// assumption: util::RetryPolicy's default classifier retries it.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Chaos seam. The hook runs after the temp file is fully written but before
+/// the rename, with (final_path, temp_path). A throwing hook simulates a
+/// crash mid-write: it may truncate or corrupt the *temp* file first, but
+/// the final path is never touched — which is exactly the guarantee the
+/// atomic protocol exists to provide. An empty hook disables the seam.
+using WriteFaultHook =
+    std::function<void(const std::string& path, const std::string& tmp_path)>;
+void set_write_fault_hook(WriteFaultHook hook);
+
+/// Write `data` to `path` via temp + rename. On success `path` holds exactly
+/// `data`; on failure (throws IoError) `path` is untouched — at worst a
+/// stale `path + ".tmp"` is left behind and overwritten by the next attempt.
+void atomic_write_file(const std::string& path, std::string_view data);
+
+}  // namespace cpsguard::obs

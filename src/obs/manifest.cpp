@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "obs/fileio.h"
 #include "obs/metrics.h"
 #include "obs/sha256.h"
 
@@ -131,6 +132,8 @@ void RunManifest::set_threads(unsigned hardware, std::size_t max_parallelism) {
   max_parallelism_ = max_parallelism;
 }
 
+void RunManifest::set_resume(ResumeInfo info) { resume_ = std::move(info); }
+
 void RunManifest::record_output(const std::string& path, std::uint64_t rows) {
   OutputRecord rec;
   rec.path = path;
@@ -165,6 +168,14 @@ std::string RunManifest::to_json() const {
   out += "  \"seed\": " + uint(seed_) + ",\n";
   out += "  \"threads\": {\"hardware\": " + uint(hardware_threads_) +
          ", \"max_parallelism\": " + uint(max_parallelism_) + "},\n";
+
+  if (resume_) {
+    out += "  \"resume\": {\"run_id\": " + quoted(resume_->run_id) +
+           ", \"parent_run_id\": " + quoted(resume_->parent_run_id) +
+           ", \"resumed_points\": " + uint(resume_->resumed_points) +
+           ", \"discarded_records\": " + uint(resume_->discarded_records) +
+           "},\n";
+  }
 
   out += "  \"params\": {";
   for (std::size_t i = 0; i < params_.size(); ++i) {
@@ -221,15 +232,15 @@ std::string RunManifest::to_json() const {
 std::string RunManifest::write(const std::string& dir) const {
   std::string path = dir.empty() ? std::string() : dir + "/";
   path += "BENCH_" + name_ + ".json";
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    throw std::runtime_error("cannot write manifest: " + path);
-  }
   const std::string json = to_json();
-  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
-  std::fclose(file);
-  if (written != json.size()) {
-    throw std::runtime_error("short write on manifest: " + path);
+  // Atomic temp + rename so a crashed run never leaves a truncated
+  // manifest. Chaos-injected write faults are transient (at most one per
+  // path), so a single re-attempt is all the recovery this needs; obs sits
+  // below util and cannot use the full RetryPolicy machinery.
+  try {
+    atomic_write_file(path, json);
+  } catch (const IoError&) {
+    atomic_write_file(path, json);
   }
   return path;
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,17 @@ struct OutputRecord {
   std::uint64_t rows = 0;  // CSV data rows (0 for non-tabular outputs)
 };
 
+/// Resume lineage of a checkpointed campaign (core::CheckpointStore): which
+/// run this one continued and how much stored work it reused. Keeps
+/// recovered runs auditable — a resumed CSV is byte-identical to a straight
+/// run, so the manifest is where the history lives.
+struct ResumeInfo {
+  std::string run_id;
+  std::string parent_run_id;          // "" for a fresh (non-resumed) run
+  std::uint64_t resumed_points = 0;   // checkpoint records reused
+  std::uint64_t discarded_records = 0;  // corrupt/truncated records dropped
+};
+
 class RunManifest {
  public:
   explicit RunManifest(std::string name);
@@ -49,6 +61,13 @@ class RunManifest {
   /// `max_parallelism` 0 means "uncapped" (pool-sized fan-outs).
   void set_threads(unsigned hardware, std::size_t max_parallelism);
 
+  /// Record checkpoint/resume lineage; emitted as the optional "resume"
+  /// section of the manifest.
+  void set_resume(ResumeInfo info);
+  [[nodiscard]] const std::optional<ResumeInfo>& resume() const {
+    return resume_;
+  }
+
   /// Hash `path` (which must exist) and register it as a run output.
   void record_output(const std::string& path, std::uint64_t rows = 0);
 
@@ -61,8 +80,9 @@ class RunManifest {
   /// current Registry counter/gauge/histogram dump.
   [[nodiscard]] std::string to_json() const;
 
-  /// Write to_json() to `<dir>/BENCH_<name>.json` (dir "" = cwd).
-  /// Returns the path written. Throws std::runtime_error on I/O failure.
+  /// Write to_json() atomically to `<dir>/BENCH_<name>.json` (dir "" =
+  /// cwd). Returns the path written. Throws IoError on I/O failure (one
+  /// internal re-attempt absorbs a transient/injected write fault).
   std::string write(const std::string& dir = "") const;
 
  private:
@@ -72,6 +92,7 @@ class RunManifest {
   std::size_t max_parallelism_ = 0;
   std::vector<std::pair<std::string, std::string>> params_;
   std::vector<OutputRecord> outputs_;
+  std::optional<ResumeInfo> resume_;
 };
 
 }  // namespace cpsguard::obs

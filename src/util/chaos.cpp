@@ -1,0 +1,181 @@
+#include "util/chaos.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/fileio.h"
+#include "obs/metrics.h"
+#include "util/contracts.h"
+
+namespace cpsguard::util {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double env_rate(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return std::atof(v);
+}
+
+struct ChaosMetrics {
+  obs::Counter& task_throws;
+  obs::Counter& io_faults;
+  obs::Counter& corruptions;
+
+  static ChaosMetrics& get() {
+    static ChaosMetrics m{
+        obs::Registry::instance().counter("chaos.task_throws"),
+        obs::Registry::instance().counter("chaos.io_faults"),
+        obs::Registry::instance().counter("chaos.file_corruptions"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+ChaosInjector::ChaosInjector() {
+  const char* flag = std::getenv("CPSGUARD_CHAOS");
+  ChaosConfig cfg;
+  if (flag != nullptr && std::string(flag) != "0" && *flag != '\0') {
+    cfg.enabled = true;
+    cfg.seed = static_cast<std::uint64_t>(
+        std::strtoull(std::getenv("CPSGUARD_CHAOS_SEED") != nullptr
+                          ? std::getenv("CPSGUARD_CHAOS_SEED")
+                          : "1337",
+                      nullptr, 10));
+    cfg.task_throw_rate = env_rate("CPSGUARD_CHAOS_TASK_RATE", 0.2);
+    cfg.io_fail_rate = env_rate("CPSGUARD_CHAOS_IO_RATE", 0.2);
+    cfg.corrupt_rate = env_rate("CPSGUARD_CHAOS_CORRUPT_RATE", 0.2);
+  }
+  configure(cfg);
+}
+
+ChaosInjector& ChaosInjector::instance() {
+  static ChaosInjector injector;
+  return injector;
+}
+
+ChaosInjector& chaos() { return ChaosInjector::instance(); }
+
+void ChaosInjector::configure(const ChaosConfig& config) {
+  const std::scoped_lock lock(mutex_);
+  config_ = config;
+  fired_.clear();
+  install_io_hook_locked();
+}
+
+bool ChaosInjector::first_occurrence(const std::string& site,
+                                     const std::string& key) {
+  const std::scoped_lock lock(mutex_);
+  if (!config_.transient_only) return true;
+  return fired_.insert(site + '\x1f' + key).second;
+}
+
+ChaosConfig ChaosInjector::config() const {
+  const std::scoped_lock lock(mutex_);
+  return config_;
+}
+
+bool ChaosInjector::enabled() const {
+  const std::scoped_lock lock(mutex_);
+  return config_.enabled;
+}
+
+bool ChaosInjector::should_inject(const std::string& site,
+                                  const std::string& key, double rate) const {
+  ChaosConfig cfg;
+  {
+    const std::scoped_lock lock(mutex_);
+    cfg = config_;
+  }
+  if (!cfg.enabled || rate <= 0.0) return false;
+  const std::uint64_t h =
+      splitmix64(cfg.seed ^ fnv1a(site) ^ (fnv1a(key) * 0x9e3779b97f4a7c15ULL));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+void ChaosInjector::maybe_throw(const std::string& site,
+                                const std::string& key) {
+  const ChaosConfig cfg = config();
+  if (!cfg.enabled) return;
+  if (cfg.transient_only && current_retry_attempt() > 0) return;
+  if (!should_inject(site, key, cfg.task_throw_rate)) return;
+  if (!first_occurrence(site, key)) return;
+  ChaosMetrics::get().task_throws.increment();
+  throw ChaosError("chaos: injected task failure at " + site + " [" + key + "]");
+}
+
+bool ChaosInjector::maybe_corrupt_file(const std::string& path,
+                                       const std::string& key) {
+  const ChaosConfig cfg = config();
+  if (!cfg.enabled) return false;
+  if (!should_inject("file.corrupt", key, cfg.corrupt_rate)) return false;
+  if (!first_occurrence("file.corrupt", key)) return false;
+
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec || size == 0) return false;
+  // Alternate deterministically between the two torn-checkpoint shapes:
+  // truncation (crash mid-write of a non-atomic writer) and bit rot.
+  const std::uint64_t h = splitmix64(cfg.seed ^ fnv1a(key) ^ 0x434f5252ULL);
+  if ((h & 1U) == 0U) {
+    std::filesystem::resize_file(path, size / 2, ec);
+    if (ec) return false;
+  } else {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    if (!f) return false;
+    const auto offset = static_cast<std::streamoff>((h >> 1) % size);
+    f.seekg(offset);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.seekp(offset);
+    f.write(&byte, 1);
+    if (!f) return false;
+  }
+  ChaosMetrics::get().corruptions.increment();
+  return true;
+}
+
+void ChaosInjector::install_io_hook_locked() {
+  if (config_.enabled && config_.io_fail_rate > 0.0) {
+    const double rate = config_.io_fail_rate;
+    obs::set_write_fault_hook(
+        [rate](const std::string& path, const std::string& tmp) {
+          ChaosInjector& self = instance();
+          if (!self.should_inject("io.write", path, rate)) return;
+          if (!self.first_occurrence("io.write", path)) return;
+          // Simulate a crash mid-write: tear the temp file, never the
+          // target, then fail the write so the caller's retry re-runs it.
+          std::error_code ec;
+          const auto size = std::filesystem::file_size(tmp, ec);
+          if (!ec && size > 1) std::filesystem::resize_file(tmp, size / 2, ec);
+          ChaosMetrics::get().io_faults.increment();
+          throw obs::IoError("chaos: injected short write: " + path);
+        });
+  } else {
+    obs::set_write_fault_hook({});
+  }
+}
+
+}  // namespace cpsguard::util

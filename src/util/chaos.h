@@ -1,0 +1,84 @@
+// Deterministic chaos harness: env-gated fault injection at the recovery
+// seams (pool/sweep task bodies, atomic file writes, checkpoint records) so
+// the failure-recovery paths are continuously exercised, not just written.
+//
+// Every decision is a pure hash of (seed, site, key) — no clock, no global
+// RNG — so a chaos run is reproducible and scheduling-independent as long
+// as call sites pass stable keys. Faults are transient by construction:
+// they only fire on retry attempt 0 (util::current_retry_attempt()), so a
+// single retry always clears an injected fault and chaos can run under the
+// full test suite without ever failing a campaign.
+//
+// Enable with CPSGUARD_CHAOS=1. Knobs (all optional):
+//   CPSGUARD_CHAOS_SEED          decision seed            (default 1337)
+//   CPSGUARD_CHAOS_TASK_RATE     task-throw probability   (default 0.2)
+//   CPSGUARD_CHAOS_IO_RATE       short-write probability  (default 0.2)
+//   CPSGUARD_CHAOS_CORRUPT_RATE  checkpoint-corruption probability (0.2)
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "util/retry.h"
+
+namespace cpsguard::util {
+
+/// The injected task failure; retryable so wrapped call sites recover.
+class ChaosError : public RetryableError {
+ public:
+  using RetryableError::RetryableError;
+};
+
+struct ChaosConfig {
+  bool enabled = false;
+  std::uint64_t seed = 1337;
+  double task_throw_rate = 0.0;
+  double io_fail_rate = 0.0;
+  double corrupt_rate = 0.0;
+  /// Fire each fault at most once per (seam, key) per process and only on
+  /// retry attempt 0, guaranteeing recovery always converges.
+  bool transient_only = true;
+};
+
+class ChaosInjector {
+ public:
+  /// Process singleton; first use reads the CPSGUARD_CHAOS* environment.
+  static ChaosInjector& instance();
+
+  /// Replace the configuration (tests). Installs/removes the obs write
+  /// fault hook to match io_fail_rate.
+  void configure(const ChaosConfig& config);
+  [[nodiscard]] ChaosConfig config() const;
+  [[nodiscard]] bool enabled() const;
+
+  /// Pure decision: same (seed, site, key, rate) → same verdict, always
+  /// false when disabled. Exposed for tests and custom seams.
+  [[nodiscard]] bool should_inject(const std::string& site,
+                                   const std::string& key, double rate) const;
+
+  /// Task seam: throw ChaosError with probability task_throw_rate. Call it
+  /// inside a retry_call body; transient_only keeps retries clean.
+  void maybe_throw(const std::string& site, const std::string& key);
+
+  /// Corruption seam: with probability corrupt_rate, flip a byte of (or
+  /// truncate) the file at `path`, as bit rot / a torn checkpoint would.
+  /// Returns true when the file was damaged.
+  bool maybe_corrupt_file(const std::string& path, const std::string& key);
+
+ private:
+  ChaosInjector();
+  void install_io_hook_locked();
+  /// True the first time this (site, key) is seen since configure().
+  bool first_occurrence(const std::string& site, const std::string& key);
+
+  mutable std::mutex mutex_;
+  ChaosConfig config_;
+  std::set<std::string> fired_;  // transient_only: seams already fired
+};
+
+/// Shorthand for ChaosInjector::instance().
+ChaosInjector& chaos();
+
+}  // namespace cpsguard::util

@@ -4,7 +4,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/fileio.h"
 #include "util/contracts.h"
+#include "util/retry.h"
 
 namespace cpsguard::util {
 
@@ -61,10 +63,12 @@ std::string CsvWriter::to_string() const {
 }
 
 void CsvWriter::write(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) throw std::runtime_error("cannot open CSV for writing: " + path);
-  f << to_string();
-  if (!f) throw std::runtime_error("failed writing CSV: " + path);
+  // Atomic (temp + rename) with bounded retries: a crash or an injected
+  // write fault can never leave a truncated CSV that downstream tooling
+  // would parse as complete.
+  const std::string data = to_string();
+  retry_call(RetryPolicy::for_file_io(), "csv.write",
+             [&] { obs::atomic_write_file(path, data); });
 }
 
 std::vector<std::vector<std::string>> parse_csv(const std::string& text) {

@@ -20,7 +20,9 @@ class CsvWriter {
 
   [[nodiscard]] std::string to_string() const;
 
-  /// Write to `path`; throws std::runtime_error on I/O failure.
+  /// Write to `path` atomically (temp + rename, bounded retries); throws
+  /// obs::IoError once retries are exhausted. On failure `path` is left
+  /// untouched, never truncated.
   void write(const std::string& path) const;
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }

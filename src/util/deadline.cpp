@@ -1,0 +1,78 @@
+#include "util/deadline.h"
+
+#include <limits>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace cpsguard::util {
+
+namespace {
+
+std::mutex g_global_mutex;
+Deadline g_global_deadline;
+
+thread_local Deadline tl_task_deadline;
+
+obs::Counter& expirations() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("deadline.expirations");
+  return c;
+}
+
+}  // namespace
+
+Deadline Deadline::after(std::chrono::nanoseconds budget) {
+  Deadline d;
+  d.at_ = std::chrono::steady_clock::now() + budget;
+  return d;
+}
+
+Deadline Deadline::after_seconds(double seconds) {
+  return after(std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(seconds)));
+}
+
+bool Deadline::expired() const {
+  return at_.has_value() && std::chrono::steady_clock::now() >= *at_;
+}
+
+double Deadline::remaining_seconds() const {
+  if (!at_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(*at_ - std::chrono::steady_clock::now())
+      .count();
+}
+
+void Deadline::check(const std::string& site) const {
+  if (!expired()) return;
+  expirations().increment();
+  throw DeadlineExceeded("deadline exceeded at " + site);
+}
+
+void set_global_deadline(Deadline d) {
+  const std::scoped_lock lock(g_global_mutex);
+  g_global_deadline = d;
+}
+
+Deadline global_deadline() {
+  const std::scoped_lock lock(g_global_mutex);
+  return g_global_deadline;
+}
+
+void check_deadline(const std::string& site) {
+  tl_task_deadline.check(site);
+  global_deadline().check(site);
+}
+
+namespace detail {
+
+ScopedTaskDeadline::ScopedTaskDeadline(const Deadline& d)
+    : saved_(tl_task_deadline) {
+  tl_task_deadline = d;
+}
+
+ScopedTaskDeadline::~ScopedTaskDeadline() { tl_task_deadline = saved_; }
+
+}  // namespace detail
+
+}  // namespace cpsguard::util

@@ -1,0 +1,71 @@
+// Cooperative soft deadlines for long-running campaign work.
+//
+// A Deadline is a point in time; expensive loop bodies (sweep points, pool
+// tasks) poll check_deadline() and bail out with DeadlineExceeded when the
+// budget is gone. "Soft" because nothing is preempted: work stops at the
+// next poll, with everything completed so far already checkpointed — so an
+// expired campaign resumes instead of recomputing (see core::CheckpointStore).
+//
+// Two scopes compose: a per-task deadline installed by the thread pool for
+// tasks submitted with TaskOptions, and a process-wide campaign deadline
+// (bench --deadline-s). check_deadline() honors whichever expires first.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace cpsguard::util {
+
+/// Thrown when a deadline has passed. Deliberately NOT retryable: retrying
+/// cannot create time.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Deadline {
+ public:
+  Deadline() = default;  // unset: never expires
+
+  [[nodiscard]] static Deadline after(std::chrono::nanoseconds budget);
+  [[nodiscard]] static Deadline after_seconds(double seconds);
+
+  [[nodiscard]] bool set() const { return at_.has_value(); }
+  [[nodiscard]] bool expired() const;
+  /// Seconds left; +infinity when unset, can be negative once expired.
+  [[nodiscard]] double remaining_seconds() const;
+
+  /// Throw DeadlineExceeded (naming `site`) if expired; no-op otherwise.
+  void check(const std::string& site) const;
+
+ private:
+  std::optional<std::chrono::steady_clock::time_point> at_;
+};
+
+/// Process-wide campaign deadline. Pass a default-constructed Deadline to
+/// clear it. Thread-safe.
+void set_global_deadline(Deadline d);
+[[nodiscard]] Deadline global_deadline();
+
+/// The cooperative watchdog poll: throws DeadlineExceeded if the current
+/// pool task's deadline (if any) or the global campaign deadline (if any)
+/// has passed. Cheap enough for per-sweep-point / per-batch call sites.
+void check_deadline(const std::string& site);
+
+namespace detail {
+/// RAII installer for the calling thread's task deadline (thread pool use).
+class ScopedTaskDeadline {
+ public:
+  explicit ScopedTaskDeadline(const Deadline& d);
+  ~ScopedTaskDeadline();
+  ScopedTaskDeadline(const ScopedTaskDeadline&) = delete;
+  ScopedTaskDeadline& operator=(const ScopedTaskDeadline&) = delete;
+
+ private:
+  Deadline saved_;
+};
+}  // namespace detail
+
+}  // namespace cpsguard::util

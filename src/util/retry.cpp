@@ -1,0 +1,123 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ios>
+#include <thread>
+
+#include "obs/fileio.h"
+#include "obs/metrics.h"
+#include "util/contracts.h"
+
+namespace cpsguard::util {
+
+namespace {
+
+thread_local int tl_retry_attempt = 0;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double unit_interval(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+struct RetryMetrics {
+  obs::Counter& attempts;
+  obs::Counter& recovered;
+  obs::Counter& exhausted;
+
+  static RetryMetrics& get() {
+    static RetryMetrics m{
+        obs::Registry::instance().counter("retry.attempts"),
+        obs::Registry::instance().counter("retry.recovered"),
+        obs::Registry::instance().counter("retry.exhausted"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+double RetryPolicy::delay_ms(const std::string& site, int attempt) const {
+  expects(attempt >= 1, "delay is for retries, numbered from 1");
+  double d = base_delay_ms;
+  for (int i = 1; i < attempt; ++i) d *= multiplier;
+  d = std::min(d, max_delay_ms);
+  const double u =
+      unit_interval(splitmix64(seed ^ fnv1a(site) ^
+                               (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(attempt))));
+  d *= 1.0 + jitter * (2.0 * u - 1.0);
+  return std::clamp(d, 0.0, max_delay_ms);
+}
+
+RetryPolicy RetryPolicy::for_tasks() {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.base_delay_ms = 1.0;
+  p.max_delay_ms = 20.0;
+  return p;
+}
+
+RetryPolicy RetryPolicy::for_file_io() {
+  RetryPolicy p;
+  p.max_attempts = 4;
+  p.base_delay_ms = 0.5;
+  p.max_delay_ms = 10.0;
+  return p;
+}
+
+bool default_is_retryable(const std::exception& e) {
+  if (dynamic_cast<const RetryableError*>(&e) != nullptr) return true;
+  if (dynamic_cast<const obs::IoError*>(&e) != nullptr) return true;
+  if (dynamic_cast<const std::ios_base::failure*>(&e) != nullptr) return true;
+  return false;
+}
+
+int current_retry_attempt() { return tl_retry_attempt; }
+
+void retry_call(const RetryPolicy& policy, const std::string& site,
+                const std::function<void()>& fn) {
+  expects(policy.max_attempts >= 1, "retry policy needs at least one attempt");
+  RetryMetrics& metrics = RetryMetrics::get();
+  const int saved_attempt = tl_retry_attempt;  // retry_call may nest
+  for (int attempt = 0;; ++attempt) {
+    tl_retry_attempt = attempt;
+    try {
+      fn();
+      tl_retry_attempt = saved_attempt;
+      if (attempt > 0) metrics.recovered.increment();
+      return;
+    } catch (const std::exception& e) {
+      tl_retry_attempt = saved_attempt;
+      if (!default_is_retryable(e)) throw;
+      if (attempt + 1 >= policy.max_attempts) {
+        metrics.exhausted.increment();
+        throw;
+      }
+      metrics.attempts.increment();
+      if (policy.sleep) {
+        const double ms = policy.delay_ms(site, attempt + 1);
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+      }
+    } catch (...) {
+      tl_retry_attempt = saved_attempt;
+      throw;  // non-std exceptions are never retryable
+    }
+  }
+}
+
+}  // namespace cpsguard::util

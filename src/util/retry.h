@@ -1,0 +1,62 @@
+// Bounded retry with exponential backoff and deterministic seeded jitter.
+//
+// Campaign compute and file IO both route transient failures through
+// retry_call: a thrown RetryableError (chaos task throws, injected or real
+// short writes) is re-attempted up to the policy's budget; anything else —
+// logic errors, contract violations, DeadlineExceeded — propagates
+// immediately. Jitter is derived from (seed, site, attempt), never from a
+// global RNG or the clock, so retry schedules are reproducible and do not
+// perturb any experiment RNG stream.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace cpsguard::util {
+
+/// Errors worth re-attempting (transient by construction). Chaos task
+/// throws derive from this; obs::IoError is classified retryable too.
+class RetryableError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct RetryPolicy {
+  int max_attempts = 3;      // total tries (>= 1); 1 disables retrying
+  double base_delay_ms = 1.0;
+  double multiplier = 2.0;
+  double max_delay_ms = 50.0;
+  double jitter = 0.25;      // ± fraction of the backoff, deterministic
+  std::uint64_t seed = 0x52455452ULL;  // 'RETR'
+  bool sleep = true;         // false: compute the schedule but never block
+
+  /// Backoff before retry `attempt` (1-based) of `site` — deterministic in
+  /// (seed, site, attempt), clamped to [0, max_delay_ms].
+  [[nodiscard]] double delay_ms(const std::string& site, int attempt) const;
+
+  /// Policy for campaign compute tasks (sweep points, pool tasks).
+  static RetryPolicy for_tasks();
+  /// Policy for file IO (CSV/manifest/checkpoint writes): a few fast tries.
+  static RetryPolicy for_file_io();
+};
+
+/// Default classification: RetryableError (and subclasses, e.g. chaos task
+/// throws), obs::IoError and std::ios_base::failure are retryable; anything
+/// else is not.
+[[nodiscard]] bool default_is_retryable(const std::exception& e);
+
+/// 0-based attempt index of the innermost retry_call running on this thread
+/// (0 outside any). The chaos injector keys on this to make injected faults
+/// transient: a fault fired at attempt 0 is never re-fired on the retry.
+[[nodiscard]] int current_retry_attempt();
+
+/// Run `fn`, re-attempting on retryable errors per `policy` with backoff.
+/// Rethrows the last error once attempts are exhausted and non-retryable
+/// errors immediately. Obs counters: retry.attempts / retry.recovered /
+/// retry.exhausted.
+void retry_call(const RetryPolicy& policy, const std::string& site,
+                const std::function<void()>& fn);
+
+}  // namespace cpsguard::util

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "util/contracts.h"
+#include "util/logging.h"
 
 namespace cpsguard::util {
 
@@ -32,6 +33,8 @@ struct PoolMetrics {
   obs::Counter& parallel_for_calls;
   obs::Counter& parallel_for_inline;
   obs::Histogram& parallel_for_shards;
+  obs::Counter& failures_suppressed;
+  obs::Counter& deadline_skipped;
 
   static PoolMetrics& get() {
     static PoolMetrics metrics{
@@ -42,6 +45,8 @@ struct PoolMetrics {
         obs::Registry::instance().counter("parallel_for.calls"),
         obs::Registry::instance().counter("parallel_for.inline_calls"),
         obs::Registry::instance().histogram("parallel_for.shards"),
+        obs::Registry::instance().counter("threadpool.failures_suppressed"),
+        obs::Registry::instance().counter("threadpool.deadline_skipped"),
     };
     return metrics;
   }
@@ -58,11 +63,13 @@ struct ForState {
   std::mutex mutex;
   std::condition_variable cv_done;
   int pending = 0;
+  int failed = 0;
   std::exception_ptr first_error;
 };
 
 // Pull indices until the counter runs dry. All iterations complete even if
-// some throw; only the first exception is kept.
+// some throw; the first exception is kept and rethrown, the rest are
+// counted into threadpool.failures_suppressed.
 void run_shard(ForState& st) {
   const bool saved = tl_in_parallel_region;
   tl_in_parallel_region = true;
@@ -73,6 +80,7 @@ void run_shard(ForState& st) {
       (*st.fn)(i);
     } catch (...) {
       const std::scoped_lock lock(st.mutex);
+      ++st.failed;
       if (!st.first_error) st.first_error = std::current_exception();
     }
   }
@@ -111,14 +119,49 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+void ThreadPool::submit(std::function<void()> task, TaskOptions options) {
+  expects(static_cast<bool>(task), "task must be callable");
+  submit([task = std::move(task), options = std::move(options)] {
+    if (options.deadline.expired()) {
+      // Soft-deadline watchdog: a task whose budget is already gone is not
+      // started at all — it fails fast and cheaply instead.
+      PoolMetrics::get().deadline_skipped.increment();
+      throw DeadlineExceeded("deadline expired before task start: " +
+                             options.site);
+    }
+    const detail::ScopedTaskDeadline scope(options.deadline);
+    if (options.retry.max_attempts > 1) {
+      retry_call(options.retry, options.site, task);
+    } else {
+      task();
+    }
+  });
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  const std::size_t suppressed = failed_tasks_ > 1 ? failed_tasks_ - 1 : 0;
+  failed_tasks_ = 0;
+  if (suppressed > 0) {
+    suppressed_total_ += suppressed;
+    PoolMetrics::get().failures_suppressed.add(suppressed);
+  }
   if (first_error_) {
     std::exception_ptr err;
     std::swap(err, first_error_);
+    lock.unlock();
+    if (suppressed > 0) {
+      log_warn("thread pool: ", suppressed,
+               " additional task failure(s) suppressed behind the first");
+    }
     std::rethrow_exception(err);
   }
+}
+
+std::uint64_t ThreadPool::suppressed_failures_total() const {
+  const std::scoped_lock lock(mutex_);
+  return suppressed_total_;
 }
 
 void ThreadPool::worker_loop() {
@@ -153,7 +196,10 @@ void ThreadPool::worker_loop() {
     metrics.tasks_executed.increment();
     {
       const std::scoped_lock lock(mutex_);
-      if (error && !first_error_) first_error_ = error;
+      if (error) {
+        ++failed_tasks_;
+        if (!first_error_) first_error_ = error;
+      }
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }
@@ -213,6 +259,9 @@ void parallel_for(int n, const std::function<void(int)>& fn,
   {
     std::unique_lock lock(st.mutex);
     st.cv_done.wait(lock, [&st] { return st.pending == 0; });
+  }
+  if (st.failed > 1) {
+    metrics.failures_suppressed.add(static_cast<std::uint64_t>(st.failed - 1));
   }
   if (st.first_error) std::rethrow_exception(st.first_error);
 }

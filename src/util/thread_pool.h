@@ -7,6 +7,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -14,7 +15,23 @@
 #include <thread>
 #include <vector>
 
+#include "util/deadline.h"
+#include "util/retry.h"
+
 namespace cpsguard::util {
+
+/// Failure-handling knobs for one submitted task.
+struct TaskOptions {
+  /// max_attempts > 1 re-runs the task on retryable errors (transient
+  /// faults, injected chaos) with the policy's deterministic backoff.
+  RetryPolicy retry{.max_attempts = 1};
+  /// Soft deadline: an already-expired task is skipped (it fails with
+  /// DeadlineExceeded without running); while running, the task can poll
+  /// util::check_deadline() cooperatively. Unset → no deadline.
+  Deadline deadline;
+  /// Label for retry backoff derivation, chaos keys, and error messages.
+  std::string site = "pool.task";
+};
 
 class ThreadPool {
  public:
@@ -26,14 +43,25 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task. A throwing task does not terminate its worker: the
-  /// first exception is captured and rethrown by the next wait_idle() call
-  /// (later ones are dropped). Exceptions from tasks never waited on are
-  /// discarded at destruction.
+  /// first exception is captured and rethrown by the next wait_idle() call;
+  /// later ones are counted (see wait_idle) rather than silently dropped.
+  /// Exceptions from tasks never waited on are discarded at destruction.
   void submit(std::function<void()> task);
+
+  /// Enqueue with retry/deadline handling wrapped around the task.
+  void submit(std::function<void()> task, TaskOptions options);
 
   /// Block until every submitted task has finished, then rethrow the first
   /// exception any of them threw (clearing it, so the pool is reusable).
+  /// Failures beyond the first are aggregated instead of vanishing: their
+  /// count is added to the `threadpool.failures_suppressed` obs counter and
+  /// to suppressed_failures_total(), and the first error's message is what
+  /// propagates.
   void wait_idle();
+
+  /// Cumulative count of task failures this pool dropped after the first
+  /// one in each wait_idle() cycle.
+  [[nodiscard]] std::uint64_t suppressed_failures_total() const;
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
@@ -43,7 +71,9 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::exception_ptr first_error_;
-  std::mutex mutex_;
+  std::size_t failed_tasks_ = 0;  // failures since the last wait_idle rethrow
+  std::uint64_t suppressed_total_ = 0;
+  mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;

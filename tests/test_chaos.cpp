@@ -1,0 +1,138 @@
+#include "util/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/fileio.h"
+#include "util/retry.h"
+
+namespace cpsguard::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// Tests drive the injector programmatically; the ambient configuration
+/// (possibly enabled via CPSGUARD_CHAOS in a chaos CI job) is saved and
+/// restored so this suite behaves identically in both environments.
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = chaos().config(); }
+  void TearDown() override { chaos().configure(saved_); }
+
+  static ChaosConfig enabled_config() {
+    ChaosConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 99;
+    return cfg;
+  }
+
+  ChaosConfig saved_;
+};
+
+TEST_F(ChaosTest, DisabledInjectorNeverFires) {
+  ChaosConfig cfg;  // disabled
+  chaos().configure(cfg);
+  EXPECT_FALSE(chaos().should_inject("any", "key", 1.0));
+  chaos().maybe_throw("any", "key");  // must not throw
+  EXPECT_FALSE(chaos().maybe_corrupt_file("/nonexistent", "key"));
+}
+
+TEST_F(ChaosTest, DecisionsArePureAndDeterministic) {
+  ChaosConfig cfg = enabled_config();
+  cfg.task_throw_rate = 0.5;
+  chaos().configure(cfg);
+  const bool first = chaos().should_inject("site", "key", 0.5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(chaos().should_inject("site", "key", 0.5), first);
+  }
+  EXPECT_TRUE(chaos().should_inject("site", "key", 1.0));
+  EXPECT_FALSE(chaos().should_inject("site", "key", 0.0));
+}
+
+TEST_F(ChaosTest, TaskThrowFiresOncePerSiteKey) {
+  ChaosConfig cfg = enabled_config();
+  cfg.task_throw_rate = 1.0;
+  chaos().configure(cfg);
+  EXPECT_THROW(chaos().maybe_throw("pool.task", "t1"), ChaosError);
+  chaos().maybe_throw("pool.task", "t1");  // already fired: no throw
+  EXPECT_THROW(chaos().maybe_throw("pool.task", "t2"), ChaosError);
+}
+
+TEST_F(ChaosTest, InjectedTaskFaultIsRecoveredByRetry) {
+  ChaosConfig cfg = enabled_config();
+  cfg.task_throw_rate = 1.0;
+  chaos().configure(cfg);
+  RetryPolicy p = RetryPolicy::for_tasks();
+  p.sleep = false;
+  int completions = 0;
+  retry_call(p, "chaos.test", [&] {
+    chaos().maybe_throw("sweep.point", "point-0");
+    ++completions;
+  });
+  EXPECT_EQ(completions, 1);
+}
+
+TEST_F(ChaosTest, InjectedWriteFaultLeavesTargetIntact) {
+  ChaosConfig cfg = enabled_config();
+  cfg.io_fail_rate = 1.0;
+  chaos().configure(cfg);
+
+  const std::string path =
+      (fs::temp_directory_path() / "cpsguard_chaos_io_test.txt").string();
+  std::ofstream(path, std::ios::binary) << "original";
+
+  EXPECT_THROW(obs::atomic_write_file(path, "replacement"), obs::IoError);
+  EXPECT_EQ(slurp(path), "original");  // the atomic protocol's guarantee
+
+  // The fault is once-per-path: the next attempt goes through, which is
+  // what makes a single retry always sufficient.
+  obs::atomic_write_file(path, "replacement");
+  EXPECT_EQ(slurp(path), "replacement");
+  fs::remove(path);
+}
+
+TEST_F(ChaosTest, InjectedWriteFaultIsRecoveredByRetry) {
+  ChaosConfig cfg = enabled_config();
+  cfg.io_fail_rate = 1.0;
+  chaos().configure(cfg);
+
+  const std::string path =
+      (fs::temp_directory_path() / "cpsguard_chaos_retry_io.txt").string();
+  RetryPolicy p = RetryPolicy::for_file_io();
+  p.sleep = false;
+  retry_call(p, "chaos.test.io",
+             [&] { obs::atomic_write_file(path, "payload"); });
+  EXPECT_EQ(slurp(path), "payload");
+  fs::remove(path);
+}
+
+TEST_F(ChaosTest, CorruptFileDamagesOncePerKey) {
+  ChaosConfig cfg = enabled_config();
+  cfg.corrupt_rate = 1.0;
+  chaos().configure(cfg);
+
+  const std::string path =
+      (fs::temp_directory_path() / "cpsguard_chaos_corrupt.bin").string();
+  const std::string contents = "0123456789abcdef0123456789abcdef";
+  std::ofstream(path, std::ios::binary) << contents;
+
+  EXPECT_TRUE(chaos().maybe_corrupt_file(path, "rec-1"));
+  EXPECT_NE(slurp(path), contents);
+
+  // Same key: already fired, file stays as-is now.
+  const std::string damaged = slurp(path);
+  EXPECT_FALSE(chaos().maybe_corrupt_file(path, "rec-1"));
+  EXPECT_EQ(slurp(path), damaged);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace cpsguard::util

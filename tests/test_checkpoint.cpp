@@ -1,0 +1,178 @@
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/chaos.h"
+
+namespace cpsguard::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Pin chaos off (restored in TearDown): these tests inject their own
+    // precise damage, and the exact-count stats assertions below must hold
+    // even when the suite runs under CPSGUARD_CHAOS=1.
+    saved_chaos_ = util::chaos().config();
+    util::chaos().configure(util::ChaosConfig{});
+    dir_ = (fs::temp_directory_path() /
+            ("cpsguard_ckpt_test_" +
+             std::string(
+                 ::testing::UnitTest::GetInstance()->current_test_info()->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    fs::remove_all(dir_);
+    util::chaos().configure(saved_chaos_);
+  }
+
+  /// The store's record files (meta excluded).
+  std::vector<std::string> record_files() const {
+    std::vector<std::string> out;
+    for (const auto& e : fs::directory_iterator(dir_)) {
+      if (e.path().extension() == ".ckpt") out.push_back(e.path().string());
+    }
+    return out;
+  }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  static void spew(const std::string& path, const std::string& data) {
+    std::ofstream(path, std::ios::binary) << data;
+  }
+
+  std::string dir_;
+  util::ChaosConfig saved_chaos_;
+};
+
+TEST_F(CheckpointTest, RoundtripsTextPayload) {
+  CheckpointStore store(dir_);
+  store.put("sweep|gaussian|0", "eval|tp=1|fp=2|tn=3|fn=4");
+  const auto got = store.get("sweep|gaussian|0");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "eval|tp=1|fp=2|tn=3|fn=4");
+  EXPECT_EQ(store.stats().puts, 1u);
+  EXPECT_EQ(store.stats().hits, 1u);
+}
+
+TEST_F(CheckpointTest, RoundtripsBinaryPayloadWithNulsAndNewlines) {
+  CheckpointStore store(dir_);
+  std::string payload = "model\n\nsnapshot";
+  payload.push_back('\0');
+  payload += "\xff\x01 tail\n";
+  store.put("model|MLP", payload);
+  const auto got = store.get("model|MLP");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+}
+
+TEST_F(CheckpointTest, MissingKeyIsAMiss) {
+  CheckpointStore store(dir_);
+  EXPECT_FALSE(store.get("never-stored").has_value());
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_FALSE(store.contains("never-stored"));
+}
+
+TEST_F(CheckpointTest, OverwriteReplacesPayload) {
+  CheckpointStore store(dir_);
+  store.put("k", "first");
+  store.put("k", "second");
+  const auto got = store.get("k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "second");
+  EXPECT_EQ(record_files().size(), 1u);
+}
+
+TEST_F(CheckpointTest, TruncatedRecordIsDiscardedAndDeleted) {
+  CheckpointStore store(dir_);
+  store.put("k", "a payload long enough to truncate meaningfully");
+  const auto files = record_files();
+  ASSERT_EQ(files.size(), 1u);
+  fs::resize_file(files[0], fs::file_size(files[0]) / 2);
+
+  EXPECT_FALSE(store.get("k").has_value());
+  EXPECT_EQ(store.stats().discarded, 1u);
+  EXPECT_TRUE(record_files().empty());  // invalid record removed
+
+  // The caller's recompute-and-re-put heals the store.
+  store.put("k", "recomputed");
+  const auto got = store.get("k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "recomputed");
+}
+
+TEST_F(CheckpointTest, FlippedPayloadByteIsDiscarded) {
+  CheckpointStore store(dir_);
+  store.put("k", "payload-payload-payload");
+  const auto files = record_files();
+  ASSERT_EQ(files.size(), 1u);
+  std::string bytes = slurp(files[0]);
+  bytes[bytes.size() - 3] = static_cast<char>(bytes[bytes.size() - 3] ^ 0x5a);
+  spew(files[0], bytes);
+
+  EXPECT_FALSE(store.get("k").has_value());
+  EXPECT_EQ(store.stats().discarded, 1u);
+}
+
+TEST_F(CheckpointTest, DamagedHeaderIsDiscarded) {
+  CheckpointStore store(dir_);
+  store.put("k", "payload");
+  const auto files = record_files();
+  ASSERT_EQ(files.size(), 1u);
+  std::string bytes = slurp(files[0]);
+  bytes[0] = 'X';  // schema line no longer matches
+  spew(files[0], bytes);
+  EXPECT_FALSE(store.get("k").has_value());
+  EXPECT_EQ(store.stats().discarded, 1u);
+}
+
+TEST_F(CheckpointTest, RecordsSurviveReopen) {
+  {
+    CheckpointStore store(dir_);
+    store.put("k", "persisted");
+  }
+  CheckpointStore reopened(dir_);
+  const auto got = reopened.get("k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "persisted");
+}
+
+TEST_F(CheckpointTest, ReopenChainsLineage) {
+  std::string first_id;
+  {
+    CheckpointStore store(dir_);
+    first_id = store.run_id();
+    EXPECT_FALSE(first_id.empty());
+    EXPECT_TRUE(store.parent_run_id().empty());  // fresh store
+  }
+  CheckpointStore resumed(dir_);
+  EXPECT_EQ(resumed.parent_run_id(), first_id);
+  EXPECT_NE(resumed.run_id(), first_id);
+}
+
+TEST_F(CheckpointTest, DamagedMetaDegradesToFreshLineage) {
+  {
+    CheckpointStore store(dir_);
+    store.put("k", "still readable");
+  }
+  spew(dir_ + "/_store_meta", "not a meta record at all");
+  CheckpointStore store(dir_);
+  EXPECT_TRUE(store.parent_run_id().empty());
+  // Records are untouched by meta damage.
+  EXPECT_TRUE(store.get("k").has_value());
+}
+
+}  // namespace
+}  // namespace cpsguard::core

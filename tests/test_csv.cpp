@@ -4,7 +4,10 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <string>
 
+#include "obs/fileio.h"
 #include "util/contracts.h"
 
 namespace cpsguard::util {
@@ -85,6 +88,54 @@ TEST(CsvFile, WriteAndReadBack) {
 
 TEST(CsvFile, ReadMissingFileThrows) {
   EXPECT_THROW(read_csv("/nonexistent/definitely/missing.csv"), std::runtime_error);
+}
+
+TEST(CsvFile, WriteIsAtomicUnderPersistentFaults) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "cpsguard_csv_atomic_test.csv").string();
+  std::ofstream(path, std::ios::binary) << "previous,contents\n";
+
+  // A hook that fails every attempt models a persistently failing disk: the
+  // write must exhaust its retries without ever touching the target.
+  obs::set_write_fault_hook([](const std::string&, const std::string& tmp) {
+    std::error_code ec;
+    fs::resize_file(tmp, fs::file_size(tmp, ec) / 2, ec);
+    throw obs::IoError("test: injected short write");
+  });
+  CsvWriter w({"k", "v"});
+  w.add_row({"a", "1"});
+  EXPECT_THROW(w.write(path), obs::IoError);
+  {
+    std::ifstream in(path, std::ios::binary);
+    const std::string contents{std::istreambuf_iterator<char>(in),
+                               std::istreambuf_iterator<char>()};
+    EXPECT_EQ(contents, "previous,contents\n");  // target never torn
+  }
+
+  // Fault cleared: the write goes through and the stale temp is replaced.
+  obs::set_write_fault_hook({});
+  w.write(path);
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"a", "1"}));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  fs::remove(path);
+}
+
+TEST(CsvFile, FailedWriteCreatesNoTargetFile) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "cpsguard_csv_never_created.csv").string();
+  fs::remove(path);
+  obs::set_write_fault_hook([](const std::string&, const std::string&) {
+    throw obs::IoError("test: injected failure");
+  });
+  CsvWriter w({"a"});
+  EXPECT_THROW(w.write(path), obs::IoError);
+  EXPECT_FALSE(fs::exists(path));
+  obs::set_write_fault_hook({});
+  fs::remove(path + ".tmp");
 }
 
 }  // namespace

@@ -1,0 +1,158 @@
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <ios>
+#include <stdexcept>
+
+#include "obs/fileio.h"
+#include "obs/metrics.h"
+#include "util/deadline.h"
+
+namespace cpsguard::util {
+namespace {
+
+std::uint64_t counter(const char* name) {
+  return obs::Registry::instance().counter(name).value();
+}
+
+TEST(RetryPolicy, DelayIsDeterministic) {
+  const RetryPolicy p;
+  EXPECT_DOUBLE_EQ(p.delay_ms("site", 1), p.delay_ms("site", 1));
+  EXPECT_DOUBLE_EQ(p.delay_ms("site", 3), p.delay_ms("site", 3));
+}
+
+TEST(RetryPolicy, JitterVariesBySiteSeedAndAttempt) {
+  RetryPolicy p;
+  EXPECT_NE(p.delay_ms("site-a", 1), p.delay_ms("site-b", 1));
+  EXPECT_NE(p.delay_ms("site-a", 1), p.delay_ms("site-a", 2));
+  RetryPolicy q = p;
+  q.seed ^= 0xdeadbeefULL;
+  EXPECT_NE(p.delay_ms("site-a", 1), q.delay_ms("site-a", 1));
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyWithoutJitter) {
+  RetryPolicy p;
+  p.jitter = 0.0;
+  p.base_delay_ms = 1.0;
+  p.multiplier = 2.0;
+  p.max_delay_ms = 50.0;
+  EXPECT_DOUBLE_EQ(p.delay_ms("s", 1), 1.0);
+  EXPECT_DOUBLE_EQ(p.delay_ms("s", 2), 2.0);
+  EXPECT_DOUBLE_EQ(p.delay_ms("s", 3), 4.0);
+}
+
+TEST(RetryPolicy, DelayClampsToMax) {
+  RetryPolicy p;
+  p.max_delay_ms = 3.0;
+  for (int attempt = 1; attempt <= 10; ++attempt) {
+    EXPECT_LE(p.delay_ms("s", attempt), 3.0);
+    EXPECT_GE(p.delay_ms("s", attempt), 0.0);
+  }
+}
+
+TEST(DefaultIsRetryable, ClassifiesKnownTransients) {
+  EXPECT_TRUE(default_is_retryable(RetryableError("transient")));
+  EXPECT_TRUE(default_is_retryable(obs::IoError("io")));
+  EXPECT_TRUE(default_is_retryable(std::ios_base::failure("stream")));
+  EXPECT_FALSE(default_is_retryable(std::runtime_error("logic-ish")));
+  EXPECT_FALSE(default_is_retryable(std::logic_error("logic")));
+  EXPECT_FALSE(default_is_retryable(DeadlineExceeded("no time left")));
+}
+
+TEST(RetryCall, RecoversFromTransientFailure) {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.sleep = false;
+  const std::uint64_t recovered_before = counter("retry.recovered");
+  int calls = 0;
+  retry_call(p, "test.recover", [&] {
+    if (++calls < 2) throw RetryableError("flaky");
+  });
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(counter("retry.recovered"), recovered_before + 1);
+}
+
+TEST(RetryCall, ExhaustsAndRethrowsLastError) {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.sleep = false;
+  const std::uint64_t exhausted_before = counter("retry.exhausted");
+  int calls = 0;
+  EXPECT_THROW(retry_call(p, "test.exhaust",
+                          [&] {
+                            ++calls;
+                            throw RetryableError("always");
+                          }),
+               RetryableError);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(counter("retry.exhausted"), exhausted_before + 1);
+}
+
+TEST(RetryCall, NonRetryableErrorPropagatesImmediately) {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  p.sleep = false;
+  int calls = 0;
+  EXPECT_THROW(retry_call(p, "test.hard",
+                          [&] {
+                            ++calls;
+                            throw std::logic_error("bug");
+                          }),
+               std::logic_error);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryCall, DeadlineExceededIsNotRetried) {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  p.sleep = false;
+  int calls = 0;
+  EXPECT_THROW(retry_call(p, "test.deadline",
+                          [&] {
+                            ++calls;
+                            throw DeadlineExceeded("over budget");
+                          }),
+               DeadlineExceeded);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryCall, SingleAttemptPolicyDisablesRetrying) {
+  RetryPolicy p;
+  p.max_attempts = 1;
+  p.sleep = false;
+  int calls = 0;
+  EXPECT_THROW(retry_call(p, "test.once",
+                          [&] {
+                            ++calls;
+                            throw RetryableError("transient");
+                          }),
+               RetryableError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CurrentRetryAttempt, TracksAttemptIndexAndNesting) {
+  EXPECT_EQ(current_retry_attempt(), 0);
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.sleep = false;
+  std::vector<int> seen;
+  retry_call(p, "test.attempt", [&] {
+    seen.push_back(current_retry_attempt());
+    if (seen.size() < 3) throw RetryableError("again");
+  });
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(current_retry_attempt(), 0);
+
+  // Nested retry_call restores the outer attempt index.
+  retry_call(p, "outer", [&] {
+    retry_call(p, "inner", [&] {
+      if (current_retry_attempt() == 0) throw RetryableError("inner flake");
+      EXPECT_EQ(current_retry_attempt(), 1);
+    });
+    EXPECT_EQ(current_retry_attempt(), 0);
+  });
+}
+
+}  // namespace
+}  // namespace cpsguard::util

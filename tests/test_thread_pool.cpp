@@ -7,8 +7,18 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "util/deadline.h"
+#include "util/retry.h"
+
 namespace cpsguard::util {
 namespace {
+
+std::uint64_t suppressed_counter() {
+  return obs::Registry::instance()
+      .counter("threadpool.failures_suppressed")
+      .value();
+}
 
 TEST(ThreadPool, RunsAllTasks) {
   std::atomic<int> count{0};
@@ -64,6 +74,114 @@ TEST(ThreadPool, KeepsFirstExceptionOnly) {
   } catch (const std::runtime_error& e) {
     EXPECT_STREQ(e.what(), "first");
   }
+}
+
+TEST(ThreadPool, AggregatesSuppressedFailuresInsteadOfDroppingThem) {
+  ThreadPool pool(1);  // serial worker: all three failures land before idle
+  const std::uint64_t before = suppressed_counter();
+  for (int i = 0; i < 3; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // First failure rethrown, the other two aggregated — visible both on the
+  // pool and in the obs counter.
+  EXPECT_EQ(pool.suppressed_failures_total(), 2u);
+  EXPECT_EQ(suppressed_counter(), before + 2);
+
+  // The aggregate is cumulative across wait_idle cycles.
+  pool.submit([] { throw std::runtime_error("boom"); });
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(pool.suppressed_failures_total(), 3u);
+}
+
+TEST(ThreadPool, SingleFailureIsNotCountedAsSuppressed) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("only one"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(pool.suppressed_failures_total(), 0u);
+}
+
+TEST(ThreadPool, SubmitWithRetryRecoversTransientFailure) {
+  ThreadPool pool(2);
+  TaskOptions opts;
+  opts.retry = RetryPolicy::for_tasks();
+  opts.retry.sleep = false;
+  opts.site = "test.flaky";
+  std::atomic<int> calls{0};
+  pool.submit(
+      [&calls] {
+        if (calls.fetch_add(1) == 0) throw RetryableError("transient");
+      },
+      opts);
+  pool.wait_idle();  // must not rethrow: the retry absorbed the failure
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(ThreadPool, SubmitWithRetryStillFailsOnNonRetryableError) {
+  ThreadPool pool(2);
+  TaskOptions opts;
+  opts.retry = RetryPolicy::for_tasks();
+  opts.retry.sleep = false;
+  std::atomic<int> calls{0};
+  pool.submit(
+      [&calls] {
+        calls.fetch_add(1);
+        throw std::logic_error("bug");
+      },
+      opts);
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ExpiredDeadlineSkipsTaskWithoutRunningIt) {
+  ThreadPool pool(2);
+  TaskOptions opts;
+  opts.deadline = Deadline::after_seconds(-1.0);
+  opts.site = "test.late";
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran.store(true); }, opts);
+  EXPECT_THROW(pool.wait_idle(), DeadlineExceeded);
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPool, TaskPollsGlobalDeadlineCooperatively) {
+  set_global_deadline(Deadline::after_seconds(-1.0));
+  ThreadPool pool(2);
+  std::atomic<bool> reached_after_check{false};
+  pool.submit([&reached_after_check] {
+    check_deadline("test.cooperative");
+    reached_after_check.store(true);
+  });
+  EXPECT_THROW(pool.wait_idle(), DeadlineExceeded);
+  EXPECT_FALSE(reached_after_check.load());
+  set_global_deadline(Deadline{});  // disarm for the rest of the suite
+}
+
+TEST(ThreadPool, UnsetDeadlineNeverFires) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  pool.submit(
+      [&ran] {
+        check_deadline("test.unset");
+        ran.store(true);
+      },
+      TaskOptions{});
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ParallelFor, CountsSuppressedFailuresBeyondTheFirst) {
+  const std::uint64_t before = suppressed_counter();
+  try {
+    parallel_for(50, [](int i) {
+      if (i == 3 || i == 20 || i == 40) throw std::runtime_error("boom");
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  // All iterations complete, so all 3 failures land: 1 rethrown + 2 counted.
+  EXPECT_EQ(suppressed_counter(), before + 2);
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
