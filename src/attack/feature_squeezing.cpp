@@ -35,8 +35,15 @@ nn::Tensor3 squeeze_median(const nn::Tensor3& x, const SqueezeConfig& cfg) {
         for (int u = std::max(0, t - half); u <= std::min(x.time() - 1, t + half); ++u) {
           buf.push_back(x.at(b, u, f));
         }
+        // NaN-last comparator: the raw-ML resilience path feeds windows with
+        // NaN readings straight through, and nth_element with operator< on
+        // NaN input is strict-weak-ordering UB. Finite windows are unchanged.
         std::nth_element(buf.begin(), buf.begin() + static_cast<long>(buf.size() / 2),
-                         buf.end());
+                         buf.end(), [](float a, float b) {
+                           if (std::isnan(a)) return false;
+                           if (std::isnan(b)) return true;
+                           return a < b;
+                         });
         out.at(b, t, f) = buf[buf.size() / 2];
       }
     }

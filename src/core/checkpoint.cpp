@@ -12,6 +12,7 @@
 #include "util/chaos.h"
 #include "util/contracts.h"
 #include "util/logging.h"
+#include "util/parse.h"
 #include "util/retry.h"
 
 namespace cpsguard::core {
@@ -95,12 +96,11 @@ std::optional<std::string> decode_record(const std::string& bytes,
   const auto blank = next_line();
   if (!blank || !blank->empty()) return std::nullopt;
 
-  std::uint64_t payload_bytes = 0;
-  try {
-    payload_bytes = std::stoull(bytes_line->substr(6));
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
+  // Strict parse: "bytes=12x", "bytes=-5" (stoull would wrap it), or an
+  // empty value are all corruption, not a length.
+  const auto parsed_bytes = util::try_parse_u64(bytes_line->substr(6));
+  if (!parsed_bytes) return std::nullopt;
+  const std::uint64_t payload_bytes = *parsed_bytes;
   if (bytes.size() - pos != payload_bytes) return std::nullopt;
   std::string payload = bytes.substr(pos);
   if (obs::sha256_hex(payload.data(), payload.size()) != sha_line->substr(7)) {

@@ -1,6 +1,7 @@
 #include "eval/extended_metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/contracts.h"
 #include "util/stats.h"
@@ -9,6 +10,11 @@ namespace cpsguard::eval {
 
 double roc_auc(std::span<const double> scores, std::span<const int> labels) {
   expects(scores.size() == labels.size(), "one score per label required");
+  // Same NaN policy as pr_curve.h: a NaN score breaks the sort comparator's
+  // strict weak ordering (UB) and has no defensible rank — reject it.
+  for (const double s : scores) {
+    expects(!std::isnan(s), "NaN score has no rank; reject upstream");
+  }
   // Rank-sum (Mann-Whitney U) formulation with midranks for ties.
   std::vector<std::size_t> order(scores.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;

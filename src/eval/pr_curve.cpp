@@ -1,6 +1,7 @@
 #include "eval/pr_curve.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/contracts.h"
 
@@ -10,6 +11,11 @@ std::vector<PrPoint> precision_recall_curve(std::span<const double> scores,
                                             std::span<const int> labels) {
   expects(scores.size() == labels.size(), "one score per label required");
   expects(!scores.empty(), "empty input");
+  // NaN policy (see header): reject before sorting — a NaN-laden comparator
+  // breaks std::sort's strict weak ordering, which is UB.
+  for (const double s : scores) {
+    expects(!std::isnan(s), "NaN score has no rank; reject upstream");
+  }
 
   std::vector<std::size_t> order(scores.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;

@@ -1,6 +1,14 @@
 // Precision-recall analysis over monitor confidence scores: the PR curve
 // and average precision (AP). On the heavily imbalanced side of safety
 // monitoring (rare hazards), PR analysis is more informative than ROC.
+//
+// NaN policy (shared by every score-ranking routine in src/eval): a NaN
+// score is rejected with a ContractViolation. NaN has no place in a
+// ranking — `scores[a] > scores[b]` with NaN present violates std::sort's
+// strict-weak-ordering requirement (UB, found by the fuzz differential
+// oracle) — and a monitor emitting NaN confidence is an upstream bug that
+// must fail loudly, not silently land somewhere in the curve. ±inf scores
+// are legitimate totally-ordered values and are accepted.
 #pragma once
 
 #include <span>

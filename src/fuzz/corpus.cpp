@@ -1,0 +1,102 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace cpsguard::fuzz {
+
+namespace fs = std::filesystem;
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string case_filename(const std::string& label, const std::string& input) {
+  static const char* hex = "0123456789abcdef";
+  std::uint64_t h = fnv1a64(input);
+  std::string digest(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    digest[static_cast<std::size_t>(i)] = hex[h & 0xf];
+    h >>= 4;
+  }
+  return label + "-" + digest + ".case";
+}
+
+std::string save_case(const std::string& corpus_dir, const std::string& target,
+                      const std::string& label, const std::string& input) {
+  const fs::path dir = fs::path(corpus_dir) / target;
+  fs::create_directories(dir);
+  const fs::path path = dir / case_filename(label, input);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw CpsError("cannot write corpus case: " + path.string());
+  f.write(input.data(), static_cast<std::streamsize>(input.size()));
+  if (!f) throw CpsError("short write on corpus case: " + path.string());
+  return path.string();
+}
+
+std::string load_case(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw CpsError("cannot read corpus case: " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+std::vector<std::string> list_cases(const std::string& corpus_dir,
+                                    const std::string& target) {
+  std::vector<std::string> paths;
+  const fs::path dir = fs::path(corpus_dir) / target;
+  if (!fs::is_directory(dir)) return paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".case") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::string minimize(
+    const std::string& input,
+    const std::function<bool(const std::string&)>& still_fails) {
+  std::string best = input;
+  // Phase 1: delete chunks, halving the chunk size until single bytes.
+  for (std::size_t chunk = std::max<std::size_t>(best.size() / 2, 1);;
+       chunk /= 2) {
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      for (std::size_t at = 0; at + chunk <= best.size();) {
+        std::string candidate = best;
+        candidate.erase(at, chunk);
+        if (still_fails(candidate)) {
+          best = std::move(candidate);
+          shrunk = true;  // same offset now holds the next chunk
+        } else {
+          at += chunk;
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+  // Phase 2: canonicalize surviving bytes to ' ' where the failure allows,
+  // so repros read as structure rather than noise.
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    if (best[i] == ' ') continue;
+    std::string candidate = best;
+    candidate[i] = ' ';
+    if (still_fails(candidate)) best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace cpsguard::fuzz

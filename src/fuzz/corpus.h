@@ -1,0 +1,44 @@
+// Replayable repro corpus under tests/corpus/<target>/.
+//
+// Every file is one exact input that once broke (or nearly broke) a target.
+// Filenames are content-addressed — <label>-<fnv1a64 of bytes>.case — so the
+// same finding dumped from two machines collides into one file, and a seed
+// never produces two names for one input. Files are committed and replayed
+// by the fuzz regression test on every CI run; CI separately enforces that
+// each committed case is registered in tests/corpus/registry.inc.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cpsguard::fuzz {
+
+/// FNV-1a 64-bit over the raw bytes — stable content address for case files.
+std::uint64_t fnv1a64(const std::string& bytes);
+
+/// "<label>-<16 hex digits>.case" for the given input bytes.
+std::string case_filename(const std::string& label, const std::string& input);
+
+/// Write `input` to `<corpus_dir>/<target>/<case_filename(label, input)>`,
+/// creating directories as needed. Returns the full path written.
+std::string save_case(const std::string& corpus_dir, const std::string& target,
+                      const std::string& label, const std::string& input);
+
+/// Read one case file verbatim. Throws CpsError if unreadable.
+std::string load_case(const std::string& path);
+
+/// All *.case files under `<corpus_dir>/<target>/`, sorted by filename so
+/// replay order is deterministic. Missing directory ⇒ empty list.
+std::vector<std::string> list_cases(const std::string& corpus_dir,
+                                    const std::string& target);
+
+/// Greedily shrink `input` while `still_fails(candidate)` holds: repeated
+/// chunk deletion (halving chunk sizes) then single-byte simplification to
+/// ' '. Deterministic, no randomness. Returns the smallest failing input
+/// found (possibly `input` itself).
+std::string minimize(const std::string& input,
+                     const std::function<bool(const std::string&)>& still_fails);
+
+}  // namespace cpsguard::fuzz

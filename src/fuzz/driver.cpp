@@ -1,0 +1,167 @@
+#include "fuzz/driver.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "fuzz/corpus.h"
+#include "fuzz/mutator.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cpsguard::fuzz {
+
+namespace {
+
+// Upper bound on the driver's live input pool. Accepted mutants rotate
+// through it (replacing the oldest non-seed entry), which is the only
+// "coverage" feedback a black-box fuzzer has: inputs that parse reach
+// deeper states, so their descendants should get more mutation budget.
+constexpr std::size_t kPoolCap = 64;
+
+// Run the target, translating every escape hatch into a tri-state.
+enum class Outcome { kAccepted, kRejected, kViolation };
+
+Outcome run_one(const FuzzTarget& target, const std::string& input,
+                std::string* message) {
+  try {
+    return target.run(input) ? Outcome::kAccepted : Outcome::kRejected;
+  } catch (const InvariantViolation& e) {
+    if (message) *message = e.what();
+    return Outcome::kViolation;
+  } catch (const std::exception& e) {
+    // Targets wrap escapes themselves; one leaking past them is still a bug.
+    if (message) {
+      *message = target.name + ": exception escaped target wrapper: " + e.what();
+    }
+    return Outcome::kViolation;
+  } catch (...) {
+    if (message) *message = target.name + ": non-std exception escaped";
+    return Outcome::kViolation;
+  }
+}
+
+bool fails(const FuzzTarget& target, const std::string& input) {
+  return run_one(target, input, nullptr) == Outcome::kViolation;
+}
+
+// Quiet scoped log guard: targets legitimately log_warn on rejected inputs
+// (chaos env parsing, checkpoint discards); 10k iterations of that is noise.
+class LogSilencer {
+ public:
+  LogSilencer() : prev_(util::log_level()) {
+    util::set_log_level(util::LogLevel::kError);
+  }
+  ~LogSilencer() { util::set_log_level(prev_); }
+  LogSilencer(const LogSilencer&) = delete;
+  LogSilencer& operator=(const LogSilencer&) = delete;
+
+ private:
+  util::LogLevel prev_;
+};
+
+}  // namespace
+
+FuzzStats run_fuzz(const FuzzOptions& opts) {
+  const FuzzTarget* target = find_target(opts.target);
+  if (target == nullptr) {
+    throw CpsError("unknown fuzz target: " + opts.target);
+  }
+
+  FuzzStats stats;
+  stats.target = opts.target;
+
+  // Independent streams per concern so adding a mutation strategy can't
+  // shift the scheduling decisions of an existing seed.
+  util::Rng schedule(opts.seed, fnv1a64(opts.target));
+  ByteMutator bytes(schedule.split());
+  TokenMutator tokens(schedule.split());
+
+  std::vector<std::string> pool = target->seeds;
+  if (pool.empty()) pool.push_back("");
+  const std::size_t n_seeds = pool.size();
+  std::size_t rotate = 0;  // next non-seed pool slot to replace
+
+  LogSilencer quiet;
+  for (int it = 0; it < opts.iters; ++it) {
+    const std::string& base = pool[static_cast<std::size_t>(
+        schedule.uniform_int(0, static_cast<int>(pool.size()) - 1))];
+    std::string input;
+    switch (schedule.uniform_int(0, 4)) {
+      case 0:
+        input = tokens.generate(target->dictionary, 12);
+        break;
+      case 1:
+        input = tokens.splice(base, target->dictionary);
+        break;
+      default:  // byte-level mutation carries most of the budget
+        input = bytes.mutate(base, target->dictionary);
+        break;
+    }
+
+    std::string message;
+    switch (run_one(*target, input, &message)) {
+      case Outcome::kAccepted: {
+        ++stats.accepted;
+        // Rotate the accepted mutant into the pool (never evict seeds).
+        if (pool.size() < kPoolCap) {
+          pool.push_back(input);
+        } else {
+          pool[n_seeds + rotate] = input;
+          rotate = (rotate + 1) % (kPoolCap - n_seeds);
+        }
+        break;
+      }
+      case Outcome::kRejected:
+        ++stats.rejected;
+        break;
+      case Outcome::kViolation: {
+        ++stats.violations;
+        if (static_cast<int>(stats.violation_messages.size()) <
+            opts.max_repros) {
+          stats.violation_messages.push_back(message);
+          const std::string repro =
+              minimize(input, [&](const std::string& c) {
+                return fails(*target, c);
+              });
+          if (opts.save_repros) {
+            stats.repro_paths.push_back(
+                save_case(opts.corpus_dir, opts.target, "fuzz", repro));
+          }
+        }
+        break;
+      }
+    }
+    ++stats.iterations;
+  }
+  return stats;
+}
+
+FuzzStats replay_corpus(const std::string& corpus_dir,
+                        const std::string& target_name) {
+  FuzzStats stats;
+  stats.target = target_name.empty() ? "all" : target_name;
+  LogSilencer quiet;
+  for (const auto& target : all_targets()) {
+    if (!target_name.empty() && target.name != target_name) continue;
+    for (const auto& path : list_cases(corpus_dir, target.name)) {
+      std::string message;
+      switch (run_one(target, load_case(path), &message)) {
+        case Outcome::kAccepted:
+          ++stats.accepted;
+          break;
+        case Outcome::kRejected:
+          ++stats.rejected;
+          break;
+        case Outcome::kViolation:
+          ++stats.violations;
+          stats.violation_messages.push_back(path + ": " + message);
+          break;
+      }
+      ++stats.iterations;
+    }
+  }
+  return stats;
+}
+
+}  // namespace cpsguard::fuzz

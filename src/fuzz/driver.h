@@ -1,0 +1,49 @@
+// Deterministic fuzz campaign driver.
+//
+// A campaign is a pure function of (target, seed, iters): the same triple
+// replays the same mutants in the same order and dumps byte-identical
+// repro files, so a CI failure is reproducible locally from the log line
+// alone. Found violations are greedily minimized and saved under the corpus
+// directory as committed regression cases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/target.h"
+
+namespace cpsguard::fuzz {
+
+struct FuzzOptions {
+  std::string target;                      // name from all_targets()
+  std::uint64_t seed = 7;
+  int iters = 1000;
+  std::string corpus_dir = "tests/corpus"; // where repros are dumped
+  bool save_repros = true;                 // false: report only
+  int max_repros = 8;                      // stop dumping after this many
+};
+
+struct FuzzStats {
+  std::string target;
+  int iterations = 0;
+  int accepted = 0;    // inputs the primary parser took
+  int rejected = 0;    // typed rejections (the expected failure mode)
+  int violations = 0;  // contract breaks — any nonzero fails the run
+  std::vector<std::string> repro_paths;        // minimized cases written
+  std::vector<std::string> violation_messages; // first message per finding
+
+  [[nodiscard]] bool clean() const { return violations == 0; }
+};
+
+/// Run one seeded campaign against `opts.target`. Throws CpsError for an
+/// unknown target name; never lets a target's exception escape.
+FuzzStats run_fuzz(const FuzzOptions& opts);
+
+/// Replay every committed corpus case for one target (or all targets when
+/// `target_name` is empty). Returns stats with one iteration per case;
+/// violations indicate a regression against a previously-fixed bug.
+FuzzStats replay_corpus(const std::string& corpus_dir,
+                        const std::string& target_name);
+
+}  // namespace cpsguard::fuzz

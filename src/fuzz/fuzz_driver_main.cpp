@@ -1,0 +1,136 @@
+// fuzz_driver — deterministic fuzz campaigns and differential oracles.
+//
+//   fuzz_driver --target=stl --iters=10000 --seed=7
+//       mutate-and-run one target; dumps minimized repros to tests/corpus/
+//   fuzz_driver --target=all --iters=2000
+//       short campaign over every registered target (the CI sweep)
+//   fuzz_driver --replay [--target=json]
+//       replay every committed corpus case (the regression gate)
+//   fuzz_driver --oracle=all --cases=1000 --seed=7
+//       differential oracles: optimized kernels vs. naive references
+//   fuzz_driver --list
+//       print registered targets and oracles
+//
+// Exit status: 0 clean, 1 any contract violation or oracle mismatch,
+// 2 usage error. Everything is deterministic in the flags, so copying the
+// command line out of a CI log reproduces the failure exactly.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "fuzz/driver.h"
+#include "fuzz/oracles.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace cpsguard;
+
+int report_fuzz(const fuzz::FuzzStats& stats) {
+  std::printf("[fuzz] target=%-10s iters=%-6d accepted=%-6d rejected=%-6d "
+              "violations=%d\n",
+              stats.target.c_str(), stats.iterations, stats.accepted,
+              stats.rejected, stats.violations);
+  for (const auto& msg : stats.violation_messages) {
+    std::printf("[fuzz]   violation: %s\n", msg.c_str());
+  }
+  for (const auto& path : stats.repro_paths) {
+    std::printf("[fuzz]   repro: %s\n", path.c_str());
+  }
+  return stats.clean() ? 0 : 1;
+}
+
+int report_oracle(const fuzz::OracleReport& report) {
+  std::printf("[oracle] name=%-16s cases=%-6d mismatches=%d\n",
+              report.name.c_str(), report.cases, report.mismatches);
+  if (!report.clean()) {
+    std::printf("[oracle]   first mismatch: %s\n",
+                report.first_mismatch.c_str());
+  }
+  return report.clean() ? 0 : 1;
+}
+
+int run(const util::Cli& cli) {
+  if (cli.get_bool("list", false)) {
+    std::printf("targets:");
+    for (const auto& t : fuzz::all_targets()) std::printf(" %s", t.name.c_str());
+    std::printf("\noracles:");
+    for (const auto& n : fuzz::oracle_names()) std::printf(" %s", n.c_str());
+    std::printf("\n");
+    return 0;
+  }
+
+  const std::string corpus = cli.get("corpus", "tests/corpus");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  int rc = 0;
+
+  if (cli.get_bool("replay", false)) {
+    const fuzz::FuzzStats stats =
+        fuzz::replay_corpus(corpus, cli.get("target", ""));
+    if (stats.iterations == 0) {
+      // An empty replay is a misconfiguration (wrong --corpus or wrong cwd),
+      // not a clean regression gate — never report it as a pass.
+      std::fprintf(stderr, "fuzz_driver: no corpus cases found under \"%s\"\n",
+                   corpus.c_str());
+      return 2;
+    }
+    rc |= report_fuzz(stats);
+    return rc;
+  }
+
+  const std::string oracle = cli.get("oracle", "");
+  if (!oracle.empty()) {
+    const int cases = cli.get_int("cases", 1000);
+    for (const auto& name : fuzz::oracle_names()) {
+      if (oracle != "all" && oracle != name) continue;
+      rc |= report_oracle(fuzz::run_oracle(name, cases, seed));
+    }
+    return rc;
+  }
+
+  const std::string target = cli.get("target", "");
+  if (target.empty()) {
+    std::fprintf(stderr,
+                 "usage: fuzz_driver --target=<name|all> [--iters=N] "
+                 "[--seed=S] [--corpus=DIR] [--no-save]\n"
+                 "       fuzz_driver --replay [--target=<name>]\n"
+                 "       fuzz_driver --oracle=<name|all> [--cases=N]\n"
+                 "       fuzz_driver --list\n");
+    return 2;
+  }
+  fuzz::FuzzOptions opts;
+  opts.seed = seed;
+  opts.iters = cli.get_int("iters", 1000);
+  opts.corpus_dir = corpus;
+  opts.save_repros = !cli.get_bool("no-save", false);
+  for (const auto& t : fuzz::all_targets()) {
+    if (target != "all" && target != t.name) continue;
+    opts.target = t.name;
+    rc |= report_fuzz(fuzz::run_fuzz(opts));
+  }
+  if (target != "all" && fuzz::find_target(target) == nullptr) {
+    std::fprintf(stderr, "fuzz_driver: unknown target '%s'\n", target.c_str());
+    return 2;
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Cli cli(argc, argv);
+    const int rc = run(cli);
+    const auto unused = cli.unused();
+    if (!unused.empty()) {
+      std::fprintf(stderr, "fuzz_driver: unknown flag --%s\n",
+                   unused.front().c_str());
+      return 2;
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fuzz_driver: %s\n", e.what());
+    return 2;
+  }
+}

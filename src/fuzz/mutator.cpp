@@ -1,0 +1,129 @@
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+
+namespace cpsguard::fuzz {
+
+namespace {
+
+std::size_t pick_offset(util::Rng& rng, std::size_t size) {
+  if (size == 0) return 0;
+  return static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<int>(size) - 1));
+}
+
+}  // namespace
+
+std::string ByteMutator::mutate(const std::string& input,
+                                const std::vector<std::string>& dictionary) {
+  std::string out = input;
+  // Stack 1-4 primitive mutations so mutants can drift more than one edit
+  // away from the seed in a single round.
+  const int edits = rng_.uniform_int(1, 4);
+  for (int e = 0; e < edits; ++e) {
+    const int op = rng_.uniform_int(0, 7);
+    switch (op) {
+      case 0: {  // flip one bit
+        if (out.empty()) break;
+        const std::size_t i = pick_offset(rng_, out.size());
+        out[i] = static_cast<char>(out[i] ^ (1 << rng_.uniform_int(0, 7)));
+        break;
+      }
+      case 1: {  // overwrite one byte with an interesting value
+        if (out.empty()) break;
+        static constexpr unsigned char kInteresting[] = {
+            0x00, 0x01, 0x7f, 0x80, 0xff, '\n', '\r', '\t', ' ', '"',
+            ',',  '=',  '-',  '.',  '0',  '9',  '(',  ')',  '[',  ']'};
+        out[pick_offset(rng_, out.size())] = static_cast<char>(
+            kInteresting[rng_.uniform_int(
+                0, static_cast<int>(std::size(kInteresting)) - 1)]);
+        break;
+      }
+      case 2: {  // insert a random byte
+        const std::size_t i = out.empty() ? 0 : pick_offset(rng_, out.size() + 1);
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(i),
+                   static_cast<char>(rng_.uniform_int(0, 255)));
+        break;
+      }
+      case 3: {  // erase a span
+        if (out.empty()) break;
+        const std::size_t i = pick_offset(rng_, out.size());
+        const std::size_t len = std::min<std::size_t>(
+            out.size() - i,
+            static_cast<std::size_t>(rng_.uniform_int(1, 16)));
+        out.erase(i, len);
+        break;
+      }
+      case 4: {  // duplicate a span (repetition bombs, doubled headers)
+        if (out.empty()) break;
+        const std::size_t i = pick_offset(rng_, out.size());
+        const std::size_t len = std::min<std::size_t>(
+            out.size() - i,
+            static_cast<std::size_t>(rng_.uniform_int(1, 32)));
+        out.insert(i, out.substr(i, len));
+        break;
+      }
+      case 5: {  // truncate (torn writes)
+        if (out.empty()) break;
+        out.resize(pick_offset(rng_, out.size()));
+        break;
+      }
+      case 6: {  // splice a dictionary token at a random offset
+        if (dictionary.empty()) break;
+        const auto& tok = dictionary[static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<int>(dictionary.size()) - 1))];
+        const std::size_t i = out.empty() ? 0 : pick_offset(rng_, out.size() + 1);
+        out.insert(i, tok);
+        break;
+      }
+      default: {  // swap two bytes
+        if (out.size() < 2) break;
+        const std::size_t i = pick_offset(rng_, out.size());
+        const std::size_t j = pick_offset(rng_, out.size());
+        std::swap(out[i], out[j]);
+        break;
+      }
+    }
+  }
+  if (out.size() > kMaxLen) out.resize(kMaxLen);
+  return out;
+}
+
+std::string TokenMutator::generate(const std::vector<std::string>& dictionary,
+                                   int max_tokens) {
+  std::string out;
+  if (dictionary.empty()) return out;
+  const int n = rng_.uniform_int(1, std::max(1, max_tokens));
+  for (int i = 0; i < n; ++i) {
+    out += dictionary[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(dictionary.size()) - 1))];
+    // Whitespace jitter between tokens, sometimes none at all.
+    switch (rng_.uniform_int(0, 3)) {
+      case 0: out += ' '; break;
+      case 1: out += '\n'; break;
+      default: break;
+    }
+  }
+  if (out.size() > ByteMutator::kMaxLen) out.resize(ByteMutator::kMaxLen);
+  return out;
+}
+
+std::string TokenMutator::splice(const std::string& input,
+                                 const std::vector<std::string>& dictionary) {
+  std::string out = input;
+  if (dictionary.empty()) return out;
+  const int n = rng_.uniform_int(1, 3);
+  for (int i = 0; i < n; ++i) {
+    const auto& tok = dictionary[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(dictionary.size()) - 1))];
+    const std::size_t at =
+        out.empty() ? 0
+                    : static_cast<std::size_t>(
+                          rng_.uniform_int(0, static_cast<int>(out.size())));
+    out.insert(at, tok);
+  }
+  if (out.size() > ByteMutator::kMaxLen) out.resize(ByteMutator::kMaxLen);
+  return out;
+}
+
+}  // namespace cpsguard::fuzz

@@ -1,0 +1,55 @@
+// Seeded, deterministic input mutators for the fuzz subsystem.
+//
+// Both mutators draw every decision from a util::Rng the caller seeds, so a
+// fuzz campaign is a pure function of (target, seed, iters): the same seed
+// replays the same mutation sequence byte-for-byte, which is what makes a
+// crash found in CI reproducible locally with one command.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cpsguard::fuzz {
+
+/// Structure-blind byte-level mutator: bit flips, byte edits, span
+/// duplication/erasure, truncation, and dictionary-token splicing. Output
+/// length is capped so hostile growth loops cannot balloon the corpus.
+class ByteMutator {
+ public:
+  explicit ByteMutator(util::Rng rng) : rng_(rng) {}
+
+  /// Produce one mutant of `input`. `dictionary` tokens (magic strings,
+  /// keywords, field names) are occasionally spliced in, which is what lets
+  /// a blind mutator reach past magic-number checks.
+  std::string mutate(const std::string& input,
+                     const std::vector<std::string>& dictionary);
+
+  static constexpr std::size_t kMaxLen = 4096;
+
+ private:
+  util::Rng rng_;
+};
+
+/// Structure-aware token mutator: assembles inputs by concatenating
+/// dictionary tokens (with whitespace jitter), so grammar-shaped inputs —
+/// STL formulas, key=value lines — reach deep parser states that byte
+/// noise alone rarely hits.
+class TokenMutator {
+ public:
+  explicit TokenMutator(util::Rng rng) : rng_(rng) {}
+
+  /// Build an input of up to `max_tokens` dictionary tokens.
+  std::string generate(const std::vector<std::string>& dictionary,
+                       int max_tokens);
+
+  /// Splice 1-3 dictionary tokens into `input` at random offsets.
+  std::string splice(const std::string& input,
+                     const std::vector<std::string>& dictionary);
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace cpsguard::fuzz

@@ -4,7 +4,8 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
+
+#include "util/error.h"
 
 namespace cpsguard::nn {
 
@@ -24,7 +25,7 @@ void write_u32(std::ostream& os, std::uint32_t v) {
 std::uint32_t read_u32(std::istream& is) {
   unsigned char buf[4];
   is.read(reinterpret_cast<char*>(buf), 4);
-  if (!is) throw std::runtime_error("model stream truncated");
+  if (!is) throw CpsError("model stream truncated");
   return static_cast<std::uint32_t>(buf[0]) |
          (static_cast<std::uint32_t>(buf[1]) << 8) |
          (static_cast<std::uint32_t>(buf[2]) << 16) |
@@ -46,27 +47,33 @@ void save_params(std::ostream& os, std::span<Param* const> params) {
     os.write(reinterpret_cast<const char*>(data.data()),
              static_cast<std::streamsize>(data.size() * sizeof(float)));
   }
-  if (!os) throw std::runtime_error("failed writing model stream");
+  if (!os) throw CpsError("failed writing model stream");
 }
 
 void load_params(std::istream& is, std::span<Param* const> params) {
   char magic[4];
   is.read(magic, 4);
   if (!is || std::string(magic, 4) != std::string(kMagic, 4)) {
-    throw std::runtime_error("bad model magic");
+    throw CpsError("bad model magic");
   }
   const std::uint32_t version = read_u32(is);
   if (version != kVersion) {
-    throw std::runtime_error("unsupported model version " + std::to_string(version));
+    throw CpsError("unsupported model version " + std::to_string(version));
   }
   const std::uint32_t count = read_u32(is);
   if (count != params.size()) {
-    throw std::runtime_error("param count mismatch: stream has " +
-                             std::to_string(count) + ", model has " +
-                             std::to_string(params.size()));
+    throw CpsError("param count mismatch: stream has " +
+                   std::to_string(count) + ", model has " +
+                   std::to_string(params.size()));
   }
   for (Param* p : params) {
+    // Check the length against the expected name *before* allocating: a
+    // corrupt stream declaring name_len = 0xffffffff must not trigger a
+    // 4 GiB allocation (allocation bomb, found by fuzz target "serialize").
     const std::uint32_t name_len = read_u32(is);
+    if (name_len != p->name.size()) {
+      throw CpsError("param mismatch while loading '" + p->name + "'");
+    }
     std::string name(name_len, '\0');
     is.read(name.data(), static_cast<std::streamsize>(name_len));
     const std::uint32_t rows = read_u32(is);
@@ -74,25 +81,25 @@ void load_params(std::istream& is, std::span<Param* const> params) {
     if (!is || name != p->name ||
         rows != static_cast<std::uint32_t>(p->value.rows()) ||
         cols != static_cast<std::uint32_t>(p->value.cols())) {
-      throw std::runtime_error("param mismatch while loading '" + p->name + "'");
+      throw CpsError("param mismatch while loading '" + p->name + "'");
     }
     auto data = p->value.data();
     is.read(reinterpret_cast<char*>(data.data()),
             static_cast<std::streamsize>(data.size() * sizeof(float)));
-    if (!is) throw std::runtime_error("model stream truncated in '" + p->name + "'");
+    if (!is) throw CpsError("model stream truncated in '" + p->name + "'");
   }
 }
 
 void save_classifier(const std::string& path, Classifier& clf) {
   std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("cannot open model file for writing: " + path);
+  if (!f) throw CpsError("cannot open model file for writing: " + path);
   const auto ps = clf.params();
   save_params(f, ps);
 }
 
 void load_classifier(const std::string& path, Classifier& clf) {
   std::ifstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("cannot open model file for reading: " + path);
+  if (!f) throw CpsError("cannot open model file for reading: " + path);
   const auto ps = clf.params();
   load_params(f, ps);
 }

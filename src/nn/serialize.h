@@ -16,7 +16,8 @@ namespace cpsguard::nn {
 void save_params(std::ostream& os, std::span<Param* const> params);
 
 /// Load into existing params: names, order and shapes must match what was
-/// saved. Throws std::runtime_error on any mismatch or truncated stream.
+/// saved. Throws CpsError on any mismatch or truncated stream; hostile
+/// headers (e.g. a 4 GiB name length) are rejected before any allocation.
 void load_params(std::istream& is, std::span<Param* const> params);
 
 /// Convenience wrappers over file paths.

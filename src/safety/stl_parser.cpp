@@ -1,14 +1,23 @@
 #include "safety/stl_parser.h"
 
 #include <cctype>
+#include <limits>
+
+#include "util/parse.h"
 
 namespace cpsguard::safety {
 
 StlParseError::StlParseError(const std::string& message, std::size_t position)
-    : std::runtime_error(message + " (at offset " + std::to_string(position) + ")"),
+    : CpsError(message + " (at offset " + std::to_string(position) + ")"),
       position_(position) {}
 
 namespace {
+
+// Recursion budget for nested formulas. Each grammar level recurses through
+// disj→conj→until→unary, so hostile input like "((((…" would otherwise
+// smash the stack long before exhausting memory (found by fuzz target
+// "stl"). 64 parenthesis levels is far beyond any real Table-I rule.
+constexpr int kMaxDepth = 64;
 
 class Parser {
  public:
@@ -59,7 +68,13 @@ class Parser {
       ++pos_;
     }
     if (pos_ == start) throw StlParseError("expected an integer", pos_);
-    return std::stoi(text_.substr(start, pos_ - start));
+    // stoi would throw untyped std::out_of_range on "99999999999" (fuzz
+    // target "stl"); window bounds are step counts, so keep them in int.
+    const auto v = util::try_parse_int(text_.substr(start, pos_ - start));
+    if (!v || *v > std::numeric_limits<int>::max()) {
+      throw StlParseError("integer out of range", start);
+    }
+    return static_cast<int>(*v);
   }
 
   double number() {
@@ -73,7 +88,12 @@ class Parser {
       ++pos_;
     }
     if (!digits) throw StlParseError("expected a number", pos_);
-    return std::stod(text_.substr(start, pos_ - start));
+    // Strict parse: "." or "1.2.3" pass the digit scan above but are not
+    // numbers (stod threw untyped std::invalid_argument on the former, and
+    // silently truncated the latter; both found by fuzz target "stl").
+    const auto v = util::try_parse_double(text_.substr(start, pos_ - start));
+    if (!v) throw StlParseError("malformed number", start);
+    return *v;
   }
 
   std::string identifier() {
@@ -127,6 +147,17 @@ class Parser {
   }
 
   StlFormula::Ptr unary() {
+    // Every nesting construct ('!', 'G[', 'F[', '(') recurses through
+    // unary(), so one depth guard here bounds the whole grammar.
+    if (++depth_ > kMaxDepth) {
+      throw StlParseError("formula nested deeper than 64 levels", pos_);
+    }
+    StlFormula::Ptr f = unary_inner();
+    --depth_;
+    return f;
+  }
+
+  StlFormula::Ptr unary_inner() {
     skip_ws();
     if (eat("!")) return StlFormula::negate(unary());
     if (temporal_ahead('G')) {
@@ -197,6 +228,7 @@ class Parser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

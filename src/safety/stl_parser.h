@@ -18,15 +18,18 @@
 //   "(BG > 120 U[0,6] dIOB > 0)"
 #pragma once
 
-#include <stdexcept>
 #include <string>
 
 #include "safety/stl.h"
+#include "util/error.h"
 
 namespace cpsguard::safety {
 
-/// Error with position information for malformed formula text.
-class StlParseError : public std::runtime_error {
+/// Error with position information for malformed formula text. Raised for
+/// every malformed input — syntax errors, out-of-range numbers, and
+/// pathologically deep nesting — so hostile formula text can never escape
+/// as an untyped exception or a stack overflow.
+class StlParseError : public CpsError {
  public:
   StlParseError(const std::string& message, std::size_t position);
 

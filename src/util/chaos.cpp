@@ -8,6 +8,8 @@
 #include "obs/fileio.h"
 #include "obs/metrics.h"
 #include "util/contracts.h"
+#include "util/logging.h"
+#include "util/parse.h"
 
 namespace cpsguard::util {
 
@@ -29,10 +31,19 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// Strict and locale-independent, unlike the std::atof it replaced: under a
+// comma-decimal LC_NUMERIC, atof("0.5") parses as 0 and silently disables
+// the very faults a chaos run was asked to inject. A malformed rate is a
+// loud warning + default, never a silent zero.
 double env_rate(const char* name, double def) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return def;
-  return std::atof(v);
+  const auto parsed = try_parse_double(v);
+  if (!parsed) {
+    log_warn("chaos: ignoring unparseable ", name, "=\"", v, "\", using ", def);
+    return def;
+  }
+  return *parsed;
 }
 
 struct ChaosMetrics {
@@ -52,22 +63,28 @@ struct ChaosMetrics {
 
 }  // namespace
 
-ChaosInjector::ChaosInjector() {
-  const char* flag = std::getenv("CPSGUARD_CHAOS");
+ChaosConfig ChaosInjector::config_from_env() {
   ChaosConfig cfg;
-  if (flag != nullptr && std::string(flag) != "0" && *flag != '\0') {
-    cfg.enabled = true;
-    cfg.seed = static_cast<std::uint64_t>(
-        std::strtoull(std::getenv("CPSGUARD_CHAOS_SEED") != nullptr
-                          ? std::getenv("CPSGUARD_CHAOS_SEED")
-                          : "1337",
-                      nullptr, 10));
-    cfg.task_throw_rate = env_rate("CPSGUARD_CHAOS_TASK_RATE", 0.2);
-    cfg.io_fail_rate = env_rate("CPSGUARD_CHAOS_IO_RATE", 0.2);
-    cfg.corrupt_rate = env_rate("CPSGUARD_CHAOS_CORRUPT_RATE", 0.2);
+  const char* flag = std::getenv("CPSGUARD_CHAOS");
+  if (flag == nullptr || std::string(flag) == "0" || *flag == '\0') return cfg;
+  cfg.enabled = true;
+  cfg.seed = 1337;
+  const char* seed_env = std::getenv("CPSGUARD_CHAOS_SEED");
+  if (seed_env != nullptr && *seed_env != '\0') {
+    if (const auto seed = try_parse_u64(seed_env)) {
+      cfg.seed = *seed;
+    } else {
+      log_warn("chaos: ignoring unparseable CPSGUARD_CHAOS_SEED=\"", seed_env,
+               "\", using 1337");
+    }
   }
-  configure(cfg);
+  cfg.task_throw_rate = env_rate("CPSGUARD_CHAOS_TASK_RATE", 0.2);
+  cfg.io_fail_rate = env_rate("CPSGUARD_CHAOS_IO_RATE", 0.2);
+  cfg.corrupt_rate = env_rate("CPSGUARD_CHAOS_CORRUPT_RATE", 0.2);
+  return cfg;
 }
+
+ChaosInjector::ChaosInjector() { configure(config_from_env()); }
 
 ChaosInjector& ChaosInjector::instance() {
   static ChaosInjector injector;

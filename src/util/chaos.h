@@ -47,6 +47,13 @@ class ChaosInjector {
   /// Process singleton; first use reads the CPSGUARD_CHAOS* environment.
   static ChaosInjector& instance();
 
+  /// Parse the CPSGUARD_CHAOS* environment into a config (what the
+  /// constructor applies). Strict, locale-independent number parsing: a
+  /// malformed rate or seed logs a warning and keeps the default — never a
+  /// silent zero the way the old atof-based parsing could produce under a
+  /// comma-decimal locale. Exposed for tests.
+  [[nodiscard]] static ChaosConfig config_from_env();
+
   /// Replace the configuration (tests). Installs/removes the obs write
   /// fault hook to match io_fail_rate.
   void configure(const ChaosConfig& config);

@@ -1,6 +1,7 @@
 #include "util/cli.h"
 
-#include <stdexcept>
+#include "util/error.h"
+#include "util/parse.h"
 
 namespace cpsguard::util {
 
@@ -9,7 +10,7 @@ Cli::Cli(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
-      throw std::invalid_argument("unexpected positional argument: " + arg);
+      throw CpsError("unexpected positional argument: " + arg);
     }
     arg = arg.substr(2);
     const auto eq = arg.find('=');
@@ -41,14 +42,14 @@ int Cli::get_int(const std::string& name, int def) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
   used_[name] = true;
-  return std::stoi(it->second);
+  return parse_int32(it->second, "--" + name);
 }
 
 double Cli::get_double(const std::string& name, double def) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
   used_[name] = true;
-  return std::stod(it->second);
+  return parse_double(it->second, "--" + name);
 }
 
 bool Cli::get_bool(const std::string& name, bool def) const {

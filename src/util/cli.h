@@ -11,11 +11,13 @@ namespace cpsguard::util {
 
 class Cli {
  public:
-  /// Parses argv. Throws std::invalid_argument on a malformed flag.
+  /// Parses argv. Throws CpsError on a malformed flag.
   Cli(int argc, const char* const* argv);
 
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::string get(const std::string& name, const std::string& def) const;
+  /// Typed getters parse strictly (locale-independent, no trailing garbage:
+  /// "--threads=4x" is a ParseError naming the flag, not a silent 4).
   [[nodiscard]] int get_int(const std::string& name, int def) const;
   [[nodiscard]] double get_double(const std::string& name, double def) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool def) const;

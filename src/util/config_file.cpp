@@ -2,7 +2,9 @@
 
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
+
+#include "util/error.h"
+#include "util/parse.h"
 
 namespace cpsguard::util {
 
@@ -30,17 +32,17 @@ ConfigFile ConfigFile::parse(const std::string& text) {
     if (line.empty()) continue;
     const auto eq = line.find('=');
     if (eq == std::string::npos) {
-      throw std::runtime_error("config line " + std::to_string(line_no) +
+      throw CpsError("config line " + std::to_string(line_no) +
                                ": expected key = value");
     }
     const std::string key = trim(line.substr(0, eq));
     const std::string value = trim(line.substr(eq + 1));
     if (key.empty()) {
-      throw std::runtime_error("config line " + std::to_string(line_no) +
+      throw CpsError("config line " + std::to_string(line_no) +
                                ": empty key");
     }
     if (cfg.values_.contains(key)) {
-      throw std::runtime_error("config line " + std::to_string(line_no) +
+      throw CpsError("config line " + std::to_string(line_no) +
                                ": duplicate key '" + key + "'");
     }
     cfg.values_[key] = value;
@@ -50,7 +52,7 @@ ConfigFile ConfigFile::parse(const std::string& text) {
 
 ConfigFile ConfigFile::load(const std::string& path) {
   std::ifstream f(path);
-  if (!f) throw std::runtime_error("cannot open config file: " + path);
+  if (!f) throw CpsError("cannot open config file: " + path);
   std::ostringstream ss;
   ss << f.rdbuf();
   return parse(ss.str());
@@ -67,12 +69,12 @@ std::string ConfigFile::get(const std::string& key, const std::string& def) cons
 
 int ConfigFile::get_int(const std::string& key, int def) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? def : std::stoi(it->second);
+  return it == values_.end() ? def : parse_int32(it->second, key);
 }
 
 double ConfigFile::get_double(const std::string& key, double def) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? def : std::stod(it->second);
+  return it == values_.end() ? def : parse_double(it->second, key);
 }
 
 bool ConfigFile::get_bool(const std::string& key, bool def) const {

@@ -12,15 +12,17 @@ namespace cpsguard::util {
 
 class ConfigFile {
  public:
-  /// Parse from text; throws std::runtime_error with a line number on
-  /// malformed input or duplicate keys.
+  /// Parse from text; throws CpsError with a line number on malformed
+  /// input or duplicate keys.
   static ConfigFile parse(const std::string& text);
-  /// Read and parse a file; throws std::runtime_error if unreadable.
+  /// Read and parse a file; throws CpsError if unreadable.
   static ConfigFile load(const std::string& path);
 
   [[nodiscard]] bool has(const std::string& key) const;
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& def) const;
+  /// Typed getters parse strictly (locale-independent, no trailing
+  /// garbage): "threads = 4x" is a ParseError naming the key.
   [[nodiscard]] int get_int(const std::string& key, int def) const;
   [[nodiscard]] double get_double(const std::string& key, double def) const;
   [[nodiscard]] bool get_bool(const std::string& key, bool def) const;

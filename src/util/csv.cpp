@@ -2,10 +2,10 @@
 
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 
 #include "obs/fileio.h"
 #include "util/contracts.h"
+#include "util/error.h"
 #include "util/retry.h"
 
 namespace cpsguard::util {
@@ -13,7 +13,10 @@ namespace cpsguard::util {
 namespace {
 
 bool needs_quoting(const std::string& s) {
-  return s.find_first_of(",\"\n") != std::string::npos;
+  // '\r' must be quoted too: the reader strips bare carriage returns (CRLF
+  // tolerance), so an unquoted "\r" inside a field would silently vanish on
+  // the way back in (write→parse mismatch found by fuzz target "csv").
+  return s.find_first_of(",\"\n\r") != std::string::npos;
 }
 
 std::string escape(const std::string& s) {
@@ -112,7 +115,7 @@ std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
 
 std::vector<std::vector<std::string>> read_csv(const std::string& path) {
   std::ifstream f(path);
-  if (!f) throw std::runtime_error("cannot open CSV for reading: " + path);
+  if (!f) throw CpsError("cannot open CSV for reading: " + path);
   std::ostringstream ss;
   ss << f.rdbuf();
   return parse_csv(ss.str());

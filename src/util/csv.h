@@ -33,10 +33,11 @@ class CsvWriter {
 };
 
 /// Parse CSV text into rows of fields. Handles quoted fields with embedded
-/// commas/quotes; does not handle embedded newlines (not produced by us).
+/// commas/quotes/newlines; bare '\r' outside quotes is stripped (CRLF
+/// tolerance), which is why the writer quotes any field containing one.
 std::vector<std::vector<std::string>> parse_csv(const std::string& text);
 
-/// Read and parse a CSV file; throws std::runtime_error if unreadable.
+/// Read and parse a CSV file; throws CpsError if unreadable.
 std::vector<std::vector<std::string>> read_csv(const std::string& path);
 
 }  // namespace cpsguard::util

@@ -1,0 +1,35 @@
+// Typed error hierarchy for everything that rejects hostile or malformed
+// input. The robustness contract enforced by src/fuzz is:
+//
+//   every ingestion surface (CLI flags, config files, CSV, JSON, STL
+//   formulas, checkpoint records, serialized models) either succeeds or
+//   throws a CpsError (or ContractViolation) — it never invokes UB, never
+//   aborts, and never silently accepts-then-corrupts.
+//
+// CpsError derives from std::runtime_error so existing call sites and tests
+// that catch std::runtime_error keep working; new code should catch the
+// typed classes.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cpsguard {
+
+/// Base class for all recoverable cpsguard errors caused by bad input or a
+/// failed environment interaction (as opposed to programming errors, which
+/// are ContractViolation).
+class CpsError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A string failed to parse as the requested type (wrong syntax, trailing
+/// garbage, out of range). Carries the offending text and, when known, the
+/// key/flag it was supplied for.
+class ParseError : public CpsError {
+ public:
+  using CpsError::CpsError;
+};
+
+}  // namespace cpsguard

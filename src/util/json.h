@@ -1,6 +1,9 @@
-// Minimal JSON writer (no parsing): enough to emit experiment reports that
-// downstream plotting/CI tooling can consume. Proper string escaping,
-// stable key order (insertion order), and locale-independent numbers.
+// Minimal JSON value type: a writer for experiment reports that downstream
+// plotting/CI tooling can consume (proper string escaping, stable key order
+// — insertion order — and locale-independent numbers) plus a strict
+// recursive-descent parser so manifests and reports can be read back and
+// round-trip-checked (dump∘parse is a fixpoint after one normalization
+// pass; fuzz target "json" enforces it).
 #pragma once
 
 #include <memory>
@@ -8,7 +11,16 @@
 #include <utility>
 #include <vector>
 
+#include "util/error.h"
+
 namespace cpsguard::util {
+
+/// Malformed JSON text: syntax error, bad escape, trailing garbage,
+/// out-of-range number, or nesting deeper than the parser's depth cap.
+class JsonParseError : public CpsError {
+ public:
+  using CpsError::CpsError;
+};
 
 class Json {
  public:
@@ -31,6 +43,12 @@ class Json {
 
   /// Serialize; `indent` > 0 pretty-prints with that many spaces per level.
   [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Strict parse of one JSON value; throws JsonParseError on malformed
+  /// input, trailing garbage, or nesting beyond 256 levels. Numbers parse
+  /// locale-independently; integral tokens that fit a long become integer
+  /// values, everything else a double.
+  static Json parse(const std::string& text);
 
   /// Escape a string for embedding in JSON (without surrounding quotes).
   static std::string escape(const std::string& s);

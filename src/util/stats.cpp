@@ -75,7 +75,14 @@ double stddev_f(std::span<const float> xs) {
 double quantile(std::vector<double> xs, double q) {
   expects(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
   if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
+  // NaN-last ordering: plain operator< with a NaN present breaks std::sort's
+  // strict weak ordering (UB). Finite-only inputs sort identically; NaNs
+  // sink to the top quantiles instead of scrambling the array.
+  std::sort(xs.begin(), xs.end(), [](double a, double b) {
+    if (std::isnan(a)) return false;
+    if (std::isnan(b)) return true;
+    return a < b;
+  });
   const double pos = q * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const auto hi = std::min(lo + 1, xs.size() - 1);

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/fileio.h"
 #include "util/retry.h"
@@ -132,6 +136,66 @@ TEST_F(ChaosTest, CorruptFileDamagesOncePerKey) {
   EXPECT_FALSE(chaos().maybe_corrupt_file(path, "rec-1"));
   EXPECT_EQ(slurp(path), damaged);
   fs::remove(path);
+}
+
+// Env parsing regression: rates went through std::atof, which honors
+// LC_NUMERIC (comma-decimal locales parse "0.5" as 0 — silently disabling
+// the faults a chaos run asked for) and accepts trailing garbage. Parsing
+// is now strict; malformed values warn and keep the documented default.
+class ChaosEnvTest : public ChaosTest {
+ protected:
+  void SetUp() override {
+    ChaosTest::SetUp();
+    for (const char* name : kVars) {
+      const char* v = std::getenv(name);
+      saved_env_.emplace_back(name, v ? std::optional<std::string>(v)
+                                      : std::nullopt);
+      ::unsetenv(name);
+    }
+  }
+  void TearDown() override {
+    for (const auto& [name, value] : saved_env_) {
+      if (value) {
+        ::setenv(name.c_str(), value->c_str(), 1);
+      } else {
+        ::unsetenv(name.c_str());
+      }
+    }
+    ChaosTest::TearDown();
+  }
+
+  static constexpr const char* kVars[] = {
+      "CPSGUARD_CHAOS", "CPSGUARD_CHAOS_SEED", "CPSGUARD_CHAOS_TASK_RATE",
+      "CPSGUARD_CHAOS_IO_RATE", "CPSGUARD_CHAOS_CORRUPT_RATE"};
+
+  std::vector<std::pair<std::string, std::optional<std::string>>> saved_env_;
+};
+
+TEST_F(ChaosEnvTest, DisabledWithoutFlag) {
+  EXPECT_FALSE(ChaosInjector::config_from_env().enabled);
+}
+
+TEST_F(ChaosEnvTest, ParsesWellFormedKnobs) {
+  ::setenv("CPSGUARD_CHAOS", "1", 1);
+  ::setenv("CPSGUARD_CHAOS_SEED", "99", 1);
+  ::setenv("CPSGUARD_CHAOS_TASK_RATE", "0.35", 1);
+  const ChaosConfig cfg = ChaosInjector::config_from_env();
+  EXPECT_TRUE(cfg.enabled);
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_DOUBLE_EQ(cfg.task_throw_rate, 0.35);
+  EXPECT_DOUBLE_EQ(cfg.io_fail_rate, 0.2);  // untouched knob keeps default
+}
+
+TEST_F(ChaosEnvTest, MalformedKnobsKeepDefaultsNotZero) {
+  ::setenv("CPSGUARD_CHAOS", "1", 1);
+  ::setenv("CPSGUARD_CHAOS_SEED", "12x", 1);
+  ::setenv("CPSGUARD_CHAOS_TASK_RATE", "0,5", 1);  // comma-locale spelling
+  ::setenv("CPSGUARD_CHAOS_IO_RATE", "lots", 1);
+  const ChaosConfig cfg = ChaosInjector::config_from_env();
+  EXPECT_TRUE(cfg.enabled);
+  EXPECT_EQ(cfg.seed, 1337u);
+  EXPECT_DOUBLE_EQ(cfg.task_throw_rate, 0.2);
+  EXPECT_DOUBLE_EQ(cfg.io_fail_rate, 0.2);
 }
 
 }  // namespace

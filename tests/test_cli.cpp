@@ -4,6 +4,8 @@
 
 #include <stdexcept>
 
+#include "util/error.h"
+
 namespace cpsguard::util {
 namespace {
 
@@ -45,7 +47,38 @@ TEST(Cli, BoolParsesCommonForms) {
 }
 
 TEST(Cli, RejectsPositionalArguments) {
-  EXPECT_THROW(make_cli({"positional"}), std::invalid_argument);
+  EXPECT_THROW(make_cli({"positional"}), CpsError);
+}
+
+// Regression (fuzz target "cli"): numeric flags used to go through std::stoi
+// / std::stod, which accepted trailing garbage ("--threads=4x" parsed as 4)
+// and threw untyped std::invalid_argument / std::out_of_range on junk.
+TEST(Cli, TypedGettersRejectTrailingGarbage) {
+  EXPECT_THROW(make_cli({"--threads=4x"}).get_int("threads", 0), ParseError);
+  EXPECT_THROW(make_cli({"--rate=0.5pt"}).get_double("rate", 0.0), ParseError);
+}
+
+TEST(Cli, TypedGettersRejectNonNumeric) {
+  EXPECT_THROW(make_cli({"--threads", "many"}).get_int("threads", 0), ParseError);
+  EXPECT_THROW(make_cli({"--rate", "."}).get_double("rate", 0.0), ParseError);
+  EXPECT_THROW(make_cli({"--threads="}).get_int("threads", 0), ParseError);
+}
+
+TEST(Cli, TypedGettersRejectOutOfRange) {
+  EXPECT_THROW(make_cli({"--threads=9999999999999999999"}).get_int("threads", 0),
+               ParseError);
+  EXPECT_THROW(make_cli({"--rate=1e999"}).get_double("rate", 0.0), ParseError);
+}
+
+TEST(Cli, ParseErrorNamesTheFlagAndRawText) {
+  try {
+    (void)make_cli({"--threads=4x"}).get_int("threads", 0);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--threads"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("4x"), std::string::npos) << msg;
+  }
 }
 
 TEST(Cli, UnusedTracksUnqueriedFlags) {

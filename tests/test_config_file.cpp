@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "util/error.h"
+
 namespace cpsguard::util {
 namespace {
 
@@ -81,6 +83,33 @@ TEST(ConfigFile, LoadMissingFileThrows) {
 TEST(ConfigFile, ValueMayContainEquals) {
   const auto cfg = ConfigFile::parse("expr = a=b\n");
   EXPECT_EQ(cfg.get("expr", ""), "a=b");
+}
+
+// Regression (fuzz target "config"): get_int/get_double went through
+// std::stoi/std::stod — trailing garbage silently truncated and junk threw
+// untyped std::invalid_argument / std::out_of_range.
+TEST(ConfigFile, TypedGettersRejectTrailingGarbage) {
+  const auto cfg = ConfigFile::parse("threads = 4x\nrate = 0.5pt\n");
+  EXPECT_THROW(cfg.get_int("threads", 0), ParseError);
+  EXPECT_THROW(cfg.get_double("rate", 0.0), ParseError);
+}
+
+TEST(ConfigFile, TypedGettersRejectOutOfRange) {
+  const auto cfg = ConfigFile::parse("k = 1e999\nn = 9999999999999999999\n");
+  EXPECT_THROW(cfg.get_double("k", 0.0), ParseError);
+  EXPECT_THROW(cfg.get_int("n", 0), ParseError);
+}
+
+TEST(ConfigFile, ParseErrorNamesKeyAndRawText) {
+  const auto cfg = ConfigFile::parse("threads = 4x\n");
+  try {
+    (void)cfg.get_int("threads", 0);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("threads"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("4x"), std::string::npos) << msg;
+  }
 }
 
 }  // namespace

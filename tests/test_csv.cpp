@@ -62,6 +62,18 @@ TEST(CsvParse, HandlesCrLf) {
   EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
 }
 
+// Regression (fuzz target "csv"): the parser strips bare '\r' for CRLF
+// tolerance, but the writer left '\r' inside fields unquoted — so a written
+// carriage return silently vanished on reparse (accept-then-corrupt). The
+// writer now quotes it like ',', '"', and '\n'.
+TEST(CsvRoundtrip, CarriageReturnInFieldSurvives) {
+  CsvWriter w({"h1", "h2"});
+  w.add_row({"a\rb", "c"});
+  const auto rows = parse_csv(w.to_string());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"a\rb", "c"}));
+}
+
 TEST(CsvParse, TrailingLineWithoutNewline) {
   const auto rows = parse_csv("a,b\n1,2");
   ASSERT_EQ(rows.size(), 2u);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "attack/fgsm.h"
 #include "monitor/features.h"
 #include "nn/classifier.h"
@@ -69,6 +71,24 @@ TEST(SqueezeMedian, WindowOneIsIdentity) {
   util::Rng rng(2);
   const nn::Tensor3 x = random_windows(4, 4, rng);
   EXPECT_TRUE(squeeze_median(x, cfg) == x);
+}
+
+// Regression (NaN-ordering audit): the raw-ML resilience path feeds windows
+// containing NaN readings straight through, and nth_element with operator<
+// on NaN input is strict-weak-ordering UB. NaNs order last now, so the
+// median over {finite, finite, NaN} is the larger finite value — defined
+// and deterministic — and neighbouring cells are untouched.
+TEST(SqueezeMedian, NanReadingDoesNotScrambleTheWindow) {
+  nn::Tensor3 x(1, 3, Features::kNumFeatures);
+  for (float& v : x.data()) v = 1.0f;
+  x.at(0, 1, 0) = std::numeric_limits<float>::quiet_NaN();
+  SqueezeConfig cfg;
+  cfg.median_window = 3;
+  const nn::Tensor3 m = squeeze_median(x, cfg);
+  EXPECT_FLOAT_EQ(m.at(0, 1, 0), 1.0f);  // median of {1, NaN, 1} = 1
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_FLOAT_EQ(m.at(0, t, 1), 1.0f);  // other features stay clean
+  }
 }
 
 TEST(SqueezeMedian, RejectsEvenWindow) {

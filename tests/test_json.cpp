@@ -70,5 +70,51 @@ TEST(Json, TypeMisuseThrows) {
   EXPECT_THROW(obj.push(Json::null()), cpsguard::ContractViolation);
 }
 
+// ---- parser (new in the fuzz PR; fuzz target "json" hammers it) -----------
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  Json j = Json::object();
+  j.set("schema", Json::str("cpsguard.bench_manifest.v1"));
+  j.set("seed", Json::integer(7));
+  j.set("rate", Json::number(0.25));
+  j.set("flags", Json::array().push(Json::boolean(true)).push(Json::null()));
+  j.set("note", Json::str("line\nbreak \"quoted\" \x01"));
+  const std::string d = j.dump();
+  EXPECT_EQ(Json::parse(d).dump(), d);
+}
+
+TEST(JsonParse, AcceptsScalarsAndNormalizesNumbers) {
+  EXPECT_EQ(Json::parse("null").dump(), "null");
+  EXPECT_EQ(Json::parse(" true ").dump(), "true");
+  EXPECT_EQ(Json::parse("-42").dump(), "-42");
+  EXPECT_EQ(Json::parse("1e2").dump(), "100");    // integral sci → integer
+  EXPECT_EQ(Json::parse("2.5").dump(), "2.5");
+  EXPECT_EQ(Json::parse("-0").dump(), "0");       // -0 flips to integer 0
+  EXPECT_EQ(Json::parse("\"\\u0041\\ud834\\udd1e\"").dump(),
+            "\"A\xf0\x9d\x84\x9e\"");             // surrogate pair → UTF-8
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"k\":}", "tru", "01", "1.", "+1", "1e999",
+        "\"unterminated", "\"bad\\q\"", "\"\\ud834\"", "\"\\udd1e x\"",
+        "{\"a\":1,}", "[1] garbage", "{'k':1}", "nan"}) {
+    EXPECT_THROW(Json::parse(bad), JsonParseError) << "input: " << bad;
+  }
+  // Raw control bytes must arrive escaped.
+  EXPECT_THROW(Json::parse(std::string("\"a\nb\"")), JsonParseError);
+}
+
+TEST(JsonParse, DeepNestingHitsDepthCapNotStack) {
+  const std::string deep(400, '[');
+  EXPECT_THROW(Json::parse(deep + std::string(400, ']')), JsonParseError);
+  std::string ok = std::string(100, '[') + "1" + std::string(100, ']');
+  EXPECT_EQ(Json::parse(ok).dump(), ok);
+}
+
+TEST(JsonParse, ParseErrorIsTypedCpsError) {
+  EXPECT_THROW(Json::parse("{"), CpsError);
+}
+
 }  // namespace
 }  // namespace cpsguard::util

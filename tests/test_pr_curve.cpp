@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "util/contracts.h"
 
 namespace cpsguard::eval {
@@ -66,6 +69,31 @@ TEST(PrCurve, RejectsBadInput) {
   const std::vector<int> two = {1, 0};
   EXPECT_THROW(precision_recall_curve(s, two), cpsguard::ContractViolation);
   EXPECT_THROW(precision_recall_curve({}, {}), cpsguard::ContractViolation);
+}
+
+// Regression (fuzz oracle "pr_curve"): a NaN score used to flow into
+// std::sort's comparator, violating strict weak ordering — UB that shuffled
+// the ranking arbitrarily. Policy (see pr_curve.h): NaN is rejected, ±inf
+// is an ordinary totally-ordered score.
+TEST(PrCurve, NanScoreIsRejectedNotSorted) {
+  const std::vector<double> scores = {0.9, std::nan(""), 0.1};
+  const std::vector<int> labels = {1, 0, 0};
+  EXPECT_THROW(precision_recall_curve(scores, labels),
+               cpsguard::ContractViolation);
+  EXPECT_THROW(average_precision(scores, labels), cpsguard::ContractViolation);
+  EXPECT_THROW(best_f1_threshold(scores, labels), cpsguard::ContractViolation);
+}
+
+TEST(PrCurve, InfiniteScoresAreLegitimateRanks) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> scores = {inf, 0.5, -inf};
+  const std::vector<int> labels = {1, 1, 0};
+  const auto curve = precision_recall_curve(scores, labels);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_EQ(curve.front().threshold, inf);
+  EXPECT_EQ(curve.back().threshold, -inf);
+  EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+  EXPECT_DOUBLE_EQ(average_precision(scores, labels), 1.0);
 }
 
 }  // namespace

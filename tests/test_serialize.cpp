@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
 
+#include "util/error.h"
 #include "util/rng.h"
 
 namespace cpsguard::nn {
@@ -114,6 +116,36 @@ TEST(Serialize, MissingFileThrows) {
   util::Rng rng(11);
   MlpClassifier clf(1, 2, {3}, 2, rng);
   EXPECT_THROW(load_classifier("/nonexistent/model.bin", clf), std::runtime_error);
+}
+
+// Regression (fuzz target "serialize"): a corrupt stream declaring
+// name_len = 0xffffffff allocated 4 GiB before any validation. The length
+// is now checked against the expected param name first.
+TEST(Serialize, CorruptNameLengthIsNotAnAllocationBomb) {
+  Param p("w1", Matrix::full(2, 2, 1.0f));
+  std::vector<Param*> ptrs = {&p};
+  std::string bomb("CPSG", 4);
+  const auto put_u32 = [&bomb](std::uint32_t v) {
+    for (int b = 0; b < 4; ++b) bomb += static_cast<char>((v >> (8 * b)) & 0xff);
+  };
+  put_u32(1);            // version
+  put_u32(1);            // param count
+  put_u32(0xffffffffu);  // hostile name length
+  std::istringstream is(bomb);
+  EXPECT_THROW(load_params(is, ptrs), CpsError);
+}
+
+TEST(Serialize, TruncatedStreamIsTypedError) {
+  Param p("w1", Matrix::full(2, 2, 1.0f));
+  std::vector<Param*> ptrs = {&p};
+  std::ostringstream os;
+  save_params(os, ptrs);
+  const std::string full = os.str();
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{3}, full.size() / 2,
+                                full.size() - 1}) {
+    std::istringstream is(full.substr(0, cut));
+    EXPECT_THROW(load_params(is, ptrs), CpsError) << "cut at " << cut;
+  }
 }
 
 }  // namespace

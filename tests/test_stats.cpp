@@ -106,6 +106,16 @@ TEST(Quantile, RejectsOutOfRangeQ) {
   EXPECT_THROW(quantile({1.0}, 1.5), ContractViolation);
 }
 
+// Regression (NaN-ordering audit): sorting with plain operator< while a NaN
+// is present is strict-weak-ordering UB. NaNs now order last, so the finite
+// quantiles stay well-defined and deterministic.
+TEST(Quantile, NanSortsLastNotUndefined) {
+  const double nan = std::nan("");
+  EXPECT_DOUBLE_EQ(quantile({nan, 1.0, 2.0, 3.0, 4.0}, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({4.0, nan, 2.0, 1.0, 3.0}, 0.0), 1.0);
+  EXPECT_TRUE(std::isnan(quantile({nan, 1.0}, 1.0)));
+}
+
 TEST(Histogram, BinsAndCenters) {
   Histogram h(0.0, 10.0, 5);
   EXPECT_EQ(h.bins(), 5);

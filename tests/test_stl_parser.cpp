@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 namespace cpsguard::safety {
 namespace {
 
@@ -139,6 +141,29 @@ TEST(StlParser, WhitespaceInsensitive) {
   const SignalTrace st = make_trace();
   const auto f = parse_stl("  BG>180&&dBG  >0.1  ");
   EXPECT_TRUE(f->eval(st, 3));
+}
+
+// Regressions from fuzz target "stl": these inputs used to escape as
+// untyped std::invalid_argument / std::out_of_range, silently truncate, or
+// (the nesting case) overflow the stack.
+TEST(StlParser, NumericEdgeCasesAreTypedRejects) {
+  EXPECT_THROW(parse_stl("F[0,99999999999999999999](BG < 70)"), StlParseError);
+  EXPECT_THROW(parse_stl("BG > ."), StlParseError);
+  EXPECT_THROW(parse_stl("BG > 1.2.3"), StlParseError);  // stod took "1.2"
+  EXPECT_THROW(parse_stl("BG > 1e999"), StlParseError);
+}
+
+TEST(StlParser, DeepNestingHitsDepthCapNotStack) {
+  const std::string deep = std::string(200, '(') + "BG > 1" + std::string(200, ')');
+  EXPECT_THROW(parse_stl(deep), StlParseError);
+  // At or under the cap, nesting is fine.
+  const std::string ok = std::string(32, '(') + "BG > 1" + std::string(32, ')');
+  EXPECT_NO_THROW(parse_stl(ok));
+}
+
+TEST(StlParser, ParseErrorIsTypedCpsError) {
+  // StlParseError now derives from CpsError, the repo-wide bad-input type.
+  EXPECT_THROW(parse_stl("("), CpsError);
 }
 
 }  // namespace
