@@ -37,6 +37,7 @@
 #include <thread>
 
 #include "core/cpsguard.h"
+#include "nn/simd_kernels.h"
 #include "obs/events.h"
 #include "obs/manifest.h"
 #include "util/deadline.h"
@@ -85,6 +86,7 @@ class BenchRun {
     if (!events.empty()) obs::enable_events(events);
     manifest_.set_threads(std::thread::hardware_concurrency(),
                           util::max_parallelism());
+    manifest_.set_param("simd_kernel", nn::simd_kernel_name());
     out_ = cli.get("out", name_ + ".csv");
 
     // Crash-safe campaigns: --resume / --checkpoint open a store whose

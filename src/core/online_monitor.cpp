@@ -6,28 +6,23 @@
 namespace cpsguard::core {
 
 OnlineMonitor::OnlineMonitor(monitor::MlMonitor& monitor, int window)
-    : monitor_(monitor), window_(window) {
-  expects(window > 0, "window must be positive");
+    : monitor_(monitor),
+      // RingWindow's contract rejects window <= 0.
+      ring_(window, monitor::Features::kNumFeatures),
+      x_(1, window, monitor::Features::kNumFeatures) {
   expects(monitor.trained(), "monitor must be trained");
 }
 
 OnlineVerdict OnlineMonitor::step(const sim::StepRecord& record) {
-  std::vector<float> row(monitor::Features::kNumFeatures);
-  monitor::fill_features(record, row);
-  history_.push_back(std::move(row));
-  if (static_cast<int>(history_.size()) > window_) history_.pop_front();
+  monitor::fill_features(record, ring_.push_slot());
+  ring_.commit();
   ++cycles_seen_;
 
   OnlineVerdict verdict;
-  if (static_cast<int>(history_.size()) < window_) return verdict;
+  if (!ring_.full()) return verdict;
 
-  nn::Tensor3 x(1, window_, monitor::Features::kNumFeatures);
-  for (int t = 0; t < window_; ++t) {
-    const auto& src = history_[static_cast<std::size_t>(t)];
-    auto dst = x.row(0, t);
-    std::copy(src.begin(), src.end(), dst.begin());
-  }
-  const nn::Matrix probs = monitor_.predict_proba(x);
+  ring_.copy_ordered(x_.data());
+  const nn::Matrix probs = monitor_.predict_proba(x_);
   verdict.ready = true;
   verdict.p_unsafe = probs.at(0, 1);
   verdict.prediction = probs.at(0, 1) > probs.at(0, 0) ? 1 : 0;
@@ -35,7 +30,7 @@ OnlineVerdict OnlineMonitor::step(const sim::StepRecord& record) {
 }
 
 void OnlineMonitor::reset() {
-  history_.clear();
+  ring_.clear();
   cycles_seen_ = 0;
 }
 

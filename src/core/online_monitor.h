@@ -1,11 +1,17 @@
 // Deployment wrapper: an OnlineMonitor feeds a trained MlMonitor one control
 // cycle at a time, maintaining the sliding feature window internally — the
 // way the monitor runs inside a real APS controller loop (paper Fig. 1a).
+//
+// The window lives in a preallocated serve::RingWindow and the inference
+// input tensor is reused across cycles, so the per-step windowing path
+// performs no heap allocations (pinned by the allocation-regression test in
+// tests/test_online_monitor.cpp); for multiplexing many sessions over one
+// monitor, use serve::Engine instead.
 #pragma once
 
-#include <deque>
-
 #include "monitor/ml_monitor.h"
+#include "nn/tensor3.h"
+#include "serve/ring_window.h"
 #include "sim/trace.h"
 
 namespace cpsguard::core {
@@ -28,14 +34,14 @@ class OnlineMonitor {
   /// Forget all history (e.g., on sensor reconnect).
   void reset();
 
-  [[nodiscard]] int window() const { return window_; }
+  [[nodiscard]] int window() const { return ring_.window(); }
   [[nodiscard]] int cycles_seen() const { return cycles_seen_; }
 
  private:
   monitor::MlMonitor& monitor_;
-  int window_;
   int cycles_seen_ = 0;
-  std::deque<std::vector<float>> history_;
+  serve::RingWindow ring_;
+  nn::Tensor3 x_;  // reused (1, window, features) inference input
 };
 
 }  // namespace cpsguard::core

@@ -8,6 +8,7 @@
 // each parallel chunk works on its own MlMonitor clone.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "monitor/ml_monitor.h"
@@ -16,14 +17,32 @@
 
 namespace cpsguard::eval {
 
+/// Argmax of one probability row under the classification contract shared
+/// with MlMonitor::predict / nn::predict_classes:
+///   - ties break to the SMALLEST class index (strict `>` scan), so an
+///     exactly-tied binary row classifies as the safe class 0;
+///   - a NaN anywhere in the row throws CpsError instead of silently
+///     winning or losing every comparison (the PR 5 NaN policy: reject by
+///     contract, never accept-then-misclassify).
+int argmax_row(std::span<const float> probs);
+
 /// Class probabilities for every window, computed chunk-parallel.
 /// Bit-identical to `mon.predict_proba(raw_windows)`.
 nn::Matrix batched_predict_proba(monitor::MlMonitor& mon,
                                  const nn::Tensor3& raw_windows,
                                  int chunk = 512);
 
-/// Argmax classes for every window, computed chunk-parallel.
-/// Bit-identical to `mon.predict(raw_windows)`.
+/// Same, for windows already in the scaled model space (the streaming
+/// engine scales each record once at ingest instead of rescaling it in
+/// every overlapping window). Bit-identical to
+/// `mon.predict_proba_scaled(scaled_windows)`.
+nn::Matrix batched_predict_proba_scaled(monitor::MlMonitor& mon,
+                                        const nn::Tensor3& scaled_windows,
+                                        int chunk = 512);
+
+/// Argmax classes for every window, computed chunk-parallel via
+/// argmax_row: bit-identical to `mon.predict(raw_windows)` on NaN-free
+/// probabilities, CpsError when any window's probabilities contain NaN.
 std::vector<int> batched_predict(monitor::MlMonitor& mon,
                                  const nn::Tensor3& raw_windows,
                                  int chunk = 512);

@@ -157,6 +157,11 @@ std::vector<int> MlMonitor::predict_scaled(const nn::Tensor3& scaled_windows) {
   return nn::predict_classes(*clf_, scaled_windows);
 }
 
+nn::Matrix MlMonitor::predict_proba_scaled(const nn::Tensor3& scaled_windows) {
+  expects(trained(), "monitor not trained");
+  return clf_->predict_proba(scaled_windows);
+}
+
 const StandardScaler& MlMonitor::scaler() const {
   expects(scaler_.fitted(), "monitor not trained");
   return scaler_;

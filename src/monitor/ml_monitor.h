@@ -69,8 +69,10 @@ class MlMonitor {
   std::vector<int> predict(const nn::Tensor3& raw_windows);
   nn::Matrix predict_proba(const nn::Tensor3& raw_windows);
 
-  /// Predict on windows already in the scaled model space (attack surface).
+  /// Predict on windows already in the scaled model space (attack surface,
+  /// and the streaming engine's prescaled ingest path).
   std::vector<int> predict_scaled(const nn::Tensor3& scaled_windows);
+  nn::Matrix predict_proba_scaled(const nn::Tensor3& scaled_windows);
 
   [[nodiscard]] const MonitorConfig& config() const { return config_; }
   [[nodiscard]] const StandardScaler& scaler() const;

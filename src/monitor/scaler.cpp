@@ -51,6 +51,17 @@ nn::Tensor3 StandardScaler::transform(const nn::Tensor3& x) const {
   return out;
 }
 
+void StandardScaler::transform_row(std::span<float> row) const {
+  expects(fitted(), "scaler not fitted");
+  expects(static_cast<int>(row.size()) == features(), "feature width mismatch");
+  // Exactly the transform() arithmetic (double subtract/divide, one float
+  // rounding) so prescaled and raw predict paths agree bit for bit.
+  for (int f = 0; f < features(); ++f) {
+    const auto fi = static_cast<std::size_t>(f);
+    row[fi] = static_cast<float>((row[fi] - mean_[fi]) / std_[fi]);
+  }
+}
+
 nn::Tensor3 StandardScaler::inverse_transform(const nn::Tensor3& x) const {
   expects(fitted(), "scaler not fitted");
   expects(x.features() == features(), "feature width mismatch");

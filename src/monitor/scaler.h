@@ -5,6 +5,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "nn/tensor3.h"
@@ -22,6 +23,11 @@ class StandardScaler {
   /// (x - mean) / std per feature. Features with ~zero variance pass
   /// through centered but unscaled.
   [[nodiscard]] nn::Tensor3 transform(const nn::Tensor3& x) const;
+  /// In-place transform of one feature row — bit-identical to transform()
+  /// on the same values (scaling is element-wise). Streaming ingest scales
+  /// each record once here instead of rescaling it in every overlapping
+  /// window.
+  void transform_row(std::span<float> row) const;
   /// Inverse mapping (used to visualize adversarial windows in raw units).
   [[nodiscard]] nn::Tensor3 inverse_transform(const nn::Tensor3& x) const;
 

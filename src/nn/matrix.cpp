@@ -4,6 +4,7 @@
 #include <cmath>
 #include <thread>
 
+#include "nn/simd_kernels.h"
 #include "util/contracts.h"
 #include "util/thread_pool.h"
 
@@ -348,8 +349,15 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   const float* ad = a.data().data();
   const float* bd = b.data().data();
   float* cd = c.data().data();
+  // Bit-identical by contract (ascending-p mul-then-add, no contraction),
+  // so dispatching on CPU width never moves a golden.
+  const MatmulRowsFn simd = simd_matmul_rows();
   for_row_blocks(n, k, m, [&](int r0, int r1) {
-    matmul_rows(ad, bd, cd, r0, r1, k, m);
+    if (simd) {
+      simd(ad, bd, cd, r0, r1, k, m);
+    } else {
+      matmul_rows(ad, bd, cd, r0, r1, k, m);
+    }
   });
   return c;
 }

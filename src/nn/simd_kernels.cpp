@@ -1,0 +1,189 @@
+// Wide-SIMD GEMM kernels (see simd_kernels.h for the determinism contract).
+//
+// This translation unit MUST be compiled with -ffp-contract=off (enforced
+// in CMakeLists.txt): the AVX targets have FMA, and a contracted fma(a,b,c)
+// rounds once where mul-then-add rounds twice — bitwise divergence from the
+// portable kernel. The explicit _mm512_mul_ps/_mm512_add_ps pairs and the
+// flag together guarantee the compiler never fuses.
+#include "nn/simd_kernels.h"
+
+#include <cstddef>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define CPSGUARD_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace cpsguard::nn {
+
+#ifdef CPSGUARD_SIMD_X86
+
+namespace {
+
+// The portable 4x4 (rows x reduction) tile from matrix.cpp, reproduced
+// verbatim so the target pragmas can re-vectorize the j loop at the host's
+// full width. Keep in sync with matmul_rows in matrix.cpp — the
+// Matmul.BitIdenticalToReferenceAcrossShapes suite pins both to the same
+// ascending-p operation order.
+#define CPSGUARD_DEFINE_MATMUL_ROWS_BODY(NAME)                                 \
+  void NAME(const float* __restrict a, const float* __restrict b,              \
+            float* __restrict c, int i0, int i1, int k, int m) {               \
+    int i = i0;                                                                \
+    for (; i + 4 <= i1; i += 4) {                                              \
+      float* __restrict c0 = c + static_cast<std::size_t>(i + 0) * m;          \
+      float* __restrict c1 = c + static_cast<std::size_t>(i + 1) * m;          \
+      float* __restrict c2 = c + static_cast<std::size_t>(i + 2) * m;          \
+      float* __restrict c3 = c + static_cast<std::size_t>(i + 3) * m;          \
+      const float* a0 = a + static_cast<std::size_t>(i + 0) * k;               \
+      const float* a1 = a + static_cast<std::size_t>(i + 1) * k;               \
+      const float* a2 = a + static_cast<std::size_t>(i + 2) * k;               \
+      const float* a3 = a + static_cast<std::size_t>(i + 3) * k;               \
+      int p = 0;                                                               \
+      for (; p + 4 <= k; p += 4) {                                             \
+        const float* __restrict br0 = b + static_cast<std::size_t>(p + 0) * m; \
+        const float* __restrict br1 = b + static_cast<std::size_t>(p + 1) * m; \
+        const float* __restrict br2 = b + static_cast<std::size_t>(p + 2) * m; \
+        const float* __restrict br3 = b + static_cast<std::size_t>(p + 3) * m; \
+        for (int j = 0; j < m; ++j) {                                          \
+          const float b0 = br0[j], b1 = br1[j], b2 = br2[j], b3 = br3[j];      \
+          float s0 = c0[j], s1 = c1[j], s2 = c2[j], s3 = c3[j];                \
+          s0 += a0[p + 0] * b0; s1 += a1[p + 0] * b0;                          \
+          s2 += a2[p + 0] * b0; s3 += a3[p + 0] * b0;                          \
+          s0 += a0[p + 1] * b1; s1 += a1[p + 1] * b1;                          \
+          s2 += a2[p + 1] * b1; s3 += a3[p + 1] * b1;                          \
+          s0 += a0[p + 2] * b2; s1 += a1[p + 2] * b2;                          \
+          s2 += a2[p + 2] * b2; s3 += a3[p + 2] * b2;                          \
+          s0 += a0[p + 3] * b3; s1 += a1[p + 3] * b3;                          \
+          s2 += a2[p + 3] * b3; s3 += a3[p + 3] * b3;                          \
+          c0[j] = s0; c1[j] = s1; c2[j] = s2; c3[j] = s3;                      \
+        }                                                                      \
+      }                                                                        \
+      for (; p < k; ++p) {                                                     \
+        const float* __restrict brow = b + static_cast<std::size_t>(p) * m;    \
+        const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];            \
+        for (int j = 0; j < m; ++j) {                                          \
+          const float bv = brow[j];                                            \
+          c0[j] += v0 * bv; c1[j] += v1 * bv;                                  \
+          c2[j] += v2 * bv; c3[j] += v3 * bv;                                  \
+        }                                                                      \
+      }                                                                        \
+    }                                                                          \
+    for (; i < i1; ++i) {                                                      \
+      const float* arow = a + static_cast<std::size_t>(i) * k;                 \
+      float* __restrict crow = c + static_cast<std::size_t>(i) * m;            \
+      for (int p = 0; p < k; ++p) {                                            \
+        const float av = arow[p];                                              \
+        const float* __restrict brow = b + static_cast<std::size_t>(p) * m;    \
+        for (int j = 0; j < m; ++j) crow[j] += av * brow[j];                   \
+      }                                                                        \
+    }                                                                          \
+  }
+
+#pragma GCC push_options
+#pragma GCC target("avx2")
+CPSGUARD_DEFINE_MATMUL_ROWS_BODY(matmul_rows_avx2)
+#pragma GCC pop_options
+
+#pragma GCC push_options
+#pragma GCC target("avx512f")
+
+// AVX-512 fallback for row/column tails: the portable body, 16-wide.
+CPSGUARD_DEFINE_MATMUL_ROWS_BODY(matmul_rows_avx512_generic)
+
+// Register-tiled main path: 4 output rows x 32 output columns (2 zmm)
+// accumulate in registers across the whole reduction, so each C tile is
+// read and written exactly once. Per element the sequence is still
+// (((c + a[0]*b[0]) + a[1]*b[1]) + ...) in ascending p — mul then add,
+// never fused — so results match the portable kernel bit for bit.
+void matmul_rows_avx512(const float* __restrict a, const float* __restrict b,
+                        float* __restrict c, int i0, int i1, int k, int m) {
+  const int mv = m & ~31;
+  int i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const float* a0 = a + static_cast<std::size_t>(i + 0) * k;
+    const float* a1 = a + static_cast<std::size_t>(i + 1) * k;
+    const float* a2 = a + static_cast<std::size_t>(i + 2) * k;
+    const float* a3 = a + static_cast<std::size_t>(i + 3) * k;
+    float* c0 = c + static_cast<std::size_t>(i + 0) * m;
+    float* c1 = c + static_cast<std::size_t>(i + 1) * m;
+    float* c2 = c + static_cast<std::size_t>(i + 2) * m;
+    float* c3 = c + static_cast<std::size_t>(i + 3) * m;
+    for (int j = 0; j < mv; j += 32) {
+      __m512 s00 = _mm512_loadu_ps(c0 + j), s01 = _mm512_loadu_ps(c0 + j + 16);
+      __m512 s10 = _mm512_loadu_ps(c1 + j), s11 = _mm512_loadu_ps(c1 + j + 16);
+      __m512 s20 = _mm512_loadu_ps(c2 + j), s21 = _mm512_loadu_ps(c2 + j + 16);
+      __m512 s30 = _mm512_loadu_ps(c3 + j), s31 = _mm512_loadu_ps(c3 + j + 16);
+      for (int p = 0; p < k; ++p) {
+        const float* brow = b + static_cast<std::size_t>(p) * m + j;
+        const __m512 b0 = _mm512_loadu_ps(brow);
+        const __m512 b1 = _mm512_loadu_ps(brow + 16);
+        const __m512 v0 = _mm512_set1_ps(a0[p]);
+        const __m512 v1 = _mm512_set1_ps(a1[p]);
+        const __m512 v2 = _mm512_set1_ps(a2[p]);
+        const __m512 v3 = _mm512_set1_ps(a3[p]);
+        s00 = _mm512_add_ps(s00, _mm512_mul_ps(v0, b0));
+        s01 = _mm512_add_ps(s01, _mm512_mul_ps(v0, b1));
+        s10 = _mm512_add_ps(s10, _mm512_mul_ps(v1, b0));
+        s11 = _mm512_add_ps(s11, _mm512_mul_ps(v1, b1));
+        s20 = _mm512_add_ps(s20, _mm512_mul_ps(v2, b0));
+        s21 = _mm512_add_ps(s21, _mm512_mul_ps(v2, b1));
+        s30 = _mm512_add_ps(s30, _mm512_mul_ps(v3, b0));
+        s31 = _mm512_add_ps(s31, _mm512_mul_ps(v3, b1));
+      }
+      _mm512_storeu_ps(c0 + j, s00); _mm512_storeu_ps(c0 + j + 16, s01);
+      _mm512_storeu_ps(c1 + j, s10); _mm512_storeu_ps(c1 + j + 16, s11);
+      _mm512_storeu_ps(c2 + j, s20); _mm512_storeu_ps(c2 + j + 16, s21);
+      _mm512_storeu_ps(c3 + j, s30); _mm512_storeu_ps(c3 + j + 16, s31);
+    }
+    for (int j = mv; j < m; ++j) {  // column tail, same ascending-p order
+      float s0 = c0[j], s1 = c1[j], s2 = c2[j], s3 = c3[j];
+      for (int p = 0; p < k; ++p) {
+        const float bv = b[static_cast<std::size_t>(p) * m + j];
+        s0 += a0[p] * bv; s1 += a1[p] * bv;
+        s2 += a2[p] * bv; s3 += a3[p] * bv;
+      }
+      c0[j] = s0; c1[j] = s1; c2[j] = s2; c3[j] = s3;
+    }
+  }
+  if (i < i1) {  // row tail (including the batch-1 matvec case)
+    matmul_rows_avx512_generic(a, b, c, i, i1, k, m);
+  }
+}
+
+#pragma GCC pop_options
+
+#undef CPSGUARD_DEFINE_MATMUL_ROWS_BODY
+
+struct Resolved {
+  MatmulRowsFn fn;
+  const char* name;
+};
+
+Resolved resolve() {
+  if (__builtin_cpu_supports("avx512f")) {
+    return {&matmul_rows_avx512, "avx512f"};
+  }
+  if (__builtin_cpu_supports("avx2")) {
+    return {&matmul_rows_avx2, "avx2"};
+  }
+  return {nullptr, "portable"};
+}
+
+const Resolved& resolved() {
+  static const Resolved r = resolve();
+  return r;
+}
+
+}  // namespace
+
+MatmulRowsFn simd_matmul_rows() { return resolved().fn; }
+const char* simd_kernel_name() { return resolved().name; }
+
+#else  // !CPSGUARD_SIMD_X86
+
+MatmulRowsFn simd_matmul_rows() { return nullptr; }
+const char* simd_kernel_name() { return "portable"; }
+
+#endif
+
+}  // namespace cpsguard::nn

@@ -1,0 +1,39 @@
+// Runtime-dispatched wide-SIMD GEMM row kernels.
+//
+// The portable matmul kernels in matrix.cpp compile for baseline x86-64
+// (SSE2) so that committed goldens and cached monitors are reproducible on
+// any machine. That leaves AVX2/AVX-512 silicon idle in the batched hot
+// path (training and cross-session micro-batched inference both bottom out
+// in matmul). These kernels recover that width without giving up a single
+// bit of determinism:
+//
+//  - identical operation sequence: separate mul and add per term, reduction
+//    strictly in ascending p — the same per-element order as the portable
+//    kernel and the reference loops in tests/test_matrix.cpp;
+//  - no FMA contraction: the translation unit is compiled with
+//    -ffp-contract=off, so a*b+c is never fused into a differently-rounded
+//    fma(a,b,c);
+//  - lane width never changes results: vectorizing over the output column
+//    index j touches independent elements only.
+//
+// Because every path rounds identically, dispatch is invisible to tests:
+// the bit-identical matmul suites and the golden CSVs pass unchanged on
+// SSE2-only, AVX2, and AVX-512 hosts.
+#pragma once
+
+namespace cpsguard::nn {
+
+/// Row-range GEMM kernel: C[i0..i1) += A[i0..i1) * B for row-major
+/// A (n x k), B (k x m), C (n x m) — same contract as the portable kernel.
+using MatmulRowsFn = void (*)(const float* a, const float* b, float* c,
+                              int i0, int i1, int k, int m);
+
+/// The widest bit-identical kernel this CPU supports, or nullptr when only
+/// the portable baseline kernel is available. Resolved once per process.
+[[nodiscard]] MatmulRowsFn simd_matmul_rows();
+
+/// Name of the dispatched kernel for manifests and logs:
+/// "avx512f", "avx2", or "portable".
+[[nodiscard]] const char* simd_kernel_name();
+
+}  // namespace cpsguard::nn

@@ -1,0 +1,120 @@
+#include "serve/engine.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "serve/stable_hash.h"
+#include "util/contracts.h"
+#include "util/thread_pool.h"
+
+namespace cpsguard::serve {
+
+namespace {
+
+struct EngineMetrics {
+  obs::Gauge& sessions_active;
+  obs::Gauge& queue_depth;
+  obs::Counter& ticks;
+
+  static EngineMetrics& get() {
+    static EngineMetrics metrics{
+        obs::Registry::instance().gauge("serve.sessions_active"),
+        obs::Registry::instance().gauge("serve.queue_depth"),
+        obs::Registry::instance().counter("serve.ticks"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
+Engine::Engine(const monitor::MlMonitor& mon, EngineConfig config)
+    : config_(config), session_budget_(config.max_sessions) {
+  expects(mon.trained(), "engine monitor must be trained");
+  expects(config.shards > 0, "shard count must be positive");
+  expects(config.window > 0, "window must be positive");
+  expects(config.max_batch > 0, "max_batch must be positive");
+  expects(config.queue_capacity >= config.max_batch,
+          "queue_capacity must hold at least one full micro-batch");
+  expects(config.max_sessions > 0, "max_sessions must be positive");
+  expects(config.predict_chunk > 0, "predict_chunk must be positive");
+  shards_.reserve(static_cast<std::size_t>(config.shards));
+  for (int s = 0; s < config.shards; ++s) {
+    shards_.push_back(
+        std::make_unique<SessionShard>(mon, config_, session_budget_));
+  }
+}
+
+int Engine::shard_of(SessionId id) const {
+  return static_cast<int>(stable_hash64(id) %
+                          static_cast<std::uint64_t>(config_.shards));
+}
+
+SubmitStatus Engine::try_submit(SessionId id, const sim::StepRecord& rec) {
+  return shards_[static_cast<std::size_t>(shard_of(id))]->submit(id, rec);
+}
+
+void Engine::submit(SessionId id, const sim::StepRecord& rec) {
+  switch (try_submit(id, rec)) {
+    case SubmitStatus::kAccepted:
+      return;
+    case SubmitStatus::kRejectedQueueFull:
+      throw QueueFullError("serve: shard " + std::to_string(shard_of(id)) +
+                           " queue full (capacity " +
+                           std::to_string(config_.queue_capacity) +
+                           ") for session " + std::to_string(id));
+    case SubmitStatus::kRejectedSessionLimit:
+      throw SessionLimitError("serve: session limit " +
+                              std::to_string(config_.max_sessions) +
+                              " reached admitting session " +
+                              std::to_string(id));
+  }
+}
+
+std::vector<VerdictEvent> Engine::tick() {
+  EngineMetrics& metrics = EngineMetrics::get();
+  metrics.ticks.increment();
+  const int n = static_cast<int>(shards_.size());
+  if (config_.deterministic) {
+    for (auto& shard : shards_) shard->flush();
+  } else {
+    util::parallel_for(n, [&](int s) {
+      shards_[static_cast<std::size_t>(s)]->flush();
+    });
+  }
+  std::vector<VerdictEvent> out = drain();
+  metrics.sessions_active.set(static_cast<double>(sessions_active()));
+  metrics.queue_depth.set(static_cast<double>(queue_depth()));
+  return out;
+}
+
+std::vector<VerdictEvent> Engine::drain() {
+  std::vector<VerdictEvent> out;
+  for (auto& shard : shards_) shard->drain(out);
+  return out;
+}
+
+bool Engine::close_session(SessionId id) {
+  const bool closed =
+      shards_[static_cast<std::size_t>(shard_of(id))]->close(id);
+  EngineMetrics::get().sessions_active.set(
+      static_cast<double>(sessions_active()));
+  return closed;
+}
+
+std::size_t Engine::sessions_active() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->stats().sessions;
+  return total;
+}
+
+std::size_t Engine::queue_depth() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const ShardStats s = shard->stats();
+    total += s.pending_windows + s.undrained_verdicts;
+  }
+  return total;
+}
+
+}  // namespace cpsguard::serve

@@ -1,0 +1,76 @@
+// Streaming detection engine: multiplexes many per-patient sessions over
+// one trained monitor, amortizing NN cost through cross-session
+// micro-batched inference.
+//
+//   serve::Engine engine(mon, {.shards = 8, .window = 6});
+//   engine.submit(patient_id, record);        // every control cycle
+//   for (const auto& v : engine.tick()) ...   // flush + collect verdicts
+//
+// Records route to shards by stable_hash64(session) % shards, so a session
+// always lands on the same shard and its windows stay in order. Each shard
+// accumulates ready windows (across all its sessions) into a preallocated
+// micro-batch and flushes them through one eval::batched_predict_proba
+// call — on batch-full inline, and on tick() for the partial remainder.
+//
+// Determinism contract: verdicts depend only on the ingest sequence. For a
+// fixed interleaving of submit/tick calls the emitted VerdictEvent stream
+// is byte-identical whether tick() fans shards across the shared pool or
+// (deterministic mode / max_parallelism 1) flushes serially: shards are
+// independent, batched inference is bit-identical to per-window inference,
+// and delivery order is always (shard index, ingest order).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "monitor/ml_monitor.h"
+#include "serve/shard.h"
+#include "serve/types.h"
+#include "sim/trace.h"
+
+namespace cpsguard::serve {
+
+class Engine {
+ public:
+  /// `mon` must be trained; each shard takes its own clone, so the engine
+  /// does not retain a reference. `config.window` must equal the window
+  /// the monitor was trained with.
+  Engine(const monitor::MlMonitor& mon, EngineConfig config);
+
+  /// Ingest one record; never throws on rejection. Sessions are created on
+  /// first submit.
+  [[nodiscard]] SubmitStatus try_submit(SessionId id,
+                                        const sim::StepRecord& rec);
+
+  /// Ingest one record; throws the matching AdmissionError on rejection.
+  void submit(SessionId id, const sim::StepRecord& rec);
+
+  /// Cycle tick: flush every shard's partial micro-batch (in parallel
+  /// across shards unless deterministic mode or the parallelism cap says
+  /// otherwise), then drain — returns every verdict completed since the
+  /// last drain, in (shard, ingest) order.
+  std::vector<VerdictEvent> tick();
+
+  /// Collect completed verdicts without forcing a flush (e.g. after
+  /// batch-full flushes between ticks).
+  std::vector<VerdictEvent> drain();
+
+  /// Drop a session's window state; staged windows still verdict.
+  bool close_session(SessionId id);
+
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t sessions_active() const;
+  /// Pending windows + undrained verdicts summed over shards.
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// Shard a session routes to (exposed for tests and ops tooling).
+  [[nodiscard]] int shard_of(SessionId id) const;
+
+ private:
+  EngineConfig config_;
+  std::atomic<std::int64_t> session_budget_;
+  std::vector<std::unique_ptr<SessionShard>> shards_;
+};
+
+}  // namespace cpsguard::serve

@@ -1,0 +1,163 @@
+#include "serve/shard.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "eval/batch_eval.h"
+#include "monitor/features.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/contracts.h"
+
+namespace cpsguard::serve {
+
+namespace {
+
+// Serving telemetry, resolved once (Registry lookups take a mutex and do
+// not belong on the per-record path).
+struct ServeMetrics {
+  obs::Counter& records;
+  obs::Counter& windows_ready;
+  obs::Counter& rejected_queue_full;
+  obs::Counter& rejected_session_limit;
+  obs::Counter& flushes;
+  obs::Counter& windows_flushed;
+  obs::Histogram& batch_occupancy;
+  obs::Histogram& flush_seconds;
+
+  static ServeMetrics& get() {
+    static ServeMetrics metrics{
+        obs::Registry::instance().counter("serve.records"),
+        obs::Registry::instance().counter("serve.windows_ready"),
+        obs::Registry::instance().counter("serve.rejected.queue_full"),
+        obs::Registry::instance().counter("serve.rejected.session_limit"),
+        obs::Registry::instance().counter("serve.flushes"),
+        obs::Registry::instance().counter("serve.windows_flushed"),
+        obs::Registry::instance().histogram("serve.batch_occupancy"),
+        obs::Registry::instance().histogram("span.serve.flush"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
+SessionShard::Session::Session(const EngineConfig& cfg)
+    : ring(cfg.window, monitor::Features::kNumFeatures) {}
+
+SessionShard::SessionShard(const monitor::MlMonitor& mon,
+                           const EngineConfig& config,
+                           std::atomic<std::int64_t>& session_budget)
+    : config_(config),
+      session_budget_(session_budget),
+      monitor_(mon.clone()),
+      batch_(config.max_batch, config.window,
+             monitor::Features::kNumFeatures) {
+  pending_.reserve(static_cast<std::size_t>(config.max_batch));
+  ServeMetrics::get();  // resolve before any worker thread touches us
+}
+
+SubmitStatus SessionShard::submit(SessionId id, const sim::StepRecord& rec) {
+  ServeMetrics& metrics = ServeMetrics::get();
+  const std::scoped_lock lock(mutex_);
+  // Admission control happens before any session state is touched: a
+  // rejected record leaves the window exactly where it was.
+  if (pending_.size() + done_.size() >=
+      static_cast<std::size_t>(config_.queue_capacity)) {
+    metrics.rejected_queue_full.increment();
+    return SubmitStatus::kRejectedQueueFull;
+  }
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    // Draw on the engine-wide session budget; put it back if we lost the
+    // race to the last slot.
+    if (session_budget_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      session_budget_.fetch_add(1, std::memory_order_relaxed);
+      metrics.rejected_session_limit.increment();
+      return SubmitStatus::kRejectedSessionLimit;
+    }
+    it = sessions_.emplace(id, Session(config_)).first;
+  }
+
+  Session& session = it->second;
+  // Scale once at ingest: overlapping windows would otherwise re-scale the
+  // same record `window` times per flush. transform_row is bit-identical to
+  // the batch transform, so flush can take the scaled fast path.
+  const std::span<float> slot = session.ring.push_slot();
+  monitor::fill_features(rec, slot);
+  monitor_->scaler().transform_row(slot);
+  session.ring.commit();
+  ++session.cycles;
+  metrics.records.increment();
+  if (!session.ring.full()) return SubmitStatus::kAccepted;
+
+  // Stage the ready window into the micro-batch row it will occupy.
+  const auto row = pending_.size();
+  const auto row_floats = static_cast<std::size_t>(config_.window) *
+                          monitor::Features::kNumFeatures;
+  session.ring.copy_ordered(batch_.data().subspan(row * row_floats, row_floats));
+  pending_.push_back(VerdictEvent{id, session.cycles - 1, 0, 0.0});
+  metrics.windows_ready.increment();
+  if (pending_.size() == static_cast<std::size_t>(config_.max_batch)) {
+    flush_locked();
+  }
+  return SubmitStatus::kAccepted;
+}
+
+void SessionShard::flush() {
+  const std::scoped_lock lock(mutex_);
+  flush_locked();
+}
+
+void SessionShard::flush_locked() {
+  if (pending_.empty()) return;
+  ServeMetrics& metrics = ServeMetrics::get();
+  const obs::ScopedSpan span("serve.flush", metrics.flush_seconds);
+  const int n = static_cast<int>(pending_.size());
+  metrics.batch_occupancy.record(static_cast<double>(n));
+
+  nn::Matrix probs;
+  if (n == config_.max_batch) {
+    probs = eval::batched_predict_proba_scaled(*monitor_, batch_,
+                                               config_.predict_chunk);
+  } else {
+    // Partial (tick) flush: one exact-size tensor per flush, amortized over
+    // up to max_batch windows — the per-record path stays allocation-free.
+    nn::Tensor3 head(n, config_.window, monitor::Features::kNumFeatures);
+    std::copy(batch_.data().begin(), batch_.data().begin() + head.size(),
+              head.data().begin());
+    probs = eval::batched_predict_proba_scaled(*monitor_, head,
+                                               config_.predict_chunk);
+  }
+
+  for (int r = 0; r < n; ++r) {
+    VerdictEvent& ev = pending_[static_cast<std::size_t>(r)];
+    ev.p_unsafe = probs.at(r, 1);
+    // Same rule as core::OnlineMonitor: ties resolve to the safe class.
+    ev.prediction = probs.at(r, 1) > probs.at(r, 0) ? 1 : 0;
+    done_.push_back(ev);
+  }
+  pending_.clear();
+  metrics.flushes.increment();
+  metrics.windows_flushed.add(static_cast<std::uint64_t>(n));
+}
+
+void SessionShard::drain(std::vector<VerdictEvent>& out) {
+  const std::scoped_lock lock(mutex_);
+  out.insert(out.end(), done_.begin(), done_.end());
+  done_.clear();
+}
+
+bool SessionShard::close(SessionId id) {
+  const std::scoped_lock lock(mutex_);
+  if (sessions_.erase(id) == 0) return false;
+  session_budget_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+ShardStats SessionShard::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return ShardStats{sessions_.size(), pending_.size(), done_.size()};
+}
+
+}  // namespace cpsguard::serve

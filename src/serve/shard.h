@@ -1,0 +1,86 @@
+// One shard of the streaming engine: owns the sessions routed to it, their
+// ring-buffered feature windows, a preallocated cross-session micro-batch,
+// and its own clone of the trained monitor (classifier forward passes
+// mutate layer caches, so concurrent shard flushes need private monitors —
+// identical weights keep verdicts bit-identical to any other deployment of
+// the same model).
+//
+// Rings hold *prescaled* features: each record passes through the monitor's
+// StandardScaler exactly once at ingest, instead of once per overlapping
+// window at flush. transform_row is bit-identical to the batch transform,
+// so verdicts match the raw-window predict path bit for bit.
+//
+// Locking: one mutex per shard. submit/flush/drain from different threads
+// are safe; two submits for sessions on the same shard serialize, which is
+// the backpressure boundary the sharding exists to spread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "monitor/ml_monitor.h"
+#include "nn/tensor3.h"
+#include "serve/ring_window.h"
+#include "serve/types.h"
+#include "sim/trace.h"
+
+namespace cpsguard::serve {
+
+/// Point-in-time shard occupancy (taken under the shard lock).
+struct ShardStats {
+  std::size_t sessions = 0;
+  std::size_t pending_windows = 0;    // accumulated, not yet flushed
+  std::size_t undrained_verdicts = 0; // flushed, not yet drained
+};
+
+class SessionShard {
+ public:
+  /// Clones `mon` (which must be trained). `session_budget` is the
+  /// engine-wide open-session budget this shard draws on when it admits a
+  /// new session (decremented back by close()).
+  SessionShard(const monitor::MlMonitor& mon, const EngineConfig& config,
+               std::atomic<std::int64_t>& session_budget);
+
+  /// Ingest one record. On admission the record is committed into its
+  /// session's ring; if that completes a window, the window is staged into
+  /// the micro-batch and a batch-full shard flushes inline. On rejection
+  /// nothing is mutated — the session window does not advance.
+  [[nodiscard]] SubmitStatus submit(SessionId id, const sim::StepRecord& rec);
+
+  /// Flush the partial micro-batch (the engine's cycle tick).
+  void flush();
+
+  /// Move every completed verdict (ingest order) into `out`.
+  void drain(std::vector<VerdictEvent>& out);
+
+  /// Forget a session's window state. Windows already staged for this
+  /// session still produce their verdicts. Returns false if unknown.
+  bool close(SessionId id);
+
+  [[nodiscard]] ShardStats stats() const;
+
+ private:
+  void flush_locked();
+
+  const EngineConfig config_;
+  std::atomic<std::int64_t>& session_budget_;
+  std::unique_ptr<monitor::MlMonitor> monitor_;
+
+  struct Session {
+    explicit Session(const EngineConfig& cfg);
+    RingWindow ring;
+    int cycles = 0;  // records ingested for this session
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<SessionId, Session> sessions_;
+  nn::Tensor3 batch_;                  // (max_batch, window, features)
+  std::vector<VerdictEvent> pending_;  // batch_ rows [0, pending_.size())
+  std::vector<VerdictEvent> done_;
+};
+
+}  // namespace cpsguard::serve

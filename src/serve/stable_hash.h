@@ -1,0 +1,23 @@
+// Stable session → shard routing hash. std::hash is implementation-defined
+// (identity for integers on libstdc++), which would both shard adjacent
+// session ids pathologically and make shard assignment differ across
+// standard libraries; FNV-1a over the id's little-endian bytes is cheap,
+// well-mixed, and byte-identical on every platform — a requirement for the
+// deterministic-replay golden tests.
+#pragma once
+
+#include <cstdint>
+
+namespace cpsguard::serve {
+
+/// 64-bit FNV-1a of an 8-byte little-endian integer.
+[[nodiscard]] constexpr std::uint64_t stable_hash64(std::uint64_t key) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (int i = 0; i < 8; ++i) {
+    h ^= (key >> (8 * i)) & 0xffULL;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace cpsguard::serve

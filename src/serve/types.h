@@ -1,0 +1,96 @@
+// Common vocabulary of the streaming detection service: session identity,
+// the verdict events the engine emits, the admission-control error taxonomy
+// and the engine configuration.
+//
+// Admission control is reject-with-typed-error, never silent drop: a submit
+// the engine cannot absorb leaves every session window untouched and either
+// returns a non-accepted SubmitStatus (Engine::try_submit) or throws the
+// matching AdmissionError subclass (Engine::submit). The caller owns the
+// retry decision; the engine never discards an accepted record.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace cpsguard::serve {
+
+/// Opaque per-patient stream identity (e.g. a device or patient id).
+using SessionId = std::uint64_t;
+
+/// Base class of every admission-control rejection.
+class AdmissionError : public CpsError {
+ public:
+  using CpsError::CpsError;
+};
+
+/// The target shard's bounded queue (pending windows + undrained verdicts)
+/// is full — the consumer is not keeping up. Retry after tick()/drain().
+class QueueFullError : public AdmissionError {
+ public:
+  using AdmissionError::AdmissionError;
+};
+
+/// Creating the record's session would exceed EngineConfig::max_sessions.
+class SessionLimitError : public AdmissionError {
+ public:
+  using AdmissionError::AdmissionError;
+};
+
+/// Non-throwing admission result (Engine::try_submit).
+enum class SubmitStatus {
+  kAccepted,
+  kRejectedQueueFull,
+  kRejectedSessionLimit,
+};
+
+[[nodiscard]] constexpr const char* to_string(SubmitStatus s) {
+  switch (s) {
+    case SubmitStatus::kAccepted: return "accepted";
+    case SubmitStatus::kRejectedQueueFull: return "rejected_queue_full";
+    case SubmitStatus::kRejectedSessionLimit: return "rejected_session_limit";
+  }
+  return "unknown";
+}
+
+/// One completed window verdict. Exactly one event is emitted per ready
+/// window (a session's cycle `window-1` and every cycle after it), delivered
+/// by tick()/drain() in (shard index, ingest order) — a total order that is
+/// identical for serial and pooled flushes.
+struct VerdictEvent {
+  SessionId session = 0;
+  /// 0-based per-session cycle index of the window's last record; the first
+  /// event of a session carries cycle == window - 1.
+  int cycle = 0;
+  int prediction = 0;   // 1 = unsafe control action (OnlineMonitor semantics)
+  double p_unsafe = 0.0;
+};
+
+struct EngineConfig {
+  /// Number of SessionShards. Fixed at construction; routing is
+  /// stable_hash64(session) % shards, so a given session always lands on
+  /// the same shard.
+  int shards = 4;
+  /// Sliding-window length in cycles — must equal the window the monitor
+  /// was trained with (same contract as core::OnlineMonitor).
+  int window = 6;
+  /// A shard flushes as soon as this many ready windows have accumulated
+  /// (cross-session micro-batch); tick() flushes partial batches.
+  int max_batch = 256;
+  /// Bounded per-shard queue: pending (unflushed) windows plus undrained
+  /// verdicts. A submit that would complete a window beyond this bound is
+  /// rejected with QueueFullError.
+  int queue_capacity = 4096;
+  /// Engine-wide cap on concurrently open sessions.
+  int max_sessions = 1 << 20;
+  /// Chunk size handed to eval::batched_predict_proba at flush.
+  int predict_chunk = 512;
+  /// Deterministic mode: tick() flushes shards serially in shard order on
+  /// the calling thread instead of fanning out across the pool. Output
+  /// bytes are identical either way (flushes are per-shard independent and
+  /// batched inference is bit-identical to per-window inference); the mode
+  /// exists so golden tests can also pin scheduling.
+  bool deterministic = false;
+};
+
+}  // namespace cpsguard::serve

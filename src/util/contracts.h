@@ -25,14 +25,29 @@ namespace detail {
 }
 }  // namespace detail
 
+// Two overloads each: the const char* form (string literals — virtually
+// every call site) defers all string building to the failure path, so a
+// passing check costs one branch and zero allocations — checks stay free
+// on per-cycle hot paths (feature fill, ring windows, pool submits). The
+// std::string form serves call sites that compose a message; composing it
+// already allocated, so there is nothing to defer.
+
 /// Precondition check: callers must satisfy `cond`.
-inline void expects(bool cond, const std::string& msg = "precondition",
+inline void expects(bool cond, const char* msg = "precondition",
+                    const std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::contract_fail("Expects", msg, loc);
+}
+inline void expects(bool cond, const std::string& msg,
                     const std::source_location loc = std::source_location::current()) {
   if (!cond) detail::contract_fail("Expects", msg, loc);
 }
 
 /// Postcondition / invariant check: the implementation must satisfy `cond`.
-inline void ensures(bool cond, const std::string& msg = "postcondition",
+inline void ensures(bool cond, const char* msg = "postcondition",
+                    const std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::contract_fail("Ensures", msg, loc);
+}
+inline void ensures(bool cond, const std::string& msg,
                     const std::source_location loc = std::source_location::current()) {
   if (!cond) detail::contract_fail("Ensures", msg, loc);
 }

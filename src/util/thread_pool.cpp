@@ -20,6 +20,7 @@ namespace {
 thread_local bool tl_in_parallel_region = false;
 
 std::atomic<std::size_t> g_max_parallelism{0};
+std::atomic<bool> g_shared_pool_started{false};
 
 // Pool/fan-out telemetry, resolved once. Constructing this (and therefore
 // the Registry singleton) before any ThreadPool spawns workers guarantees
@@ -207,8 +208,20 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& shared_pool() {
+  g_shared_pool_started.store(true, std::memory_order_relaxed);
   static ThreadPool pool;  // one worker per hardware thread, process lifetime
   return pool;
+}
+
+bool shared_pool_initialized() {
+  return g_shared_pool_started.load(std::memory_order_relaxed);
+}
+
+std::size_t effective_parallelism() {
+  const auto hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t cap = max_parallelism();
+  return cap == 0 ? hw : std::min(cap, hw);
 }
 
 bool in_parallel_region() { return tl_in_parallel_region; }

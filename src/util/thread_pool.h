@@ -93,6 +93,18 @@ ThreadPool& shared_pool();
 void set_max_parallelism(std::size_t n);
 [[nodiscard]] std::size_t max_parallelism();
 
+/// Parallelism the next top-level parallel_for would actually get: the
+/// set_max_parallelism() cap clamped to hardware concurrency (the shared
+/// pool's size). Computed WITHOUT forcing the lazily-constructed shared
+/// pool into existence — callers deciding whether fan-out is worth it
+/// (e.g. eval::batched_predict_proba) must not spawn a pool a serial run
+/// will never use.
+[[nodiscard]] std::size_t effective_parallelism();
+
+/// True once shared_pool() has been constructed. Diagnostic/test hook for
+/// the "serial callers never instantiate the pool" contract.
+[[nodiscard]] bool shared_pool_initialized();
+
 /// True when the calling thread is a shared-pool worker or is currently
 /// executing a parallel_for shard — i.e. when a further parallel_for would
 /// run inline instead of fanning out again.

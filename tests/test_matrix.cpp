@@ -198,8 +198,13 @@ TEST(Matmul, BitIdenticalToReferenceAcrossShapes) {
   util::Rng rng(31);
   // Odd shapes exercise every tail loop; 160^3 (2*160^3 ≈ 8.2M flops)
   // crosses the parallel row-sharding threshold.
+  // {64, 54, 256} / {64, 256, 128} are the monitor's inference GEMMs (the
+  // dispatched wide-SIMD main path); {5, 54, 100} forces the column tail
+  // and the row tail of the tiled kernel in one product.
   const std::vector<std::array<int, 3>> shapes = {
-      {1, 1, 1}, {3, 5, 2}, {7, 11, 5}, {33, 17, 9}, {64, 64, 64}, {160, 160, 160}};
+      {1, 1, 1},    {3, 5, 2},      {7, 11, 5},      {33, 17, 9},
+      {64, 64, 64}, {160, 160, 160}, {64, 54, 256},  {64, 256, 128},
+      {5, 54, 100}, {1, 54, 256}};
   for (const auto& [n, k, m] : shapes) {
     const Matrix a = random_matrix(n, k, rng);
     const Matrix b = random_matrix(k, m, rng);

@@ -2,9 +2,34 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
 #include "core/experiment.h"
 #include "monitor/features.h"
 #include "util/contracts.h"
+
+// Allocation-regression instrumentation: replace the global allocation
+// functions with counting shims so tests can pin "this path does not touch
+// the heap". Counting is per-thread, so pool workers and test framework
+// bookkeeping on other threads never pollute a measurement.
+namespace {
+thread_local std::uint64_t t_alloc_count = 0;
+
+void* counted_alloc(std::size_t n) {
+  ++t_alloc_count;
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace cpsguard::core {
 namespace {
@@ -81,6 +106,35 @@ TEST_F(OnlineMonitorTest, ResetForgetsHistory) {
   EXPECT_EQ(online.cycles_seen(), 0);
   const auto v = online.step(trace.steps[0]);
   EXPECT_FALSE(v.ready);
+}
+
+TEST_F(OnlineMonitorTest, WindowingPathDoesNotAllocate) {
+  // Regression pin for the old deque-of-vectors window: every step()
+  // heap-allocated a fresh feature row (and, once ready, a Tensor3) and
+  // re-copied the whole window. With the ring buffer the pre-inference
+  // windowing path must not allocate at all.
+  auto& mon = exp_.monitor(mlp_);
+  const int window = exp_.config().dataset.window;
+  OnlineMonitor online(mon, window);
+  const sim::Trace& trace = exp_.test_traces().front();
+  ASSERT_GE(trace.length(), window);
+  // Exercise once (fills the ring through a wrap), then measure a second
+  // pass over the same preallocated state.
+  for (int t = 0; t < window - 1; ++t) {
+    online.step(trace.steps[static_cast<std::size_t>(t)]);
+  }
+  online.reset();
+  const std::uint64_t before = t_alloc_count;
+  for (int t = 0; t < window - 1; ++t) {
+    online.step(trace.steps[static_cast<std::size_t>(t)]);
+  }
+  const std::uint64_t allocs = t_alloc_count - before;
+  EXPECT_EQ(allocs, 0u)
+      << "OnlineMonitor::step allocated on the windowing path";
+  // reset() must release nothing either (capacity is retained).
+  const std::uint64_t before_reset = t_alloc_count;
+  online.reset();
+  EXPECT_EQ(t_alloc_count - before_reset, 0u);
 }
 
 TEST_F(OnlineMonitorTest, RejectsUntrainedMonitorAndBadWindow) {

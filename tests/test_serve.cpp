@@ -1,0 +1,329 @@
+// Streaming detection service suite: warm-up boundary, per-session
+// isolation (interleaved sessions reproduce dedicated OnlineMonitors
+// bit-for-bit), admission control, deterministic golden replay (serial vs
+// pooled flushes byte-identical, pinned against tests/golden/), and
+// concurrent ingest (the TSan CI job runs this binary).
+//
+// Re-bless the replay golden after an intentional model/output change:
+//   CPSGUARD_BLESS=1 ./build/tests/test_serve
+#include "serve/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <thread>
+
+#include "core/experiment.h"
+#include "core/online_monitor.h"
+#include "obs/sha256.h"
+#include "serve/stable_hash.h"
+#include "util/contracts.h"
+#include "util/thread_pool.h"
+
+#ifndef CPSGUARD_GOLDEN_DIR
+#define CPSGUARD_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace cpsguard::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::ExperimentConfig tiny_config() {
+  core::ExperimentConfig cfg;
+  cfg.campaign.patients = 3;
+  cfg.campaign.sims_per_patient = 3;
+  cfg.campaign.trace_steps = 60;
+  cfg.campaign.seed = 11;
+  cfg.epochs = 2;
+  cfg.cache_dir = "";
+  return cfg;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  ServeTest() : exp_(tiny_config()) {}
+
+  monitor::MlMonitor& mon() { return exp_.monitor(mlp_); }
+  int window() const { return exp_.config().dataset.window; }
+
+  core::Experiment exp_;
+  const core::MonitorVariant mlp_{monitor::Arch::kMlp, false};
+};
+
+TEST_F(ServeTest, WarmupBoundary) {
+  EngineConfig cfg;
+  cfg.window = window();
+  Engine engine(mon(), cfg);
+  const sim::Trace& trace = exp_.test_traces().front();
+
+  for (int t = 0; t < window() - 1; ++t) {
+    engine.submit(9001, trace.steps[static_cast<std::size_t>(t)]);
+    EXPECT_TRUE(engine.tick().empty()) << "cycle " << t;
+  }
+  engine.submit(9001, trace.steps[static_cast<std::size_t>(window() - 1)]);
+  const auto events = engine.tick();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].session, 9001u);
+  EXPECT_EQ(events[0].cycle, window() - 1);
+  EXPECT_GE(events[0].p_unsafe, 0.0);
+  EXPECT_LE(events[0].p_unsafe, 1.0);
+}
+
+TEST_F(ServeTest, InterleavedSessionsMatchDedicatedMonitors) {
+  // Three interleaved sessions, a small micro-batch (so inline batch-full
+  // flushes happen) and uneven ticks must reproduce per-trace
+  // OnlineMonitors exactly — cross-session batching may not leak state.
+  EngineConfig cfg;
+  cfg.window = window();
+  cfg.shards = 2;
+  cfg.max_batch = 4;
+  cfg.queue_capacity = 1024;
+  Engine engine(mon(), cfg);
+
+  const auto& traces = exp_.test_traces();
+  ASSERT_GE(traces.size(), 3u);
+  const SessionId ids[3] = {101, 202, 303};
+  std::map<SessionId, std::vector<VerdictEvent>> got;
+  const int steps = traces[0].length();
+  for (int t = 0; t < steps; ++t) {
+    for (int s = 0; s < 3; ++s) {
+      if (t < traces[static_cast<std::size_t>(s)].length()) {
+        engine.submit(ids[s],
+                      traces[static_cast<std::size_t>(s)]
+                          .steps[static_cast<std::size_t>(t)]);
+      }
+    }
+    if (t % 7 == 0) {
+      for (const auto& ev : engine.tick()) got[ev.session].push_back(ev);
+    }
+  }
+  for (const auto& ev : engine.tick()) got[ev.session].push_back(ev);
+
+  for (int s = 0; s < 3; ++s) {
+    const sim::Trace& trace = traces[static_cast<std::size_t>(s)];
+    core::OnlineMonitor dedicated(mon(), window());
+    const auto& events = got[ids[s]];
+    std::size_t next = 0;
+    for (int t = 0; t < trace.length(); ++t) {
+      const auto v = dedicated.step(trace.steps[static_cast<std::size_t>(t)]);
+      if (!v.ready) continue;
+      ASSERT_LT(next, events.size()) << "session " << s << " cycle " << t;
+      const VerdictEvent& ev = events[next++];
+      EXPECT_EQ(ev.cycle, t);
+      EXPECT_EQ(ev.prediction, v.prediction) << "session " << s << " cycle " << t;
+      EXPECT_EQ(ev.p_unsafe, v.p_unsafe) << "session " << s << " cycle " << t;
+    }
+    EXPECT_EQ(next, events.size()) << "session " << s << " extra verdicts";
+  }
+}
+
+TEST_F(ServeTest, BackpressureRejectsWithTypedError) {
+  const int w = window();
+  EngineConfig cfg;
+  cfg.window = w;
+  cfg.shards = 1;
+  cfg.max_batch = 8;
+  cfg.queue_capacity = 8;
+  Engine engine(mon(), cfg);
+  const sim::Trace& trace = exp_.test_traces().front();
+  const auto& rec = trace.steps[0];
+
+  // One session streaming without any drain: windows complete from cycle
+  // w-1 on, the 8th completed window batch-full-flushes into the undrained
+  // queue, and the next record must bounce.
+  for (int t = 0; t < w + 7; ++t) {
+    ASSERT_EQ(engine.try_submit(5, rec), SubmitStatus::kAccepted) << t;
+  }
+  EXPECT_EQ(engine.queue_depth(), 8u);
+  EXPECT_EQ(engine.try_submit(5, rec), SubmitStatus::kRejectedQueueFull);
+  EXPECT_THROW(engine.submit(5, rec), QueueFullError);
+  // Rejection is not a silent drop: the window did not advance, so after
+  // draining, the same record is admitted and produces the next verdict.
+  const auto drained = engine.tick();
+  EXPECT_EQ(drained.size(), 8u);
+  EXPECT_EQ(engine.queue_depth(), 0u);
+  EXPECT_EQ(engine.try_submit(5, rec), SubmitStatus::kAccepted);
+  const auto after = engine.tick();
+  ASSERT_EQ(after.size(), 1u);
+  // Cycles 0..w+6 were accepted; the rejected record left no ghost cycle.
+  EXPECT_EQ(after[0].cycle, w + 7);
+}
+
+TEST_F(ServeTest, SessionLimitRejectsWithTypedError) {
+  EngineConfig cfg;
+  cfg.window = window();
+  cfg.shards = 2;
+  cfg.max_sessions = 2;
+  Engine engine(mon(), cfg);
+  const auto& rec = exp_.test_traces().front().steps[0];
+
+  EXPECT_EQ(engine.try_submit(1, rec), SubmitStatus::kAccepted);
+  EXPECT_EQ(engine.try_submit(2, rec), SubmitStatus::kAccepted);
+  EXPECT_EQ(engine.try_submit(3, rec), SubmitStatus::kRejectedSessionLimit);
+  EXPECT_THROW(engine.submit(3, rec), SessionLimitError);
+  EXPECT_EQ(engine.sessions_active(), 2u);
+  // Closing a session frees its budget slot.
+  EXPECT_TRUE(engine.close_session(1));
+  EXPECT_FALSE(engine.close_session(1));
+  EXPECT_EQ(engine.try_submit(3, rec), SubmitStatus::kAccepted);
+}
+
+TEST_F(ServeTest, RejectsBadConfigAndUntrainedMonitor) {
+  monitor::MonitorConfig mc;
+  monitor::MlMonitor untrained(mc);
+  EXPECT_THROW(Engine(untrained, EngineConfig{}), ContractViolation);
+
+  EngineConfig bad;
+  bad.queue_capacity = 1;  // cannot hold one full micro-batch
+  EXPECT_THROW(Engine(mon(), bad), ContractViolation);
+  EngineConfig no_shards;
+  no_shards.shards = 0;
+  EXPECT_THROW(Engine(mon(), no_shards), ContractViolation);
+}
+
+TEST_F(ServeTest, RoutingIsStable) {
+  EngineConfig cfg;
+  cfg.window = window();
+  cfg.shards = 8;
+  Engine engine(mon(), cfg);
+  for (SessionId id : {0ULL, 1ULL, 42ULL, 0xdeadbeefULL}) {
+    const int shard = engine.shard_of(id);
+    EXPECT_EQ(shard, engine.shard_of(id));
+    EXPECT_EQ(shard, static_cast<int>(stable_hash64(id) % 8));
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 8);
+  }
+}
+
+// ---- deterministic golden replay ------------------------------------------
+
+std::string replay(core::Experiment& exp, monitor::MlMonitor& mon,
+                   bool deterministic) {
+  EngineConfig cfg;
+  cfg.window = exp.config().dataset.window;
+  cfg.shards = 4;
+  cfg.max_batch = 16;
+  cfg.deterministic = deterministic;
+  Engine engine(mon, cfg);
+
+  const auto& traces = exp.test_traces();
+  const int kSessions = 8;
+  std::string out;
+  char line[96];
+  const sim::Trace& longest = traces.front();
+  for (int t = 0; t < longest.length(); ++t) {
+    for (int s = 0; s < kSessions; ++s) {
+      const sim::Trace& trace = traces[static_cast<std::size_t>(s) % traces.size()];
+      if (t >= trace.length()) continue;
+      engine.submit(1000 + static_cast<SessionId>(s) * 7,
+                    trace.steps[static_cast<std::size_t>(t)]);
+    }
+    for (const auto& ev : engine.tick()) {
+      // p_unsafe serialized as raw bits: byte-identity, not just closeness.
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(ev.p_unsafe));
+      std::memcpy(&bits, &ev.p_unsafe, sizeof(bits));
+      std::snprintf(line, sizeof(line), "%llu,%d,%d,%016llx\n",
+                    static_cast<unsigned long long>(ev.session), ev.cycle,
+                    ev.prediction, static_cast<unsigned long long>(bits));
+      out += line;
+    }
+  }
+  return out;
+}
+
+TEST_F(ServeTest, DeterministicGoldenReplay) {
+  // Serial deterministic mode vs pooled flushes: the verdict stream must
+  // be byte-identical, and match the checked-in golden.
+  util::set_max_parallelism(1);
+  const std::string serial = replay(exp_, mon(), /*deterministic=*/true);
+  util::set_max_parallelism(0);
+  const std::string pooled = replay(exp_, mon(), /*deterministic=*/false);
+  ASSERT_FALSE(serial.empty());
+  ASSERT_EQ(serial, pooled)
+      << "serial and pooled serve runs diverged — a flush reduction or "
+      << "delivery order is schedule-dependent";
+
+  const fs::path golden = fs::path(CPSGUARD_GOLDEN_DIR) / "serve_replay.csv";
+  if (std::getenv("CPSGUARD_BLESS") != nullptr) {
+    fs::create_directories(golden.parent_path());
+    std::ofstream out(golden, std::ios::binary);
+    out << serial;
+    GTEST_SKIP() << "blessed " << golden;
+  }
+  std::ifstream in(golden, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden " << golden;
+  const std::string expected{std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>()};
+  EXPECT_EQ(obs::sha256_hex(serial), obs::sha256_hex(expected))
+      << "serve replay drifted from " << golden
+      << " (re-bless with CPSGUARD_BLESS=1 if intentional)";
+  EXPECT_EQ(serial, expected);
+}
+
+// ---- concurrent ingest -----------------------------------------------------
+
+TEST_F(ServeTest, ConcurrentIngestIsRaceFreeAndLossless) {
+  EngineConfig cfg;
+  cfg.window = window();
+  cfg.shards = 4;
+  cfg.max_batch = 16;
+  cfg.queue_capacity = 4096;
+  Engine engine(mon(), cfg);
+
+  const auto& traces = exp_.test_traces();
+  const int kThreads = 4;
+  const int kSessionsPerThread = 8;
+  const int kRecords = 40;
+
+  std::vector<VerdictEvent> ticker_events;
+  std::atomic<bool> done{false};
+  std::thread ticker([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const auto evs = engine.tick();
+      ticker_events.insert(ticker_events.end(), evs.begin(), evs.end());
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  std::atomic<int> rejected{0};
+  for (int th = 0; th < kThreads; ++th) {
+    producers.emplace_back([&, th] {
+      for (int t = 0; t < kRecords; ++t) {
+        for (int s = 0; s < kSessionsPerThread; ++s) {
+          const auto id = static_cast<SessionId>(th * 1000 + s);
+          const sim::Trace& trace =
+              traces[static_cast<std::size_t>(th + s) % traces.size()];
+          const auto& rec =
+              trace.steps[static_cast<std::size_t>(t) %
+                          trace.steps.size()];
+          if (engine.try_submit(id, rec) != SubmitStatus::kAccepted) {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  done.store(true, std::memory_order_relaxed);
+  ticker.join();
+
+  const auto final_events = engine.tick();
+  EXPECT_EQ(rejected.load(), 0);
+  const std::size_t expected_windows =
+      static_cast<std::size_t>(kThreads) * kSessionsPerThread *
+      static_cast<std::size_t>(kRecords - window() + 1);
+  EXPECT_EQ(ticker_events.size() + final_events.size(), expected_windows);
+  EXPECT_EQ(engine.sessions_active(),
+            static_cast<std::size_t>(kThreads) * kSessionsPerThread);
+  EXPECT_EQ(engine.queue_depth(), 0u);
+}
+
+}  // namespace
+}  // namespace cpsguard::serve
