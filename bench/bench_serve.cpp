@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
   monitor::MlMonitor& mon =
       exp.monitor(core::MonitorVariant{monitor::Arch::kMlp, false});
   const int window = exp.config().dataset.window;
+  run.manifest().set_param("window", static_cast<long long>(window));
   const std::vector<sim::Trace>& traces = exp.test_traces();
 
   // ---- Baseline: per-session OnlineMonitors, sessions striped over T
@@ -132,6 +133,8 @@ int main(int argc, char** argv) {
     cfg.queue_capacity =
         std::max(2 * batch, 4 * (sessions / std::max(shards, 1) + 1));
     cfg.deterministic = deterministic;
+    run.manifest().set_param("queue_capacity",
+                             static_cast<long long>(cfg.queue_capacity));
     serve::Engine engine(mon, cfg);
     const auto cycle = [&](int t) {
       for (int s = 0; s < sessions; ++s) {

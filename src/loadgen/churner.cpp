@@ -1,0 +1,92 @@
+#include "loadgen/churner.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace cpsguard::loadgen {
+
+SessionChurner::SessionChurner(TrafficConfig cfg, std::uint64_t seed,
+                               serve::SessionId first_id)
+    : cfg_(cfg), rng_(seed), next_id_(first_id) {
+  validate(cfg_);
+}
+
+void SessionChurner::join(serve::SessionId id, std::int64_t tick,
+                          bool rejoin) {
+  active_.emplace(id, tick + sample_session_length(cfg_, rng_));
+  if (rejoin) {
+    ++stats_.rejoins;
+  } else {
+    ++stats_.joins;
+  }
+}
+
+TickPlan SessionChurner::plan(std::int64_t tick) {
+  expects(tick == next_tick_, "churner: plan() ticks must be consecutive");
+  ++next_tick_;
+  TickPlan out;
+
+  // 1. Expiries. Ascending-id iteration fixes the Rng draw order; a leaver
+  // either closes gracefully or abandons (stops submitting, close never
+  // sent), and either kind may schedule a same-id reconnect.
+  std::vector<serve::SessionId> leavers;
+  for (const auto& [id, expires_at] : active_) {
+    if (expires_at <= tick) leavers.push_back(id);
+  }
+  for (const serve::SessionId id : leavers) {
+    active_.erase(id);
+    if (rng_.bernoulli(cfg_.abandon_prob)) {
+      ++stats_.abandons;
+    } else {
+      out.closes.push_back(id);
+      ++stats_.closes;
+    }
+    if (rng_.bernoulli(cfg_.reconnect_prob)) {
+      const std::int64_t delay = rng_.uniform_int(cfg_.reconnect_delay_min,
+                                                  cfg_.reconnect_delay_max);
+      due_[tick + delay].push_back(id);
+    }
+  }
+
+  // 2. Due reconnects rejoin before fresh sessions are considered.
+  while (!due_.empty() && due_.begin()->first <= tick) {
+    std::vector<serve::SessionId> ids = std::move(due_.begin()->second);
+    due_.erase(due_.begin());
+    std::sort(ids.begin(), ids.end());
+    for (const serve::SessionId id : ids) {
+      // An id can only be due once (it must leave before reconnecting),
+      // but guard against joining over a live session anyway.
+      if (active_.contains(id)) continue;
+      join(id, tick, /*rejoin=*/true);
+    }
+  }
+
+  // 3. Track the traffic model's concurrency target: join fresh sessions
+  // up to it, or shed the oldest (lowest-id) sessions down to it.
+  const auto target =
+      static_cast<std::size_t>(target_sessions(cfg_, tick));
+  while (active_.size() < target) {
+    join(next_id_++, tick, /*rejoin=*/false);
+  }
+  while (active_.size() > target) {
+    const serve::SessionId id = active_.begin()->first;
+    active_.erase(active_.begin());
+    out.closes.push_back(id);
+    ++stats_.closes;
+    if (rng_.bernoulli(cfg_.reconnect_prob)) {
+      const std::int64_t delay = rng_.uniform_int(cfg_.reconnect_delay_min,
+                                                  cfg_.reconnect_delay_max);
+      due_[tick + delay].push_back(id);
+    }
+  }
+  std::sort(out.closes.begin(), out.closes.end());
+
+  stats_.peak_active = std::max(stats_.peak_active,
+                                static_cast<std::uint64_t>(active_.size()));
+  out.submits.reserve(active_.size());
+  for (const auto& [id, expires_at] : active_) out.submits.push_back(id);
+  return out;
+}
+
+}  // namespace cpsguard::loadgen

@@ -1,0 +1,73 @@
+// Seeded join/leave/reconnect scheduler for the streaming serve engine.
+//
+// A SessionChurner turns a TrafficConfig plus one Rng seed into a fully
+// deterministic per-tick plan: which sessions gracefully close this tick,
+// and which sessions submit a record. Session lifetimes are heavy-tailed
+// draws; leavers may abandon (stop submitting without closing — the idle
+// population the engine's TTL eviction exists to reclaim) and may
+// reconnect later under the same id (the mid-stream reopen path). The
+// churner never touches the engine: it is a pure schedule generator, so
+// the same seed replays the same traffic against a serial engine, a
+// pooled engine, or an engine with TTL eviction enabled — the property
+// every loadgen byte-identity oracle rests on.
+//
+// Determinism: all state iterates in sorted containers and every Rng draw
+// happens in ascending-session-id order, so plan(t) is a pure function of
+// (config, seed, t) given the calls are made for t = 0, 1, 2, ...
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "loadgen/traffic.h"
+#include "serve/types.h"
+#include "util/rng.h"
+
+namespace cpsguard::loadgen {
+
+/// What the workload must do at one tick, in order: close `closes`, then
+/// submit one record for each id in `submits` (both ascending).
+struct TickPlan {
+  std::vector<serve::SessionId> closes;
+  std::vector<serve::SessionId> submits;
+};
+
+/// Lifetime churn counters (monotonic).
+struct ChurnStats {
+  std::uint64_t joins = 0;     // fresh session ids admitted
+  std::uint64_t rejoins = 0;   // reconnects of previously-seen ids
+  std::uint64_t closes = 0;    // graceful closes scheduled
+  std::uint64_t abandons = 0;  // leavers that never closed
+  std::uint64_t peak_active = 0;
+  /// Distinct session ids ever active == joins (ids are never reused for
+  /// fresh sessions; rejoins reuse their own id by design).
+  [[nodiscard]] std::uint64_t distinct_sessions() const { return joins; }
+};
+
+class SessionChurner {
+ public:
+  /// Validates `cfg`. Fresh session ids count up from `first_id`.
+  SessionChurner(TrafficConfig cfg, std::uint64_t seed,
+                 serve::SessionId first_id = 1);
+
+  /// The plan for `tick`. Must be called with consecutive ticks starting
+  /// at 0 — the schedule is stateful (lifetimes, reconnect queue).
+  [[nodiscard]] TickPlan plan(std::int64_t tick);
+
+  [[nodiscard]] const ChurnStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t active() const { return active_.size(); }
+
+ private:
+  void join(serve::SessionId id, std::int64_t tick, bool rejoin);
+
+  TrafficConfig cfg_;
+  util::Rng rng_;
+  serve::SessionId next_id_;
+  std::int64_t next_tick_ = 0;
+  std::map<serve::SessionId, std::int64_t> active_;  // id -> expiry tick
+  std::map<std::int64_t, std::vector<serve::SessionId>> due_;  // reconnects
+  ChurnStats stats_;
+};
+
+}  // namespace cpsguard::loadgen

@@ -1,0 +1,80 @@
+#include "loadgen/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cpsguard::loadgen {
+
+const char* to_string(TrafficModel model) {
+  switch (model) {
+    case TrafficModel::kSteady: return "steady";
+    case TrafficModel::kDiurnal: return "diurnal";
+    case TrafficModel::kFlashCrowd: return "flash";
+  }
+  return "unknown";
+}
+
+std::optional<TrafficModel> parse_traffic_model(std::string_view name) {
+  if (name == "steady") return TrafficModel::kSteady;
+  if (name == "diurnal") return TrafficModel::kDiurnal;
+  if (name == "flash") return TrafficModel::kFlashCrowd;
+  return std::nullopt;
+}
+
+void validate(const TrafficConfig& cfg) {
+  expects(cfg.base_sessions > 0, "traffic: base_sessions must be positive");
+  expects(cfg.peak >= 1.0, "traffic: peak must be >= 1");
+  expects(cfg.period > 0, "traffic: period must be positive");
+  expects(cfg.flash_len >= 0, "traffic: flash_len must be non-negative");
+  expects(cfg.min_session_len > 0,
+          "traffic: min_session_len must be positive");
+  expects(cfg.max_session_len >= cfg.min_session_len,
+          "traffic: max_session_len must be >= min_session_len");
+  expects(cfg.tail_alpha > 0.0, "traffic: tail_alpha must be positive");
+  expects(cfg.abandon_prob >= 0.0 && cfg.abandon_prob <= 1.0,
+          "traffic: abandon_prob must be in [0, 1]");
+  expects(cfg.reconnect_prob >= 0.0 && cfg.reconnect_prob <= 1.0,
+          "traffic: reconnect_prob must be in [0, 1]");
+  expects(cfg.reconnect_delay_min >= 1,
+          "traffic: reconnect_delay_min must be >= 1");
+  expects(cfg.reconnect_delay_max >= cfg.reconnect_delay_min,
+          "traffic: reconnect_delay_max must be >= reconnect_delay_min");
+}
+
+int target_sessions(const TrafficConfig& cfg, std::int64_t tick) {
+  const double base = static_cast<double>(cfg.base_sessions);
+  switch (cfg.model) {
+    case TrafficModel::kSteady:
+      return cfg.base_sessions;
+    case TrafficModel::kDiurnal: {
+      // Raised cosine: trough (base) at tick 0, crest (base*peak) half a
+      // period later. Pure in (cfg, tick) — same double math every call.
+      const double phase =
+          2.0 * M_PI *
+          static_cast<double>(tick % cfg.period) / static_cast<double>(cfg.period);
+      const double swell = 0.5 * (1.0 - std::cos(phase));  // [0, 1]
+      return static_cast<int>(base + (cfg.peak - 1.0) * base * swell);
+    }
+    case TrafficModel::kFlashCrowd:
+      if (tick >= cfg.flash_at && tick < cfg.flash_at + cfg.flash_len) {
+        return static_cast<int>(base * cfg.peak);
+      }
+      return cfg.base_sessions;
+  }
+  return cfg.base_sessions;
+}
+
+int sample_session_length(const TrafficConfig& cfg, util::Rng& rng) {
+  // Pareto via inverse CDF on one uniform; clamp u away from 0 so the
+  // power is finite, then cap at max_session_len.
+  const double u = std::max(rng.uniform(), 1e-12);
+  const double len = static_cast<double>(cfg.min_session_len) *
+                     std::pow(u, -1.0 / cfg.tail_alpha);
+  const double capped =
+      std::min(len, static_cast<double>(cfg.max_session_len));
+  return std::max(cfg.min_session_len, static_cast<int>(capped));
+}
+
+}  // namespace cpsguard::loadgen

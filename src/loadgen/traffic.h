@@ -1,0 +1,83 @@
+// Deterministic traffic models for the streaming serve engine.
+//
+// A traffic model answers two questions and nothing else: "how many
+// sessions should be streaming at tick t?" (a pure function of the config
+// and the tick — no RNG, so the concurrency envelope of a run is knowable
+// in advance) and "how long does a newly joined session stay?" (a draw
+// from a seeded util::Rng stream, heavy-tailed by default so a soak run
+// mixes drive-by sessions with near-immortal ones, the way real patient
+// populations do). Everything downstream — the SessionChurner's
+// join/leave/reconnect schedule, the Workload's submit sequence — derives
+// deterministically from these two functions plus one Rng seed, which is
+// what makes soak runs byte-reproducible and serial-vs-pooled comparable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace cpsguard::loadgen {
+
+/// Shape of the concurrency envelope over time.
+enum class TrafficModel {
+  kSteady,      // flat target: base_sessions at every tick
+  kDiurnal,     // raised-cosine swell between base and base*peak per period
+  kFlashCrowd,  // flat base with a base*peak spike in [flash_at, flash_at+len)
+};
+
+[[nodiscard]] const char* to_string(TrafficModel model);
+/// "steady" / "diurnal" / "flash"; nullopt on anything else.
+[[nodiscard]] std::optional<TrafficModel> parse_traffic_model(
+    std::string_view name);
+
+struct TrafficConfig {
+  TrafficModel model = TrafficModel::kSteady;
+  /// Nominal concurrent sessions (the trough of diurnal, the plateau of
+  /// steady and flash-crowd).
+  int base_sessions = 64;
+  /// Peak multiplier for diurnal / flash-crowd (>= 1).
+  double peak = 2.0;
+  /// Diurnal period in ticks.
+  int period = 48;
+  /// Flash-crowd spike window [flash_at, flash_at + flash_len).
+  std::int64_t flash_at = 16;
+  std::int64_t flash_len = 8;
+
+  /// Session lengths are Pareto(min_session_len, tail_alpha) capped at
+  /// max_session_len: len = min * u^(-1/alpha). Alpha in (1, 2] gives the
+  /// heavy tail (finite mean, huge variance) the issue calls for.
+  int min_session_len = 8;
+  int max_session_len = 1 << 16;
+  double tail_alpha = 1.5;
+
+  /// Fraction of expiring sessions that leave *without* closing — they
+  /// just stop submitting, and only the engine's idle-TTL eviction (or a
+  /// workload-driven explicit close) reclaims their budget slot.
+  double abandon_prob = 0.0;
+  /// Fraction of leavers (graceful or abandoning) that reconnect with the
+  /// same session id after a uniform delay in
+  /// [reconnect_delay_min, reconnect_delay_max] ticks — the mid-stream
+  /// reopen path: the id readmits and its window refills from scratch.
+  double reconnect_prob = 0.0;
+  int reconnect_delay_min = 2;
+  int reconnect_delay_max = 12;
+};
+
+/// Target concurrent sessions at `tick` — pure in (cfg, tick), never
+/// negative. Steady: base. Diurnal: raised cosine from base (tick 0) up to
+/// base*peak half a period later. Flash crowd: base, or base*peak inside
+/// the spike window.
+[[nodiscard]] int target_sessions(const TrafficConfig& cfg, std::int64_t tick);
+
+/// One heavy-tailed session length draw (ticks), in
+/// [min_session_len, max_session_len]. Consumes exactly one uniform from
+/// `rng`.
+[[nodiscard]] int sample_session_length(const TrafficConfig& cfg,
+                                        util::Rng& rng);
+
+/// Validate a config; throws ContractViolation naming the bad field.
+void validate(const TrafficConfig& cfg);
+
+}  // namespace cpsguard::loadgen

@@ -38,6 +38,7 @@ Engine::Engine(const monitor::MlMonitor& mon, EngineConfig config)
           "queue_capacity must hold at least one full micro-batch");
   expects(config.max_sessions > 0, "max_sessions must be positive");
   expects(config.predict_chunk > 0, "predict_chunk must be positive");
+  expects(config.idle_ttl_ticks >= 0, "idle_ttl_ticks must be non-negative");
   shards_.reserve(static_cast<std::size_t>(config.shards));
   for (int s = 0; s < config.shards; ++s) {
     shards_.push_back(
@@ -51,7 +52,8 @@ int Engine::shard_of(SessionId id) const {
 }
 
 SubmitStatus Engine::try_submit(SessionId id, const sim::StepRecord& rec) {
-  return shards_[static_cast<std::size_t>(shard_of(id))]->submit(id, rec);
+  return shards_[static_cast<std::size_t>(shard_of(id))]->submit(
+      id, rec, ticks_.load(std::memory_order_relaxed));
 }
 
 void Engine::submit(SessionId id, const sim::StepRecord& rec) {
@@ -74,6 +76,15 @@ void Engine::submit(SessionId id, const sim::StepRecord& rec) {
 std::vector<VerdictEvent> Engine::tick() {
   EngineMetrics& metrics = EngineMetrics::get();
   metrics.ticks.increment();
+  // This tick's index: records ingested since the previous tick carry it
+  // as their ingest_tick, so a verdict delivered below has latency 0.
+  const std::int64_t now = ticks_.load(std::memory_order_relaxed);
+  evicted_last_tick_.clear();
+  if (config_.idle_ttl_ticks > 0) {
+    for (auto& shard : shards_) {
+      shard->evict_idle(now, config_.idle_ttl_ticks, evicted_last_tick_);
+    }
+  }
   const int n = static_cast<int>(shards_.size());
   if (config_.deterministic) {
     for (auto& shard : shards_) shard->flush();
@@ -83,6 +94,7 @@ std::vector<VerdictEvent> Engine::tick() {
     });
   }
   std::vector<VerdictEvent> out = drain();
+  ticks_.fetch_add(1, std::memory_order_relaxed);
   metrics.sessions_active.set(static_cast<double>(sessions_active()));
   metrics.queue_depth.set(static_cast<double>(queue_depth()));
   return out;
@@ -115,6 +127,26 @@ std::size_t Engine::queue_depth() const {
     total += s.pending_windows + s.undrained_verdicts;
   }
   return total;
+}
+
+EngineStats Engine::stats() const {
+  EngineStats out;
+  out.ticks = ticks();
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const ShardStats s = shard->stats();
+    out.sessions += s.sessions;
+    out.queue_depth += s.pending_windows + s.undrained_verdicts;
+    out.records += s.records;
+    out.windows_flushed += s.windows_flushed;
+    out.flushes += s.flushes;
+    out.closed += s.closed;
+    out.evicted += s.evicted;
+    out.rejected_queue_full += s.rejected_queue_full;
+    out.rejected_session_limit += s.rejected_session_limit;
+    out.shards.push_back(s);
+  }
+  return out;
 }
 
 }  // namespace cpsguard::serve

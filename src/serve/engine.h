@@ -32,6 +32,25 @@
 
 namespace cpsguard::serve {
 
+/// Whole-engine snapshot: the per-shard ShardStats plus engine-level
+/// aggregates. Totals are sums over `shards`; `ticks` counts completed
+/// tick() calls. Taken shard-by-shard under each shard's lock — consistent
+/// per shard, approximate across shards under concurrent ingest (exact when
+/// the caller is the only thread touching the engine, the loadgen case).
+struct EngineStats {
+  std::int64_t ticks = 0;
+  std::size_t sessions = 0;
+  std::size_t queue_depth = 0;  // pending windows + undrained verdicts
+  std::uint64_t records = 0;
+  std::uint64_t windows_flushed = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_session_limit = 0;
+  std::vector<ShardStats> shards;
+};
+
 class Engine {
  public:
   /// `mon` must be trained; each shard takes its own clone, so the engine
@@ -67,10 +86,29 @@ class Engine {
   /// Shard a session routes to (exposed for tests and ops tooling).
   [[nodiscard]] int shard_of(SessionId id) const;
 
+  /// Completed tick() calls. Records submitted now carry this value as
+  /// their windows' VerdictEvent::ingest_tick.
+  [[nodiscard]] std::int64_t ticks() const {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+  /// Sessions the most recent tick() TTL-evicted, in deterministic
+  /// (shard index, session id) order; empty when idle_ttl_ticks is 0 or
+  /// nothing expired. Only the ticking thread may call this — the log is
+  /// rewritten by every tick().
+  [[nodiscard]] const std::vector<SessionId>& evicted_last_tick() const {
+    return evicted_last_tick_;
+  }
+
+  /// Ops/assertion snapshot of the whole engine (see EngineStats).
+  [[nodiscard]] EngineStats stats() const;
+
  private:
   EngineConfig config_;
   std::atomic<std::int64_t> session_budget_;
+  std::atomic<std::int64_t> ticks_{0};
   std::vector<std::unique_ptr<SessionShard>> shards_;
+  std::vector<SessionId> evicted_last_tick_;
 };
 
 }  // namespace cpsguard::serve

@@ -22,6 +22,7 @@ struct ServeMetrics {
   obs::Counter& rejected_session_limit;
   obs::Counter& flushes;
   obs::Counter& windows_flushed;
+  obs::Counter& evicted;
   obs::Histogram& batch_occupancy;
   obs::Histogram& flush_seconds;
 
@@ -33,6 +34,7 @@ struct ServeMetrics {
         obs::Registry::instance().counter("serve.rejected.session_limit"),
         obs::Registry::instance().counter("serve.flushes"),
         obs::Registry::instance().counter("serve.windows_flushed"),
+        obs::Registry::instance().counter("serve.evicted"),
         obs::Registry::instance().histogram("serve.batch_occupancy"),
         obs::Registry::instance().histogram("span.serve.flush"),
     };
@@ -57,7 +59,8 @@ SessionShard::SessionShard(const monitor::MlMonitor& mon,
   ServeMetrics::get();  // resolve before any worker thread touches us
 }
 
-SubmitStatus SessionShard::submit(SessionId id, const sim::StepRecord& rec) {
+SubmitStatus SessionShard::submit(SessionId id, const sim::StepRecord& rec,
+                                  std::int64_t now_tick) {
   ServeMetrics& metrics = ServeMetrics::get();
   const std::scoped_lock lock(mutex_);
   // Admission control happens before any session state is touched: a
@@ -65,6 +68,7 @@ SubmitStatus SessionShard::submit(SessionId id, const sim::StepRecord& rec) {
   if (pending_.size() + done_.size() >=
       static_cast<std::size_t>(config_.queue_capacity)) {
     metrics.rejected_queue_full.increment();
+    ++counters_.rejected_queue_full;
     return SubmitStatus::kRejectedQueueFull;
   }
   auto it = sessions_.find(id);
@@ -74,12 +78,14 @@ SubmitStatus SessionShard::submit(SessionId id, const sim::StepRecord& rec) {
     if (session_budget_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
       session_budget_.fetch_add(1, std::memory_order_relaxed);
       metrics.rejected_session_limit.increment();
+      ++counters_.rejected_session_limit;
       return SubmitStatus::kRejectedSessionLimit;
     }
     it = sessions_.emplace(id, Session(config_)).first;
   }
 
   Session& session = it->second;
+  session.last_seen = now_tick;
   // Scale once at ingest: overlapping windows would otherwise re-scale the
   // same record `window` times per flush. transform_row is bit-identical to
   // the batch transform, so flush can take the scaled fast path.
@@ -89,6 +95,7 @@ SubmitStatus SessionShard::submit(SessionId id, const sim::StepRecord& rec) {
   session.ring.commit();
   ++session.cycles;
   metrics.records.increment();
+  ++counters_.records;
   if (!session.ring.full()) return SubmitStatus::kAccepted;
 
   // Stage the ready window into the micro-batch row it will occupy.
@@ -96,7 +103,7 @@ SubmitStatus SessionShard::submit(SessionId id, const sim::StepRecord& rec) {
   const auto row_floats = static_cast<std::size_t>(config_.window) *
                           monitor::Features::kNumFeatures;
   session.ring.copy_ordered(batch_.data().subspan(row * row_floats, row_floats));
-  pending_.push_back(VerdictEvent{id, session.cycles - 1, 0, 0.0});
+  pending_.push_back(VerdictEvent{id, session.cycles - 1, 0, 0.0, now_tick});
   metrics.windows_ready.increment();
   if (pending_.size() == static_cast<std::size_t>(config_.max_batch)) {
     flush_locked();
@@ -140,6 +147,8 @@ void SessionShard::flush_locked() {
   pending_.clear();
   metrics.flushes.increment();
   metrics.windows_flushed.add(static_cast<std::uint64_t>(n));
+  ++counters_.flushes;
+  counters_.windows_flushed += static_cast<std::uint64_t>(n);
 }
 
 void SessionShard::drain(std::vector<VerdictEvent>& out) {
@@ -152,12 +161,38 @@ bool SessionShard::close(SessionId id) {
   const std::scoped_lock lock(mutex_);
   if (sessions_.erase(id) == 0) return false;
   session_budget_.fetch_add(1, std::memory_order_relaxed);
+  ++counters_.closed;
   return true;
+}
+
+void SessionShard::evict_idle(std::int64_t now_tick, std::int64_t ttl,
+                              std::vector<SessionId>& evicted) {
+  ServeMetrics& metrics = ServeMetrics::get();
+  const std::scoped_lock lock(mutex_);
+  // Collect first, then erase in ascending-id order: the hash map iterates
+  // in an unspecified order, and deterministic eviction order is part of
+  // the TTL contract (loadgen's eviction log replays as explicit closes).
+  const std::size_t first = evicted.size();
+  for (const auto& [id, session] : sessions_) {
+    if (session.last_seen < now_tick - ttl) evicted.push_back(id);
+  }
+  std::sort(evicted.begin() + static_cast<std::ptrdiff_t>(first),
+            evicted.end());
+  for (std::size_t i = first; i < evicted.size(); ++i) {
+    sessions_.erase(evicted[i]);
+    session_budget_.fetch_add(1, std::memory_order_relaxed);
+    ++counters_.evicted;
+    metrics.evicted.increment();
+  }
 }
 
 ShardStats SessionShard::stats() const {
   const std::scoped_lock lock(mutex_);
-  return ShardStats{sessions_.size(), pending_.size(), done_.size()};
+  ShardStats out = counters_;
+  out.sessions = sessions_.size();
+  out.pending_windows = pending_.size();
+  out.undrained_verdicts = done_.size();
+  return out;
 }
 
 }  // namespace cpsguard::serve

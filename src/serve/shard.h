@@ -30,11 +30,23 @@
 
 namespace cpsguard::serve {
 
-/// Point-in-time shard occupancy (taken under the shard lock).
+/// Point-in-time shard occupancy plus lifetime counters (taken under the
+/// shard lock). Occupancy fields describe the current instant; the counter
+/// fields are monotonic over the shard's lifetime — per-engine, unlike the
+/// process-wide obs registry, so tests and ops snapshots can assert on them
+/// without diffing global state.
 struct ShardStats {
   std::size_t sessions = 0;
   std::size_t pending_windows = 0;    // accumulated, not yet flushed
   std::size_t undrained_verdicts = 0; // flushed, not yet drained
+
+  std::uint64_t records = 0;          // accepted submits
+  std::uint64_t windows_flushed = 0;  // verdicts produced
+  std::uint64_t flushes = 0;          // micro-batch inference calls
+  std::uint64_t closed = 0;           // explicit close() calls that hit
+  std::uint64_t evicted = 0;          // idle-TTL evictions
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_session_limit = 0;
 };
 
 class SessionShard {
@@ -48,8 +60,11 @@ class SessionShard {
   /// Ingest one record. On admission the record is committed into its
   /// session's ring; if that completes a window, the window is staged into
   /// the micro-batch and a batch-full shard flushes inline. On rejection
-  /// nothing is mutated — the session window does not advance.
-  [[nodiscard]] SubmitStatus submit(SessionId id, const sim::StepRecord& rec);
+  /// nothing is mutated — the session window does not advance. `now_tick`
+  /// is the engine's current tick index: it stamps the staged window's
+  /// VerdictEvent and refreshes the session's idle-TTL clock.
+  [[nodiscard]] SubmitStatus submit(SessionId id, const sim::StepRecord& rec,
+                                    std::int64_t now_tick);
 
   /// Flush the partial micro-batch (the engine's cycle tick).
   void flush();
@@ -60,6 +75,13 @@ class SessionShard {
   /// Forget a session's window state. Windows already staged for this
   /// session still produce their verdicts. Returns false if unknown.
   bool close(SessionId id);
+
+  /// Evict every session whose last submit is more than `ttl` ticks old
+  /// (last_seen < now_tick - ttl), in ascending session-id order, appending
+  /// the evicted ids to `evicted`. Semantically identical to close() per
+  /// session (budget returns, staged windows still verdict).
+  void evict_idle(std::int64_t now_tick, std::int64_t ttl,
+                  std::vector<SessionId>& evicted);
 
   [[nodiscard]] ShardStats stats() const;
 
@@ -73,7 +95,8 @@ class SessionShard {
   struct Session {
     explicit Session(const EngineConfig& cfg);
     RingWindow ring;
-    int cycles = 0;  // records ingested for this session
+    int cycles = 0;              // records ingested for this session
+    std::int64_t last_seen = 0;  // engine tick index of the last submit
   };
 
   mutable std::mutex mutex_;
@@ -81,6 +104,7 @@ class SessionShard {
   nn::Tensor3 batch_;                  // (max_batch, window, features)
   std::vector<VerdictEvent> pending_;  // batch_ rows [0, pending_.size())
   std::vector<VerdictEvent> done_;
+  ShardStats counters_;  // lifetime counters (occupancy filled by stats())
 };
 
 }  // namespace cpsguard::serve

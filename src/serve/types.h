@@ -64,6 +64,10 @@ struct VerdictEvent {
   int cycle = 0;
   int prediction = 0;   // 1 = unsafe control action (OnlineMonitor semantics)
   double p_unsafe = 0.0;
+  /// Engine tick index (completed tick() calls) at the moment the window's
+  /// last record was ingested. `drain tick - ingest_tick` is the verdict's
+  /// latency in ticks — the unit bench_loadgen reports percentiles over.
+  std::int64_t ingest_tick = 0;
 };
 
 struct EngineConfig {
@@ -85,6 +89,14 @@ struct EngineConfig {
   int max_sessions = 1 << 20;
   /// Chunk size handed to eval::batched_predict_proba at flush.
   int predict_chunk = 512;
+  /// Idle-session TTL in engine ticks (0 disables eviction). A session that
+  /// goes more than this many tick() calls without submitting a record is
+  /// evicted during the next tick(): its window state is dropped and its
+  /// session-budget slot returns, exactly as if close_session() had been
+  /// called at that point — staged windows still verdict, and a later
+  /// submit readmits the id with a fresh window. Eviction order is
+  /// deterministic: ascending session id within ascending shard index.
+  std::int64_t idle_ttl_ticks = 0;
   /// Deterministic mode: tick() flushes shards serially in shard order on
   /// the calling thread instead of fanning out across the pool. Output
   /// bytes are identical either way (flushes are per-shard independent and

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <sstream>
 #include <vector>
@@ -82,6 +83,54 @@ TEST(Scaler, ConstantFeaturePassesThroughCentered) {
     EXPECT_FLOAT_EQ(z.at(b, 0, 0), 0.0f);  // centered, unit divisor
   }
   EXPECT_DOUBLE_EQ(scaler.std_of(0), 1.0);
+}
+
+TEST(Scaler, TransformRowBitIdenticalToBatchOnPathologicalFloats) {
+  // The serve engine prescales each record once via transform_row; its
+  // byte-identity contract vs offline evaluation rests on transform_row
+  // producing the same bits as transform() — including on NaN, +/-inf and
+  // denormal inputs a hostile or buggy sensor stream could feed it.
+  util::Rng rng(8);
+  const int features = 5;
+  const nn::Tensor3 train = random_data(100, 2, features, rng);
+  StandardScaler scaler;
+  scaler.fit(train);
+
+  const float kNan = std::numeric_limits<float>::quiet_NaN();
+  const float kInf = std::numeric_limits<float>::infinity();
+  const float kDenorm = std::numeric_limits<float>::denorm_min();
+  const float kTiny = std::numeric_limits<float>::min() / 4.0f;  // subnormal
+  const std::vector<std::vector<float>> rows = {
+      {kNan, kInf, -kInf, kDenorm, kTiny},
+      {-kDenorm, kNan, 0.0f, -0.0f, kInf},
+      {std::numeric_limits<float>::max(), std::numeric_limits<float>::lowest(),
+       kDenorm, -kTiny, kNan},
+      {1.0f, -2.5f, kInf, kDenorm, 42.0f},  // mixed normal/pathological
+  };
+
+  nn::Tensor3 batch(static_cast<int>(rows.size()), 1, features);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (int f = 0; f < features; ++f) {
+      batch.at(static_cast<int>(r), 0, f) = rows[r][static_cast<std::size_t>(f)];
+    }
+  }
+  const nn::Tensor3 z = scaler.transform(batch);
+
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::vector<float> row = rows[r];
+    scaler.transform_row(row);
+    for (int f = 0; f < features; ++f) {
+      std::uint32_t row_bits = 0, batch_bits = 0;
+      static_assert(sizeof(row_bits) == sizeof(float));
+      std::memcpy(&row_bits, &row[static_cast<std::size_t>(f)],
+                  sizeof(row_bits));
+      const float zb = z.at(static_cast<int>(r), 0, f);
+      std::memcpy(&batch_bits, &zb, sizeof(batch_bits));
+      EXPECT_EQ(row_bits, batch_bits)
+          << "row " << r << " feature " << f << ": transform_row "
+          << row[static_cast<std::size_t>(f)] << " vs transform " << zb;
+    }
+  }
 }
 
 TEST(Scaler, SaveLoadRoundtrip) {

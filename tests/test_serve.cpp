@@ -173,6 +173,49 @@ TEST_F(ServeTest, SessionLimitRejectsWithTypedError) {
   EXPECT_EQ(engine.try_submit(3, rec), SubmitStatus::kAccepted);
 }
 
+TEST_F(ServeTest, RejectionLeavesObservableStateUnchangedAndRecovers) {
+  // Queue-full path: a rejection must not move queue_depth,
+  // sessions_active or the records ledger, and draining must make the
+  // very same submit succeed.
+  const int w = window();
+  EngineConfig cfg;
+  cfg.window = w;
+  cfg.shards = 1;
+  cfg.max_batch = 8;
+  cfg.queue_capacity = 8;
+  Engine engine(mon(), cfg);
+  const auto& rec = exp_.test_traces().front().steps[0];
+  for (int t = 0; t < w + 7; ++t) {
+    ASSERT_EQ(engine.try_submit(5, rec), SubmitStatus::kAccepted);
+  }
+  const std::size_t depth_before = engine.queue_depth();
+  const std::size_t sessions_before = engine.sessions_active();
+  const std::uint64_t records_before = engine.stats().records;
+  EXPECT_EQ(engine.try_submit(5, rec), SubmitStatus::kRejectedQueueFull);
+  EXPECT_EQ(engine.queue_depth(), depth_before);
+  EXPECT_EQ(engine.sessions_active(), sessions_before);
+  EXPECT_EQ(engine.stats().records, records_before);
+  EXPECT_EQ(engine.stats().rejected_queue_full, 1u);
+  (void)engine.tick();
+  EXPECT_EQ(engine.try_submit(5, rec), SubmitStatus::kAccepted);
+
+  // Session-limit path: the rejected session must leave no ghost state,
+  // and closing an existing session must readmit it.
+  EngineConfig limited;
+  limited.window = w;
+  limited.max_sessions = 1;
+  Engine small(mon(), limited);
+  ASSERT_EQ(small.try_submit(1, rec), SubmitStatus::kAccepted);
+  const std::size_t small_depth = small.queue_depth();
+  EXPECT_EQ(small.try_submit(2, rec), SubmitStatus::kRejectedSessionLimit);
+  EXPECT_EQ(small.sessions_active(), 1u);
+  EXPECT_EQ(small.queue_depth(), small_depth);
+  EXPECT_EQ(small.stats().rejected_session_limit, 1u);
+  EXPECT_TRUE(small.close_session(1));
+  EXPECT_EQ(small.try_submit(2, rec), SubmitStatus::kAccepted);
+  EXPECT_EQ(small.sessions_active(), 1u);
+}
+
 TEST_F(ServeTest, RejectsBadConfigAndUntrainedMonitor) {
   monitor::MonitorConfig mc;
   monitor::MlMonitor untrained(mc);
@@ -217,6 +260,13 @@ std::string replay(core::Experiment& exp, monitor::MlMonitor& mon,
   char line[96];
   const sim::Trace& longest = traces.front();
   for (int t = 0; t < longest.length(); ++t) {
+    // Churn segment: two sessions close mid-stream and reopen on their
+    // next submit (window refills from scratch), so the golden pins the
+    // close/reopen path too.
+    if (t == longest.length() / 2) {
+      engine.close_session(1000);      // reopens next cycle
+      engine.close_session(1000 + 21); // s == 3
+    }
     for (int s = 0; s < kSessions; ++s) {
       const sim::Trace& trace = traces[static_cast<std::size_t>(s) % traces.size()];
       if (t >= trace.length()) continue;
