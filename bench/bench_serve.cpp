@@ -19,6 +19,10 @@
 //   --shards N        engine shards (0 = thread count)   (default 0)
 //   --batch N         engine micro-batch rows            (default 256)
 //   --deterministic B engine deterministic mode          (default false)
+//   --swap-every N    hot self-swap every N engine cycles (0 = off,
+//                     default 0) — measures steady-state cost of the
+//                     epoch-boundary swap protocol (raw-ring rescale of
+//                     every live session) without changing the verdicts
 #include <algorithm>
 #include <chrono>
 #include <functional>
@@ -60,11 +64,13 @@ int main(int argc, char** argv) {
   const int shards = cli.get_int("shards", 0) > 0 ? cli.get_int("shards", 0)
                                                   : threads;
   const int batch = cli.get_int("batch", 256);
+  const int swap_every = cli.get_int("swap-every", 0);
   run.manifest().set_param("sessions", static_cast<long long>(sessions));
   run.manifest().set_param("cycles", static_cast<long long>(cycles));
   run.manifest().set_param("shards", static_cast<long long>(shards));
   run.manifest().set_param("batch", static_cast<long long>(batch));
   run.manifest().set_param("deterministic", deterministic ? 1LL : 0LL);
+  run.manifest().set_param("swap_every", static_cast<long long>(swap_every));
 
   core::Experiment exp(run.config(sim::Testbed::kGlucosymOpenAps, cli));
   run.attach(exp);
@@ -136,19 +142,30 @@ int main(int argc, char** argv) {
     run.manifest().set_param("queue_capacity",
                              static_cast<long long>(cfg.queue_capacity));
     serve::Engine engine(mon, cfg);
-    const auto cycle = [&](int t) {
+    int measured = 0;
+    const auto cycle = [&](int t, bool timed) {
+      // Self-swaps are verdict-neutral (the raw-ring rescale is
+      // bit-identical to fresh ingest), so the baseline comparison stays
+      // exact while the swap cost lands inside the timed region.
+      if (timed && swap_every > 0 && ++measured % swap_every == 0) {
+        engine.stage_model(mon, engine.active_version());
+      }
       for (int s = 0; s < sessions; ++s) {
         engine.submit(static_cast<serve::SessionId>(s),
                       record_for(traces, s, t));
       }
       return static_cast<long long>(engine.tick().size());
     };
-    for (int t = 0; t < window - 1; ++t) cycle(t);  // warm-up
+    for (int t = 0; t < window - 1; ++t) cycle(t, false);  // warm-up
     const auto start = Clock::now();
     for (int t = window - 1; t < window - 1 + cycles; ++t) {
-      engine_verdicts += cycle(t);
+      engine_verdicts += cycle(t, true);
     }
     engine_seconds = seconds_since(start);
+    const serve::SwapStats& ss = engine.swap_stats();
+    run.manifest().set_param("swaps", static_cast<long long>(ss.swaps));
+    run.manifest().set_param("swap_max_latency_ticks",
+                             static_cast<long long>(ss.max_latency_ticks));
   }
 
   if (engine_verdicts != base_verdicts) {

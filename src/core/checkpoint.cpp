@@ -14,6 +14,7 @@
 #include "util/logging.h"
 #include "util/parse.h"
 #include "util/retry.h"
+#include "util/run_id.h"
 
 namespace cpsguard::core {
 
@@ -39,17 +40,6 @@ struct StoreMetrics {
     return m;
   }
 };
-
-/// Unique per open; uniqueness matters (lineage chains), determinism does
-/// not, so wall clock + random bits are fine here — nothing downstream of a
-/// run_id feeds experiment RNG streams.
-std::string fresh_run_id() {
-  std::random_device rd;
-  std::ostringstream raw;
-  raw << std::chrono::system_clock::now().time_since_epoch().count() << '|'
-      << rd() << '|' << rd();
-  return obs::sha256_hex(raw.str()).substr(0, 16);
-}
 
 std::optional<std::string> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -119,7 +109,7 @@ CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
 
 void CheckpointStore::load_or_init_meta() {
   const std::string meta_path = dir_ + "/" + kMetaFile;
-  run_id_ = fresh_run_id();
+  run_id_ = util::fresh_run_id();
   parent_run_id_.clear();
   if (const auto bytes = read_file(meta_path)) {
     // Meta layout: schema line, run_id=..., parent_run_id=...

@@ -13,6 +13,7 @@
 #include "obs/events.h"
 #include "obs/sha256.h"
 #include "obs/span.h"
+#include "registry/registry.h"
 #include "util/chaos.h"
 #include "util/contracts.h"
 #include "util/deadline.h"
@@ -311,6 +312,12 @@ std::string Experiment::cache_path(const MonitorVariant& v) const {
   path << config_.cache_dir << '/' << v.name() << '_' << std::hex
        << fnv1a(key.str()) << ".monitor";
   return path.str();
+}
+
+std::uint64_t Experiment::publish_monitor(const MonitorVariant& variant,
+                                          registry::ModelRegistry& registry) {
+  return registry.publish(monitor(variant), variant.name(),
+                          config_fingerprint());
 }
 
 monitor::MlMonitor& Experiment::monitor(const MonitorVariant& v) {

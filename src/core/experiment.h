@@ -24,6 +24,10 @@
 #include "safety/rule_monitor.h"
 #include "sim/closed_loop.h"
 
+namespace cpsguard::registry {
+class ModelRegistry;
+}
+
 namespace cpsguard::core {
 
 /// A simulation campaign: many closed-loop runs across patient profiles,
@@ -127,6 +131,14 @@ class Experiment {
   /// Train all four variants (parallel). Call before timing-sensitive
   /// sweeps so laziness doesn't skew measurements.
   void train_all();
+
+  /// Export-after-train: publish the variant's trained monitor into the
+  /// model registry as a new version. The artifact records the variant's
+  /// Table III name and this campaign's config_fingerprint(), so a serving
+  /// deployment can verify exactly which configuration produced the model
+  /// it hot-swaps in. Returns the published version number.
+  std::uint64_t publish_monitor(const MonitorVariant& variant,
+                                registry::ModelRegistry& registry);
 
   safety::RuleBasedMonitor& rule_monitor();
 

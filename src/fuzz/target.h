@@ -47,7 +47,7 @@ struct FuzzTarget {
 };
 
 /// All registered targets: stl, config, csv, json, checkpoint, serialize,
-/// cli.
+/// model, cli.
 const std::vector<FuzzTarget>& all_targets();
 
 /// Lookup by name; nullptr if unknown.

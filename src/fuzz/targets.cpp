@@ -10,6 +10,8 @@
 #include "obs/sha256.h"
 #include "nn/layer.h"
 #include "nn/serialize.h"
+#include "registry/artifact.h"
+#include "registry/model_io.h"
 #include "safety/stl_parser.h"
 #include "util/cli.h"
 #include "util/config_file.h"
@@ -209,6 +211,54 @@ bool run_serialize(const std::string& input) {
   return accepts("load_params", [&] { nn::load_params(is, ptrs); });
 }
 
+// ---- model ----------------------------------------------------------------
+
+// A tiny but fully valid cpsguard.model.v1 artifact, built through the
+// low-level writer (no training): header + meta JSON + scaler stream + two
+// tensors. Mutants start one edit away from every section.
+std::string model_seed() {
+  registry::ArtifactInfo info;
+  info.arch = monitor::Arch::kMlp;
+  info.window = 2;
+  info.features = 3;
+  info.classes = 2;
+  const std::string meta =
+      R"({"schema":"cpsguard.model.v1","version":1,"run_id":"fuzzrun0",)"
+      R"("parent_run_id":"","config_fingerprint":"deadbeef",)"
+      R"("display_name":"MLP","semantic":false,"hidden":[4]})";
+  // StandardScaler stream: u32 n, n doubles mean, n doubles std.
+  std::string scaler;
+  const std::uint32_t n = 3;
+  scaler.append(reinterpret_cast<const char*>(&n), sizeof(n));
+  const double mean[3] = {0.0, 1.0, -2.5};
+  const double stdv[3] = {1.0, 2.0, 0.5};
+  scaler.append(reinterpret_cast<const char*>(mean), sizeof(mean));
+  scaler.append(reinterpret_cast<const char*>(stdv), sizeof(stdv));
+  static const float w1[6] = {0.5f, -0.25f, 1.0f, 0.0f, 2.0f, -1.5f};
+  static const float b1[2] = {0.125f, -0.75f};
+  const std::vector<registry::TensorSpec> tensors{
+      {"w1", 3, 2, w1}, {"b1", 1, 2, b1}};
+  return registry::build_artifact(info, meta, scaler, tensors);
+}
+
+bool run_model(const std::string& input) {
+  registry::ModelArtifact art;
+  if (!accepts("ModelArtifact::parse",
+               [&] { art = registry::ModelArtifact::parse(input); })) {
+    return false;
+  }
+  // Canonical-layout invariant: bytes the verifier accepts must re-encode
+  // bit-identically — accept-then-mutate means two different models could
+  // verify against the same SHA-256 lineage record.
+  require(art.rebuild() == input,
+          "model: rebuild() of an accepted artifact is not bit-identical");
+  // The surfaces behind an accepted container must also reject with typed
+  // errors only (the meta JSON is not validated by the container parser).
+  accepts("parse_model_meta", [&] { (void)registry::parse_model_meta(art); });
+  accepts("weight_views", [&] { (void)art.weight_views(); });
+  return true;
+}
+
 // ---- cli ------------------------------------------------------------------
 
 bool run_cli(const std::string& input) {
@@ -283,6 +333,19 @@ std::vector<FuzzTarget> build_targets() {
        std::string("\xff\xff\xff\xff", 4), std::string("\x00\x00\x00\x00", 4),
        "w1", "b1"},
       run_serialize});
+
+  targets.push_back(FuzzTarget{
+      "model",
+      {model_seed()},
+      {std::string(registry::kModelMagic, sizeof(registry::kModelMagic)),
+       "cpsguard.model.v1",
+       std::string("\x01\x00\x00\x00", 4),          // u32 1 (version/arch)
+       std::string("\x80\x00\x00\x00\x00\x00\x00\x00", 8),  // u64 128
+       std::string("\x40\x00\x00\x00\x00\x00\x00\x00", 8),  // u64 64
+       std::string("\xff\xff\xff\xff", 4),
+       std::string(4, '\0'), std::string(64, '\0'),
+       "w1", "b1", "run_id", "hidden", "schema"},
+      run_model});
 
   targets.push_back(FuzzTarget{
       "cli",

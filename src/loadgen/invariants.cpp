@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "serve/stable_hash.h"
 #include "util/contracts.h"
 
 namespace cpsguard::loadgen {
@@ -16,10 +17,12 @@ namespace {
 
 }  // namespace
 
-InvariantChecker::InvariantChecker(int window, std::size_t queue_bound)
-    : window_(window), queue_bound_(queue_bound) {
+InvariantChecker::InvariantChecker(int window, std::size_t queue_bound,
+                                   int shards)
+    : window_(window), queue_bound_(queue_bound), shards_(shards) {
   expects(window > 0, "invariant checker: window must be positive");
   expects(queue_bound > 0, "invariant checker: queue bound must be positive");
+  expects(shards >= 0, "invariant checker: shards must be >= 0");
 }
 
 void InvariantChecker::on_accepted(serve::SessionId id) {
@@ -59,6 +62,24 @@ void InvariantChecker::on_verdicts(
               " next, got " + std::to_string(ev.cycle));
     }
     expected.pop_front();
+    if (shards_ > 0) {
+      // Micro-batch version purity: the engine scores a whole batch with
+      // one monitor, so every verdict of a (shard, flush_seq) group must
+      // carry the same model_version — a swap landing mid-batch would
+      // split it.
+      const std::uint64_t shard =
+          serve::stable_hash64(ev.session) %
+          static_cast<std::uint64_t>(shards_);
+      const std::uint64_t key = (shard << 48) | ev.flush_seq;
+      const auto [batch_it, inserted] =
+          batch_version_.emplace(key, ev.model_version);
+      if (!inserted && batch_it->second != ev.model_version) {
+        violate("batch purity: shard " + std::to_string(shard) +
+                " flush " + std::to_string(ev.flush_seq) +
+                " mixes model versions " + std::to_string(batch_it->second) +
+                " and " + std::to_string(ev.model_version));
+      }
+    }
     const std::int64_t latency = drain_tick - ev.ingest_tick;
     if (latency < 0) {
       violate("latency: session " + std::to_string(ev.session) + " cycle " +

@@ -17,6 +17,9 @@
 //   * Bounded queue depth — engine.queue_depth() never exceeds
 //     shards * queue_capacity, and is zero right after every tick()
 //     (tick flushes every staged window and drains every verdict).
+//   * Micro-batch version purity (when constructed with the shard count) —
+//     all verdicts of one (shard, flush_seq) micro-batch carry the same
+//     model_version: a hot swap must never split a batch across models.
 //
 // InvariantViolation deliberately does NOT derive from CpsError: a breach
 // is a harness-detected engine bug, and must never be swallowed by code
@@ -43,8 +46,10 @@ class InvariantViolation : public std::logic_error {
 class InvariantChecker {
  public:
   /// `window` must match the engine's; `queue_bound` is the hard depth
-  /// bound (shards * queue_capacity).
-  InvariantChecker(int window, std::size_t queue_bound);
+  /// bound (shards * queue_capacity). `shards` (the engine's shard count)
+  /// enables the micro-batch version-purity check — 0 turns it off (for
+  /// callers that predate model versioning).
+  InvariantChecker(int window, std::size_t queue_bound, int shards = 0);
 
   /// The engine accepted a record for `id` (kAccepted from try_submit).
   void on_accepted(serve::SessionId id);
@@ -93,7 +98,11 @@ class InvariantChecker {
 
   int window_;
   std::size_t queue_bound_;
+  int shards_;
   std::unordered_map<serve::SessionId, SessionState> sessions_;
+  // (shard << 48 | flush_seq) → the model_version first seen for that
+  // micro-batch; any later verdict of the batch must match.
+  std::unordered_map<std::uint64_t, std::uint64_t> batch_version_;
   std::uint64_t accepted_ = 0;
   std::uint64_t verdicts_ = 0;
   std::size_t max_queue_depth_ = 0;

@@ -18,10 +18,11 @@ std::string format_verdict(const serve::VerdictEvent& ev) {
   std::uint64_t bits = 0;
   static_assert(sizeof(bits) == sizeof(ev.p_unsafe));
   std::memcpy(&bits, &ev.p_unsafe, sizeof(bits));
-  char line[96];
-  std::snprintf(line, sizeof(line), "%llu,%d,%d,%lld,%016llx\n",
+  char line[112];
+  std::snprintf(line, sizeof(line), "%llu,%d,%d,%lld,%llu,%016llx\n",
                 static_cast<unsigned long long>(ev.session), ev.cycle,
                 ev.prediction, static_cast<long long>(ev.ingest_tick),
+                static_cast<unsigned long long>(ev.model_version),
                 static_cast<unsigned long long>(bits));
   return line;
 }
@@ -34,7 +35,16 @@ Workload::Workload(const monitor::MlMonitor& mon,
     expects(!trace.steps.empty(), "workload: traces must be non-empty");
   }
   expects(config_.ticks > 0, "workload: ticks must be positive");
+  expects(config_.swap_every >= 0, "workload: swap_every must be >= 0");
   validate(config_.traffic);
+}
+
+void Workload::set_swap_pool(std::vector<const monitor::MlMonitor*> pool) {
+  for (const monitor::MlMonitor* mon : pool) {
+    expects(mon != nullptr && mon->trained(),
+            "workload: swap pool monitors must be trained");
+  }
+  swap_pool_ = std::move(pool);
 }
 
 const sim::StepRecord& Workload::record_for(serve::SessionId id,
@@ -57,7 +67,8 @@ WorkloadReport Workload::run(
   InvariantChecker checker(
       config_.engine.window,
       static_cast<std::size_t>(config_.engine.shards) *
-          static_cast<std::size_t>(config_.engine.queue_capacity));
+          static_cast<std::size_t>(config_.engine.queue_capacity),
+      config_.engine.shards);
 
   WorkloadReport report;
   obs::Sha256 stream_hash;
@@ -65,6 +76,21 @@ WorkloadReport Workload::run(
   const auto started = Clock::now();
 
   for (std::int64_t t = 0; t < config_.ticks; ++t) {
+    // Periodic hot swap: staged here, activated inside this cycle's tick()
+    // (the epoch boundary), so the swap point in the verdict stream is a
+    // pure function of the config — identical serial or pooled. An empty
+    // pool restages the workload's own monitor under the active version
+    // (no-op swap: churns the swap machinery without changing the stream).
+    if (config_.swap_every > 0 && t > 0 && t % config_.swap_every == 0) {
+      if (swap_pool_.empty()) {
+        engine.stage_model(monitor_, engine.active_version());
+      } else {
+        const auto idx = static_cast<std::size_t>(report.swaps) %
+                         swap_pool_.size();
+        engine.stage_model(*swap_pool_[idx], engine.active_version() + 1);
+      }
+      ++report.swaps;
+    }
     const TickPlan plan = churner.plan(t);
     for (const serve::SessionId id : plan.closes) {
       // A graceful close can miss: the id may already be TTL-evicted (or

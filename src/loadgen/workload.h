@@ -46,6 +46,13 @@ struct WorkloadConfig {
   /// Throw InvariantViolation on any contract breach (leave on; off only
   /// to measure checker overhead).
   bool check_invariants = true;
+  /// Stage a hot swap every this many ticks (0 disables). With an empty
+  /// swap pool the workload restages its own monitor under the *same*
+  /// version — a no-op swap whose verdict stream must be byte-identical to
+  /// a swap-free run (the oracle test_serve pins). With a pool the
+  /// workload round-robins through it, bumping the version each swap, and
+  /// the invariant checker enforces batch purity across the transitions.
+  std::int64_t swap_every = 0;
 };
 
 /// One TTL eviction observed at a tick boundary; a run's log replays in a
@@ -73,6 +80,8 @@ struct WorkloadReport {
   std::uint64_t evictions = 0;
   std::uint64_t peak_active = 0;
   std::vector<EvictionEvent> eviction_log;
+  // Hot swaps staged by the drive loop (activated at the next tick each).
+  std::uint64_t swaps = 0;
   // Load.
   std::size_t max_queue_depth = 0;
   std::vector<std::uint64_t> latency_counts;  // see InvariantChecker
@@ -95,6 +104,11 @@ class Workload {
 
   [[nodiscard]] const WorkloadConfig& config() const { return config_; }
 
+  /// Monitors the drive loop round-robins through when swap_every fires
+  /// (see WorkloadConfig::swap_every). Each must be trained and outlive the
+  /// workload; not copied. An empty pool means no-op self-swaps.
+  void set_swap_pool(std::vector<const monitor::MlMonitor*> pool);
+
   /// The record session `id` submits at tick `t` (pure; exposed for
   /// tests).
   [[nodiscard]] const sim::StepRecord& record_for(serve::SessionId id,
@@ -104,11 +118,12 @@ class Workload {
   const monitor::MlMonitor& monitor_;
   std::vector<sim::Trace> traces_;
   WorkloadConfig config_;
+  std::vector<const monitor::MlMonitor*> swap_pool_;
 };
 
 /// Serialize one verdict event the way the loadgen stream hashes it:
-/// "session,cycle,prediction,ingest_tick,p_bits\n" with p_unsafe as raw
-/// IEEE-754 bits (byte identity, not closeness).
+/// "session,cycle,prediction,ingest_tick,model_version,p_bits\n" with
+/// p_unsafe as raw IEEE-754 bits (byte identity, not closeness).
 [[nodiscard]] std::string format_verdict(const serve::VerdictEvent& ev);
 
 }  // namespace cpsguard::loadgen

@@ -212,4 +212,12 @@ void MlMonitor::load(std::istream& is, int window, int features) {
   nn::load_params(is, ps);
 }
 
+void MlMonitor::bind(std::istream& scaler_stream, int window, int features,
+                     std::span<const nn::WeightView> weights) {
+  scaler_.load(scaler_stream);
+  build_classifier(window, features);
+  const auto ps = clf_->params();
+  nn::bind_params(ps, weights);
+}
+
 }  // namespace cpsguard::monitor

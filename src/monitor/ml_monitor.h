@@ -9,11 +9,13 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "monitor/dataset.h"
 #include "monitor/scaler.h"
 #include "nn/classifier.h"
+#include "nn/serialize.h"
 
 namespace cpsguard::monitor {
 
@@ -86,6 +88,15 @@ class MlMonitor {
   /// core::CheckpointStore) instead of loose cache files.
   void save(std::ostream& os) const;
   void load(std::istream& is, int window, int features);
+
+  /// Zero-copy restore: the scaler loads from a byte stream, the weights
+  /// bind as non-owning views into externally owned storage (the mmap'd
+  /// model artifact), copying no float. The backing buffer must outlive the
+  /// monitor; a bound monitor is inference-only — training would write
+  /// through the views and trips the borrowed-matrix contract. clone()
+  /// deep-copies back into owned storage.
+  void bind(std::istream& scaler_stream, int window, int features,
+            std::span<const nn::WeightView> weights);
 
   /// Deep copy of a trained monitor (config + scaler + weights). Classifier
   /// forward passes mutate layer caches, so concurrent evaluation fan-outs

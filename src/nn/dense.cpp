@@ -1,5 +1,7 @@
 #include "nn/dense.h"
 
+#include <utility>
+
 #include "nn/init.h"
 #include "util/contracts.h"
 
@@ -12,7 +14,7 @@ Matrix Dense::forward(const Matrix& x, bool /*training*/) {
   expects(x.cols() == input_size(), "Dense: input width mismatch");
   cached_input_ = x;
   Matrix y = matmul(x, w_.value);
-  y.add_row_vector(b_.value.row(0));
+  y.add_row_vector(std::as_const(b_.value).row(0));
   return y;
 }
 

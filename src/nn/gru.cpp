@@ -1,6 +1,7 @@
 #include "nn/gru.h"
 
 #include <cmath>
+#include <utility>
 
 #include "nn/activations.h"
 #include "nn/init.h"
@@ -34,9 +35,9 @@ Tensor3 GruLayer::forward(const Tensor3& x) {
     sc.h_prev = h;
 
     Matrix a = matmul(sc.x, wx_.value);
-    a.add_row_vector(bx_.value.row(0));
+    a.add_row_vector(std::as_const(bx_.value).row(0));
     Matrix ah = matmul(h, wh_.value);
-    ah.add_row_vector(bh_.value.row(0));
+    ah.add_row_vector(std::as_const(bh_.value).row(0));
 
     sc.z = Matrix(batch, hidden_);
     sc.r = Matrix(batch, hidden_);

@@ -1,6 +1,7 @@
 #include "nn/lstm.h"
 
 #include <cmath>
+#include <utility>
 
 #include "nn/activations.h"
 #include "nn/init.h"
@@ -38,7 +39,7 @@ Tensor3 LstmLayer::forward(const Tensor3& x) {
 
     Matrix a = matmul(sc.x, wx_.value);
     a.add_in_place(matmul(h, wh_.value));
-    a.add_row_vector(b_.value.row(0));
+    a.add_row_vector(std::as_const(b_.value).row(0));
 
     sc.gates = Matrix(batch, 4 * hidden_);
     sc.c = Matrix(batch, hidden_);

@@ -104,4 +104,24 @@ void load_classifier(const std::string& path, Classifier& clf) {
   load_params(f, ps);
 }
 
+void bind_params(std::span<Param* const> params,
+                 std::span<const WeightView> views) {
+  if (views.size() != params.size()) {
+    throw CpsError("tensor count mismatch: artifact has " +
+                   std::to_string(views.size()) + ", model has " +
+                   std::to_string(params.size()));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Param* p = params[i];
+    const WeightView& v = views[i];
+    if (v.name != p->name ||
+        v.rows != p->value.rows() || v.cols != p->value.cols()) {
+      throw CpsError("tensor mismatch while binding '" + p->name +
+                     "': artifact has '" + v.name + "' " +
+                     std::to_string(v.rows) + "x" + std::to_string(v.cols));
+    }
+    p->value = Matrix::view(v.data, v.rows, v.cols);
+  }
+}
+
 }  // namespace cpsguard::nn

@@ -24,4 +24,21 @@ void load_params(std::istream& is, std::span<Param* const> params);
 void save_classifier(const std::string& path, Classifier& clf);
 void load_classifier(const std::string& path, Classifier& clf);
 
+/// One named tensor living in externally owned storage (an mmap'd model
+/// artifact): the zero-copy counterpart of a serialized param record.
+struct WeightView {
+  std::string name;
+  int rows = 0;
+  int cols = 0;
+  const float* data = nullptr;
+};
+
+/// Rebind each param's value as a non-owning Matrix view over the matching
+/// WeightView — no float is copied. Names, order and shapes must match the
+/// classifier exactly; throws CpsError otherwise. The backing storage must
+/// outlive the classifier; bound params are inference-only (mutation trips
+/// the borrowed-matrix contract).
+void bind_params(std::span<Param* const> params,
+                 std::span<const WeightView> views);
+
 }  // namespace cpsguard::nn

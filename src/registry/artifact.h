@@ -1,0 +1,134 @@
+// cpsguard.model.v1 — the deterministic binary model artifact format.
+//
+// Layout (all integers little-endian):
+//
+//   [0,   128)  fixed header
+//     [0,   8)  magic "CPSGMDL1"
+//     [8,  12)  u32 format_version (1)
+//     [12, 16)  u32 arch (0 = MLP, 1 = LSTM, 2 = GRU)
+//     [16, 20)  u32 window          [20, 24)  u32 features
+//     [24, 28)  u32 classes         [28, 32)  u32 tensor_count
+//     [32, 48)  u64 meta_off,   u64 meta_len      (lineage JSON)
+//     [48, 64)  u64 scaler_off, u64 scaler_len    (StandardScaler stream)
+//     [64, 80)  u64 dir_off,    u64 dir_len       (tensor directory)
+//     [80, 96)  u64 blob_off,   u64 blob_len      (64-aligned f32 blobs)
+//     [96, 104) u64 file_len    [104, 128) zero padding
+//   meta JSON · scaler bytes · tensor directory   (contiguous)
+//   zero pad to the next 64-byte boundary
+//   tensor blobs, each 64-byte aligned, zero pad between them
+//   [len-32, len)  raw SHA-256 over every preceding byte
+//
+// Directory entry: u32 name_len, name bytes, u32 rows, u32 cols,
+// u64 rel_off (blob-relative, 64-aligned), u64 byte_len (= rows·cols·4).
+//
+// The layout is *canonical* — section offsets chain exactly, padding must
+// be zero, blobs pack in directory order — so an accepted artifact
+// re-encodes bit-identically (`rebuild() == bytes`; fuzz target "model"
+// enforces it) and a publish of identical weights is byte-reproducible.
+// Validation runs structural checks first and the whole-file SHA-256 last;
+// any deviation throws the typed ModelFormatError, never a wrong model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "monitor/ml_monitor.h"
+#include "nn/serialize.h"
+#include "registry/mapped_file.h"
+#include "util/error.h"
+
+namespace cpsguard::registry {
+
+/// Malformed or corrupted cpsguard.model.v1 bytes: bad magic, truncation,
+/// non-canonical layout, implausible dimensions, or a SHA-256 mismatch.
+class ModelFormatError : public CpsError {
+ public:
+  using CpsError::CpsError;
+};
+
+inline constexpr char kModelMagic[8] = {'C', 'P', 'S', 'G', 'M', 'D', 'L', '1'};
+inline constexpr const char* kModelSchema = "cpsguard.model.v1";
+inline constexpr std::uint32_t kModelFormatVersion = 1;
+inline constexpr std::size_t kModelHeaderSize = 128;
+inline constexpr std::size_t kModelBlobAlign = 64;
+inline constexpr std::size_t kModelShaSize = 32;
+
+/// Fixed-header identity of the serialized model.
+struct ArtifactInfo {
+  monitor::Arch arch = monitor::Arch::kMlp;
+  int window = 0;
+  int features = 0;
+  int classes = 0;
+};
+
+/// One tensor, parsed: name + shape + a pointer into the backing buffer.
+struct TensorEntry {
+  std::string name;
+  int rows = 0;
+  int cols = 0;
+  const float* data = nullptr;
+};
+
+/// Writer input: a named tensor to pack into the blob section.
+struct TensorSpec {
+  std::string name;
+  int rows = 0;
+  int cols = 0;
+  const float* data = nullptr;
+};
+
+/// Serialize one canonical cpsguard.model.v1 byte string (header, sections,
+/// aligned blobs, SHA-256 trailer).
+std::string build_artifact(const ArtifactInfo& info, std::string_view meta_json,
+                           std::string_view scaler_bytes,
+                           const std::vector<TensorSpec>& tensors);
+
+/// A parsed-and-verified artifact plus the buffer backing its tensor views.
+/// `open` maps the file read-only (zero-copy); `parse` copies the bytes into
+/// an owned 64-byte-aligned buffer (fuzzing, corruption tests). Tensor data
+/// pointers alias the backing storage, so the ModelArtifact must outlive any
+/// monitor bound to it.
+class ModelArtifact {
+ public:
+  ModelArtifact() = default;
+
+  static ModelArtifact open(const std::string& path);
+  static ModelArtifact parse(std::string_view bytes);
+
+  [[nodiscard]] const ArtifactInfo& info() const { return info_; }
+  [[nodiscard]] std::string_view meta_json() const { return meta_json_; }
+  [[nodiscard]] std::string_view scaler_bytes() const { return scaler_; }
+  [[nodiscard]] const std::vector<TensorEntry>& tensors() const {
+    return tensors_;
+  }
+  /// Hex SHA-256 of the whole file (header through trailer) — the
+  /// registry's integrity handle for lineage records.
+  [[nodiscard]] const std::string& file_sha256_hex() const { return sha_hex_; }
+  [[nodiscard]] std::size_t size_bytes() const { return len_; }
+
+  /// Non-owning weight views over the blob section, in directory order —
+  /// feed straight into nn::bind_params / monitor::MlMonitor::bind.
+  [[nodiscard]] std::vector<nn::WeightView> weight_views() const;
+
+  /// Re-encode from the parsed sections. Canonical layout guarantees this
+  /// is bit-identical to the accepted input (fuzz invariant).
+  [[nodiscard]] std::string rebuild() const;
+
+ private:
+  void verify_and_index(const std::uint8_t* base, std::size_t len);
+
+  MappedFile map_;                    // open() backing
+  std::vector<std::uint64_t> owned_;  // parse() backing (64-byte aligned)
+  std::size_t len_ = 0;
+
+  ArtifactInfo info_;
+  std::string_view meta_json_;
+  std::string_view scaler_;
+  std::vector<TensorEntry> tensors_;
+  std::string sha_hex_;
+};
+
+}  // namespace cpsguard::registry

@@ -1,0 +1,65 @@
+#include "registry/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.h"
+
+namespace cpsguard::registry {
+
+MappedFile::MappedFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw CpsError("cannot open model artifact " + path + ": " +
+                   std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw CpsError("cannot stat model artifact " + path + ": " +
+                   std::strerror(err));
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* addr = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      throw CpsError("cannot mmap model artifact " + path + ": " +
+                     std::strerror(err));
+    }
+    addr_ = addr;
+  }
+  // The mapping outlives the descriptor; closing here leaks nothing.
+  ::close(fd);
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void MappedFile::reset() noexcept {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+  addr_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace cpsguard::registry

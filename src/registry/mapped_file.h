@@ -1,0 +1,39 @@
+// Read-only mmap RAII wrapper: the zero-copy substrate of the model
+// registry. A mapped artifact's tensor blobs are consumed in place by
+// non-owning nn::Matrix views — no float is ever copied on load.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cpsguard::registry {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  /// Map `path` read-only (PROT_READ, MAP_PRIVATE). Throws CpsError when
+  /// the file cannot be opened, stat'd, or mapped. An empty file maps to a
+  /// null, zero-length view.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  [[nodiscard]] const std::uint8_t* data() const {
+    return static_cast<const std::uint8_t*>(addr_);
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool mapped() const { return addr_ != nullptr; }
+
+ private:
+  void reset() noexcept;
+
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cpsguard::registry

@@ -1,0 +1,42 @@
+// Monitor ⇄ artifact bridge: serialize a trained monitor into one
+// cpsguard.model.v1 byte string (with lineage metadata), and bind a parsed
+// artifact back into an inference-only MlMonitor whose weights are
+// zero-copy views over the artifact's blob section.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "monitor/ml_monitor.h"
+#include "registry/artifact.h"
+
+namespace cpsguard::registry {
+
+/// Lineage + provenance carried in the artifact's meta JSON section.
+struct ModelMeta {
+  std::uint64_t version = 0;      // registry version number
+  std::string run_id;             // fresh per publish (util::fresh_run_id)
+  std::string parent_run_id;      // previous latest version's run_id
+  std::string config_fingerprint; // experiment config hash at train time
+  std::string display_name;       // e.g. "MLP-Custom"
+  bool semantic = false;
+  std::vector<int> hidden;        // classifier hidden sizes
+};
+
+/// Serialize monitor + meta into canonical cpsguard.model.v1 bytes.
+/// Non-const monitor: reaching the classifier params requires it.
+std::string build_model_artifact(monitor::MlMonitor& mon,
+                                 const ModelMeta& meta);
+
+/// Parse the meta JSON section; throws ModelFormatError when it is not the
+/// JSON this writer produces (wrong schema tag, missing or mistyped keys).
+ModelMeta parse_model_meta(const ModelArtifact& art);
+
+/// Reconstruct an inference-only monitor over the artifact's storage: the
+/// scaler loads from the scaler section, every weight binds as a non-owning
+/// view into the blob section (zero-copy). `art` must outlive the monitor.
+std::unique_ptr<monitor::MlMonitor> load_monitor(const ModelArtifact& art);
+
+}  // namespace cpsguard::registry

@@ -2,9 +2,13 @@
 
 #include <string>
 
+#include <algorithm>
+
 #include "obs/metrics.h"
+#include "registry/registry.h"
 #include "serve/stable_hash.h"
 #include "util/contracts.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace cpsguard::serve {
@@ -29,8 +33,12 @@ struct EngineMetrics {
 }  // namespace
 
 Engine::Engine(const monitor::MlMonitor& mon, EngineConfig config)
-    : config_(config), session_budget_(config.max_sessions) {
+    : config_(config),
+      session_budget_(config.max_sessions),
+      active_version_(config.initial_model_version) {
   expects(mon.trained(), "engine monitor must be trained");
+  expects(config.initial_model_version > 0,
+          "initial_model_version must be positive");
   expects(config.shards > 0, "shard count must be positive");
   expects(config.window > 0, "window must be positive");
   expects(config.max_batch > 0, "max_batch must be positive");
@@ -93,6 +101,22 @@ std::vector<VerdictEvent> Engine::tick() {
       shards_[static_cast<std::size_t>(s)]->flush();
     });
   }
+  // Epoch boundary: a staged model activates here — after every shard
+  // flushed under the outgoing model, before this tick's verdicts drain.
+  // Stage-to-activate latency is therefore at most one flush epoch.
+  if (staged_version_ != 0) {
+    for (auto& shard : shards_) shard->activate_staged();
+    prev_version_ = active_version_;
+    active_version_ = staged_version_;
+    staged_version_ = 0;
+    ++swap_stats_.swaps;
+    swap_stats_.last_activate_tick = now;
+    const std::int64_t latency = (now + 1) - stage_tick_;
+    swap_stats_.max_latency_ticks =
+        std::max(swap_stats_.max_latency_ticks, latency);
+    util::log_info("serve: activated model v", active_version_, " at tick ",
+                   now, " (staged at tick ", stage_tick_, ")");
+  }
   std::vector<VerdictEvent> out = drain();
   ticks_.fetch_add(1, std::memory_order_relaxed);
   metrics.sessions_active.set(static_cast<double>(sessions_active()));
@@ -129,6 +153,59 @@ std::size_t Engine::queue_depth() const {
   return total;
 }
 
+void Engine::stage_model(const monitor::MlMonitor& mon, std::uint64_t version,
+                         SwapMode mode) {
+  expects(mon.trained(), "staged monitor must be trained");
+  expects(version > 0, "model versions start at 1");
+  for (auto& shard : shards_) shard->stage(mon.clone(), version, mode);
+  if (mode == SwapMode::kShadow) {
+    shadow_version_ = version;
+    util::log_info("serve: shadow-scoring model v", version, " against v",
+                   active_version_);
+    return;
+  }
+  staged_version_ = version;
+  stage_tick_ = ticks();
+  swap_stats_.last_stage_tick = stage_tick_;
+}
+
+void Engine::swap_model(const registry::ModelRegistry& reg,
+                        std::uint64_t version, SwapMode mode) {
+  // load() verifies the artifact (structure + SHA) before any shard sees
+  // it; the mmap backing dies with `loaded` — stage clones into owned
+  // storage, so the registry file can be removed afterwards.
+  const registry::ModelRegistry::LoadedModel loaded = reg.load(version);
+  stage_model(*loaded.monitor, version, mode);
+}
+
+bool Engine::promote_shadow() {
+  if (shadow_version_ == 0) return false;
+  bool any = false;
+  for (auto& shard : shards_) any = shard->promote_shadow() || any;
+  if (!any) return false;
+  staged_version_ = shadow_version_;
+  shadow_version_ = 0;
+  stage_tick_ = ticks();
+  swap_stats_.last_stage_tick = stage_tick_;
+  return true;
+}
+
+bool Engine::rollback() {
+  bool restaged = false;
+  for (auto& shard : shards_) restaged = shard->rollback() || restaged;
+  shadow_version_ = 0;
+  if (!restaged) {
+    staged_version_ = 0;
+    return false;
+  }
+  staged_version_ = prev_version_;
+  prev_version_ = 0;
+  stage_tick_ = ticks();
+  swap_stats_.last_stage_tick = stage_tick_;
+  util::log_info("serve: rolling back to model v", staged_version_);
+  return true;
+}
+
 EngineStats Engine::stats() const {
   EngineStats out;
   out.ticks = ticks();
@@ -144,6 +221,9 @@ EngineStats Engine::stats() const {
     out.evicted += s.evicted;
     out.rejected_queue_full += s.rejected_queue_full;
     out.rejected_session_limit += s.rejected_session_limit;
+    out.swaps += s.swaps;
+    out.shadow_windows += s.shadow_windows;
+    out.shadow_disagree += s.shadow_disagree;
     out.shards.push_back(s);
   }
   return out;

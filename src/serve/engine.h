@@ -30,6 +30,10 @@
 #include "serve/types.h"
 #include "sim/trace.h"
 
+namespace cpsguard::registry {
+class ModelRegistry;
+}
+
 namespace cpsguard::serve {
 
 /// Whole-engine snapshot: the per-shard ShardStats plus engine-level
@@ -48,7 +52,21 @@ struct EngineStats {
   std::uint64_t evicted = 0;
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_session_limit = 0;
+  std::uint64_t swaps = 0;
+  std::uint64_t shadow_windows = 0;
+  std::uint64_t shadow_disagree = 0;
   std::vector<ShardStats> shards;
+};
+
+/// Hot-swap bookkeeping (control-thread view; see Engine::swap_stats).
+struct SwapStats {
+  std::uint64_t swaps = 0;                // completed activations
+  std::int64_t last_stage_tick = -1;      // ticks() when last staged
+  std::int64_t last_activate_tick = -1;   // tick index that activated it
+  /// Worst observed stage→activate latency in ticks. The epoch protocol
+  /// guarantees this never exceeds 1: a model staged between ticks is
+  /// active before the next tick's verdicts drain.
+  std::int64_t max_latency_ticks = 0;
 };
 
 class Engine {
@@ -103,12 +121,60 @@ class Engine {
   /// Ops/assertion snapshot of the whole engine (see EngineStats).
   [[nodiscard]] EngineStats stats() const;
 
+  // ---- Live model hot-swap ------------------------------------------------
+  //
+  // Staging, promotion, rollback and the version accessors are control-plane
+  // operations: they must come from the same thread that drives tick()
+  // (concurrent submits are fine — shard-level transitions take the shard
+  // locks). A kEpoch stage activates inside the next tick(), after the flush
+  // pass and before drain, so activation latency is at most one flush epoch
+  // and no micro-batch ever mixes model versions. Verdicts carry the version
+  // that scored them (VerdictEvent::model_version).
+
+  /// Stage `mon` (cloned per shard) as version `version`. kEpoch replaces
+  /// the active model at the next tick; kShadow dual-scores immediately
+  /// without affecting verdicts. Restaging before activation replaces the
+  /// previously staged model.
+  void stage_model(const monitor::MlMonitor& mon, std::uint64_t version,
+                   SwapMode mode = SwapMode::kEpoch);
+
+  /// Load `version` from `reg` (verify-on-open) and stage it. The mmap'd
+  /// artifact only lives for the duration of the call — shards clone into
+  /// owned storage — so the registry file can be GC'd afterwards.
+  void swap_model(const registry::ModelRegistry& reg, std::uint64_t version,
+                  SwapMode mode = SwapMode::kEpoch);
+
+  /// Turn the shadow model into a staged kEpoch swap. Returns false when
+  /// no shadow model is installed.
+  bool promote_shadow();
+
+  /// Drop staged and shadow models; if a swap already activated, re-stage
+  /// the previous model (it activates at the next tick). Returns true when
+  /// a previous model was re-staged.
+  bool rollback();
+
+  /// Version currently scoring verdicts / staged for the next tick /
+  /// shadow-scoring (0 = none).
+  [[nodiscard]] std::uint64_t active_version() const { return active_version_; }
+  [[nodiscard]] std::uint64_t staged_version() const { return staged_version_; }
+  [[nodiscard]] std::uint64_t shadow_version() const { return shadow_version_; }
+
+  [[nodiscard]] const SwapStats& swap_stats() const { return swap_stats_; }
+
  private:
   EngineConfig config_;
   std::atomic<std::int64_t> session_budget_;
   std::atomic<std::int64_t> ticks_{0};
   std::vector<std::unique_ptr<SessionShard>> shards_;
   std::vector<SessionId> evicted_last_tick_;
+
+  // Control-thread swap state (shards hold the authoritative monitors).
+  std::uint64_t active_version_;
+  std::uint64_t staged_version_ = 0;
+  std::uint64_t shadow_version_ = 0;
+  std::uint64_t prev_version_ = 0;  // rollback target after an activation
+  std::int64_t stage_tick_ = -1;
+  SwapStats swap_stats_;
 };
 
 }  // namespace cpsguard::serve

@@ -30,6 +30,20 @@ void RingWindow::clear() {
   size_ = 0;
 }
 
+std::span<float> RingWindow::slot(int i) {
+  expects(i >= 0 && i < window_, "slot index out of range");
+  return std::span<float>(data_).subspan(
+      static_cast<std::size_t>(i) * static_cast<std::size_t>(features_),
+      static_cast<std::size_t>(features_));
+}
+
+std::span<const float> RingWindow::slot(int i) const {
+  expects(i >= 0 && i < window_, "slot index out of range");
+  return std::span<const float>(data_).subspan(
+      static_cast<std::size_t>(i) * static_cast<std::size_t>(features_),
+      static_cast<std::size_t>(features_));
+}
+
 void RingWindow::copy_ordered(std::span<float> dst) const {
   expects(full(), "copy_ordered requires a full window");
   expects(dst.size() == data_.size(), "destination size mismatch");

@@ -38,6 +38,14 @@ class RingWindow {
   /// Requires full().
   void copy_ordered(std::span<float> dst) const;
 
+  /// Storage-order access to slot `i` in [0, window): the raw backing row,
+  /// NOT time order. Two rings advanced in lockstep have identical slot
+  /// layouts, which is what the hot-swap rescale exploits — it rewrites
+  /// every occupied slot of the scaled ring from its raw twin without
+  /// needing to know where the head is.
+  [[nodiscard]] std::span<float> slot(int i);
+  [[nodiscard]] std::span<const float> slot(int i) const;
+
  private:
   int window_ = 0;
   int features_ = 0;

@@ -5,6 +5,7 @@
 
 #include "eval/batch_eval.h"
 #include "monitor/features.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/contracts.h"
@@ -23,6 +24,9 @@ struct ServeMetrics {
   obs::Counter& flushes;
   obs::Counter& windows_flushed;
   obs::Counter& evicted;
+  obs::Counter& swaps;
+  obs::Counter& shadow_windows;
+  obs::Counter& shadow_disagree;
   obs::Histogram& batch_occupancy;
   obs::Histogram& flush_seconds;
 
@@ -35,6 +39,9 @@ struct ServeMetrics {
         obs::Registry::instance().counter("serve.flushes"),
         obs::Registry::instance().counter("serve.windows_flushed"),
         obs::Registry::instance().counter("serve.evicted"),
+        obs::Registry::instance().counter("serve.swaps"),
+        obs::Registry::instance().counter("serve.shadow.windows"),
+        obs::Registry::instance().counter("serve.shadow.disagree"),
         obs::Registry::instance().histogram("serve.batch_occupancy"),
         obs::Registry::instance().histogram("span.serve.flush"),
     };
@@ -45,7 +52,8 @@ struct ServeMetrics {
 }  // namespace
 
 SessionShard::Session::Session(const EngineConfig& cfg)
-    : ring(cfg.window, monitor::Features::kNumFeatures) {}
+    : ring(cfg.window, monitor::Features::kNumFeatures),
+      raw(cfg.window, monitor::Features::kNumFeatures) {}
 
 SessionShard::SessionShard(const monitor::MlMonitor& mon,
                            const EngineConfig& config,
@@ -53,6 +61,7 @@ SessionShard::SessionShard(const monitor::MlMonitor& mon,
     : config_(config),
       session_budget_(session_budget),
       monitor_(mon.clone()),
+      version_(config.initial_model_version),
       batch_(config.max_batch, config.window,
              monitor::Features::kNumFeatures) {
   pending_.reserve(static_cast<std::size_t>(config.max_batch));
@@ -88,10 +97,15 @@ SubmitStatus SessionShard::submit(SessionId id, const sim::StepRecord& rec,
   session.last_seen = now_tick;
   // Scale once at ingest: overlapping windows would otherwise re-scale the
   // same record `window` times per flush. transform_row is bit-identical to
-  // the batch transform, so flush can take the scaled fast path.
+  // the batch transform, so flush can take the scaled fast path. The raw
+  // twin keeps the unscaled row so a hot swap can rescale mid-flight
+  // windows under the incoming model's scaler.
+  const std::span<float> raw_slot = session.raw.push_slot();
+  monitor::fill_features(rec, raw_slot);
   const std::span<float> slot = session.ring.push_slot();
-  monitor::fill_features(rec, slot);
+  std::copy(raw_slot.begin(), raw_slot.end(), slot.begin());
   monitor_->scaler().transform_row(slot);
+  session.raw.commit();
   session.ring.commit();
   ++session.cycles;
   metrics.records.increment();
@@ -103,6 +117,19 @@ SubmitStatus SessionShard::submit(SessionId id, const sim::StepRecord& rec,
   const auto row_floats = static_cast<std::size_t>(config_.window) *
                           monitor::Features::kNumFeatures;
   session.ring.copy_ordered(batch_.data().subspan(row * row_floats, row_floats));
+  if (shadow_ != nullptr) {
+    // Same window, shadow model space: rebuilt from the raw twin through
+    // the shadow scaler, into the row the shadow flush will score.
+    const std::span<float> srow =
+        shadow_batch_.data().subspan(row * row_floats, row_floats);
+    session.raw.copy_ordered(srow);
+    for (int t = 0; t < config_.window; ++t) {
+      shadow_->scaler().transform_row(
+          srow.subspan(static_cast<std::size_t>(t) *
+                           monitor::Features::kNumFeatures,
+                       monitor::Features::kNumFeatures));
+    }
+  }
   pending_.push_back(VerdictEvent{id, session.cycles - 1, 0, 0.0, now_tick});
   metrics.windows_ready.increment();
   if (pending_.size() == static_cast<std::size_t>(config_.max_batch)) {
@@ -142,8 +169,50 @@ void SessionShard::flush_locked() {
     ev.p_unsafe = probs.at(r, 1);
     // Same rule as core::OnlineMonitor: ties resolve to the safe class.
     ev.prediction = probs.at(r, 1) > probs.at(r, 0) ? 1 : 0;
+    // Batch purity by construction: the whole batch is scored by the one
+    // monitor active at this flush, so every event of the (shard,
+    // flush_seq) group carries the same version.
+    ev.model_version = version_;
+    ev.flush_seq = counters_.flushes;
     done_.push_back(ev);
   }
+
+  if (shadow_ != nullptr) {
+    // Dual-score the same windows (rebuilt in the shadow model's scaler
+    // space at ingest) without touching done_: shadow verdicts are
+    // observability, never output.
+    nn::Matrix shadow_probs;
+    if (n == config_.max_batch) {
+      shadow_probs = eval::batched_predict_proba_scaled(*shadow_, shadow_batch_,
+                                                        config_.predict_chunk);
+    } else {
+      nn::Tensor3 head(n, config_.window, monitor::Features::kNumFeatures);
+      std::copy(shadow_batch_.data().begin(),
+                shadow_batch_.data().begin() + head.size(),
+                head.data().begin());
+      shadow_probs = eval::batched_predict_proba_scaled(*shadow_, head,
+                                                        config_.predict_chunk);
+    }
+    std::uint64_t disagree = 0;
+    for (int r = 0; r < n; ++r) {
+      const int shadow_pred =
+          shadow_probs.at(r, 1) > shadow_probs.at(r, 0) ? 1 : 0;
+      if (shadow_pred != pending_[static_cast<std::size_t>(r)].prediction) {
+        ++disagree;
+      }
+    }
+    counters_.shadow_windows += static_cast<std::uint64_t>(n);
+    counters_.shadow_disagree += disagree;
+    metrics.shadow_windows.add(static_cast<std::uint64_t>(n));
+    metrics.shadow_disagree.add(disagree);
+    CPSGUARD_OBS_EVENT(
+        "serve.shadow", obs::f("active_version", version_),
+        obs::f("shadow_version", shadow_version_),
+        obs::f("flush_seq", counters_.flushes),
+        obs::f("windows", static_cast<std::uint64_t>(n)),
+        obs::f("disagree", disagree));
+  }
+
   pending_.clear();
   metrics.flushes.increment();
   metrics.windows_flushed.add(static_cast<std::uint64_t>(n));
@@ -184,6 +253,88 @@ void SessionShard::evict_idle(std::int64_t now_tick, std::int64_t ttl,
     ++counters_.evicted;
     metrics.evicted.increment();
   }
+}
+
+void SessionShard::stage(std::unique_ptr<monitor::MlMonitor> mon,
+                         std::uint64_t version, SwapMode mode) {
+  expects(mon != nullptr && mon->trained(),
+          "staged monitor must be trained");
+  const std::scoped_lock lock(mutex_);
+  if (mode == SwapMode::kShadow) {
+    // Flush first so the shadow batch rows align with the active batch
+    // starting from the next staged window; allocate the shadow batch on
+    // first use (shards that never shadow pay nothing).
+    flush_locked();
+    if (shadow_batch_.empty()) {
+      shadow_batch_ = nn::Tensor3(config_.max_batch, config_.window,
+                                  monitor::Features::kNumFeatures);
+    }
+    shadow_ = std::move(mon);
+    shadow_version_ = version;
+    return;
+  }
+  staged_ = std::move(mon);
+  staged_version_ = version;
+}
+
+bool SessionShard::activate_staged() {
+  const std::scoped_lock lock(mutex_);
+  if (staged_ == nullptr) return false;
+  // Straggler windows staged since the engine's flush pass (concurrent
+  // ingest) still score under the outgoing model — no batch ever mixes
+  // versions.
+  flush_locked();
+  prev_ = std::move(monitor_);
+  prev_version_ = version_;
+  monitor_ = std::move(staged_);
+  version_ = staged_version_;
+  staged_version_ = 0;
+  rescale_sessions_locked();
+  ++counters_.swaps;
+  ServeMetrics::get().swaps.increment();
+  return true;
+}
+
+void SessionShard::rescale_sessions_locked() {
+  // Occupied slots are [0, size): before the first wrap the head has only
+  // advanced that far, and once full every slot is live. Rewriting each
+  // occupied slot from the raw twin through the new scaler makes partial
+  // windows bit-identical to fresh ingest under the new model.
+  for (auto& [id, session] : sessions_) {
+    for (int i = 0; i < session.ring.size(); ++i) {
+      const std::span<const float> raw = session.raw.slot(i);
+      const std::span<float> scaled = session.ring.slot(i);
+      std::copy(raw.begin(), raw.end(), scaled.begin());
+      monitor_->scaler().transform_row(scaled);
+    }
+  }
+}
+
+bool SessionShard::promote_shadow() {
+  const std::scoped_lock lock(mutex_);
+  if (shadow_ == nullptr) return false;
+  staged_ = std::move(shadow_);
+  staged_version_ = shadow_version_;
+  shadow_version_ = 0;
+  return true;
+}
+
+bool SessionShard::rollback() {
+  const std::scoped_lock lock(mutex_);
+  staged_.reset();
+  staged_version_ = 0;
+  shadow_.reset();
+  shadow_version_ = 0;
+  if (prev_ == nullptr) return false;
+  staged_ = std::move(prev_);
+  staged_version_ = prev_version_;
+  prev_version_ = 0;
+  return true;
+}
+
+std::uint64_t SessionShard::active_version() const {
+  const std::scoped_lock lock(mutex_);
+  return version_;
 }
 
 ShardStats SessionShard::stats() const {

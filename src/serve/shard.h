@@ -8,7 +8,12 @@
 // Rings hold *prescaled* features: each record passes through the monitor's
 // StandardScaler exactly once at ingest, instead of once per overlapping
 // window at flush. transform_row is bit-identical to the batch transform,
-// so verdicts match the raw-window predict path bit for bit.
+// so verdicts match the raw-window predict path bit for bit. Each session
+// also keeps a raw twin of its ring (same head, same size): when a hot swap
+// activates a model with a different scaler, every occupied slot is
+// rewritten from the raw twin through the new scaler, so partial windows
+// continue exactly as if their records had been ingested under the new
+// model from the start.
 //
 // Locking: one mutex per shard. submit/flush/drain from different threads
 // are safe; two submits for sessions on the same shard serialize, which is
@@ -47,6 +52,9 @@ struct ShardStats {
   std::uint64_t evicted = 0;          // idle-TTL evictions
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_session_limit = 0;
+  std::uint64_t swaps = 0;            // model activations (hot swaps)
+  std::uint64_t shadow_windows = 0;   // windows dual-scored by a shadow model
+  std::uint64_t shadow_disagree = 0;  // shadow vs active prediction mismatches
 };
 
 class SessionShard {
@@ -83,18 +91,59 @@ class SessionShard {
   void evict_idle(std::int64_t now_tick, std::int64_t ttl,
                   std::vector<SessionId>& evicted);
 
+  /// Stage a replacement monitor (the shard takes ownership; the caller
+  /// clones per shard). kEpoch: held until activate_staged() — the engine's
+  /// next tick boundary. kShadow: installed immediately as the shadow
+  /// scorer; the shard flushes its partial batch first so shadow rows stay
+  /// aligned with the active batch from the next window on. Restaging
+  /// replaces any prior staged/shadow monitor of the same mode.
+  void stage(std::unique_ptr<monitor::MlMonitor> mon, std::uint64_t version,
+             SwapMode mode);
+
+  /// Epoch-boundary activation of the staged monitor: flush any straggler
+  /// windows under the outgoing model, swap, then rescale every live
+  /// session ring from its raw twin so partial windows continue
+  /// bit-identically to fresh ingest under the new scaler. Returns false
+  /// (and does nothing) when no monitor is staged.
+  bool activate_staged();
+
+  /// Move the shadow monitor into the staged slot (it activates at the
+  /// next activate_staged()). Returns false when no shadow is installed.
+  bool promote_shadow();
+
+  /// Discard staged and shadow monitors. If a swap already activated, the
+  /// previous monitor is re-staged (activating at the next epoch boundary)
+  /// and true is returned; false means nothing was active to roll back to.
+  bool rollback();
+
+  /// Version of the monitor currently scoring verdicts.
+  [[nodiscard]] std::uint64_t active_version() const;
+
   [[nodiscard]] ShardStats stats() const;
 
  private:
   void flush_locked();
+  void rescale_sessions_locked();
 
   const EngineConfig config_;
   std::atomic<std::int64_t>& session_budget_;
   std::unique_ptr<monitor::MlMonitor> monitor_;
+  std::uint64_t version_;
+
+  // Hot-swap slots. `staged_` waits for the epoch boundary, `shadow_`
+  // dual-scores without verdicting, `prev_` is the rollback target after an
+  // activation. All transitions happen under the shard lock.
+  std::unique_ptr<monitor::MlMonitor> staged_;
+  std::uint64_t staged_version_ = 0;
+  std::unique_ptr<monitor::MlMonitor> shadow_;
+  std::uint64_t shadow_version_ = 0;
+  std::unique_ptr<monitor::MlMonitor> prev_;
+  std::uint64_t prev_version_ = 0;
 
   struct Session {
     explicit Session(const EngineConfig& cfg);
-    RingWindow ring;
+    RingWindow ring;             // prescaled (active model's scaler space)
+    RingWindow raw;              // raw twin, advanced in lockstep with ring
     int cycles = 0;              // records ingested for this session
     std::int64_t last_seen = 0;  // engine tick index of the last submit
   };
@@ -102,6 +151,7 @@ class SessionShard {
   mutable std::mutex mutex_;
   std::unordered_map<SessionId, Session> sessions_;
   nn::Tensor3 batch_;                  // (max_batch, window, features)
+  nn::Tensor3 shadow_batch_;           // allocated on first shadow stage
   std::vector<VerdictEvent> pending_;  // batch_ rows [0, pending_.size())
   std::vector<VerdictEvent> done_;
   ShardStats counters_;  // lifetime counters (occupancy filled by stats())

@@ -37,6 +37,29 @@ class SessionLimitError : public AdmissionError {
   using AdmissionError::AdmissionError;
 };
 
+/// How a staged model replaces the active one (Engine::stage_model).
+///
+/// kEpoch: the model activates at the next tick() epoch boundary — after
+/// every shard's flush, before drain — so no micro-batch ever mixes two
+/// model versions and activation latency is at most one flush epoch.
+///
+/// kShadow: the model dual-scores every window the active model scores,
+/// emitting `serve.shadow` NDJSON events and agree/disagree counters, but
+/// never contributes a verdict. Engine::promote_shadow() turns it into a
+/// kEpoch stage once the operator trusts it.
+enum class SwapMode {
+  kEpoch,
+  kShadow,
+};
+
+[[nodiscard]] constexpr const char* to_string(SwapMode m) {
+  switch (m) {
+    case SwapMode::kEpoch: return "epoch";
+    case SwapMode::kShadow: return "shadow";
+  }
+  return "unknown";
+}
+
 /// Non-throwing admission result (Engine::try_submit).
 enum class SubmitStatus {
   kAccepted,
@@ -68,6 +91,15 @@ struct VerdictEvent {
   /// last record was ingested. `drain tick - ingest_tick` is the verdict's
   /// latency in ticks — the unit bench_loadgen reports percentiles over.
   std::int64_t ingest_tick = 0;
+  /// Version of the model that scored this window (the shard's active model
+  /// at flush time). Every verdict of one micro-batch carries the same
+  /// value: hot swaps activate only at flush-epoch boundaries.
+  std::uint64_t model_version = 0;
+  /// Per-shard flush sequence number of the micro-batch that scored this
+  /// window. Together with the shard index (derivable from the session id)
+  /// it identifies the micro-batch, letting consumers assert batch purity:
+  /// one (shard, flush_seq) group never mixes model versions.
+  std::uint64_t flush_seq = 0;
 };
 
 struct EngineConfig {
@@ -97,6 +129,10 @@ struct EngineConfig {
   /// submit readmits the id with a fresh window. Eviction order is
   /// deterministic: ascending session id within ascending shard index.
   std::int64_t idle_ttl_ticks = 0;
+  /// Version stamped on verdicts scored by the construction-time monitor
+  /// (before any hot swap). Registry deployments pass the published version
+  /// so the verdict stream lines up with the registry's lineage.
+  std::uint64_t initial_model_version = 1;
   /// Deterministic mode: tick() flushes shards serially in shard order on
   /// the calling thread instead of fanning out across the pool. Output
   /// bytes are identical either way (flushes are per-shard independent and

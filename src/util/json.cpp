@@ -317,6 +317,29 @@ Json& Json::push(Json value) {
   return *this;
 }
 
+const Json* Json::get(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::string& Json::as_str() const {
+  expects(is_string(), "as_str() requires a string value");
+  return str_;
+}
+
+long Json::as_int() const {
+  expects(is_integer(), "as_int() requires an integer value");
+  return int_;
+}
+
+bool Json::as_bool() const {
+  expects(is_bool(), "as_bool() requires a boolean value");
+  return bool_;
+}
+
 Json Json::parse(const std::string& text) { return JsonParser(text).parse(); }
 
 std::string Json::escape(const std::string& s) {

@@ -40,6 +40,19 @@ class Json {
 
   [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
   [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_integer() const { return kind_ == Kind::kInteger; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+
+  /// Object member lookup: nullptr when absent or this is not an object.
+  /// (Readback path for manifests and model-artifact lineage metadata.)
+  [[nodiscard]] const Json* get(const std::string& key) const;
+  /// Array items; empty unless is_array().
+  [[nodiscard]] const std::vector<Json>& items() const { return items_; }
+  /// Typed reads; the caller checks the kind first (is_string()/...).
+  [[nodiscard]] const std::string& as_str() const;
+  [[nodiscard]] long as_int() const;
+  [[nodiscard]] bool as_bool() const;
 
   /// Serialize; `indent` > 0 pretty-prints with that many spaces per level.
   [[nodiscard]] std::string dump(int indent = 0) const;

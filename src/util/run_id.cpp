@@ -1,0 +1,19 @@
+#include "util/run_id.h"
+
+#include <chrono>
+#include <random>
+#include <sstream>
+
+#include "obs/sha256.h"
+
+namespace cpsguard::util {
+
+std::string fresh_run_id() {
+  std::random_device rd;
+  std::ostringstream raw;
+  raw << std::chrono::system_clock::now().time_since_epoch().count() << '|'
+      << rd() << '|' << rd();
+  return obs::sha256_hex(raw.str()).substr(0, 16);
+}
+
+}  // namespace cpsguard::util

@@ -1,0 +1,16 @@
+// Run identifiers for lineage chains: checkpoint stores and the model
+// registry both tag every durable artifact with a fresh 16-hex-char id and
+// record the parent's id next to it, so provenance survives restarts and
+// republishes.
+#pragma once
+
+#include <string>
+
+namespace cpsguard::util {
+
+/// Unique per call; uniqueness matters (lineage chains), determinism does
+/// not, so wall clock + random bits are fine here — nothing downstream of a
+/// run_id feeds experiment RNG streams.
+std::string fresh_run_id();
+
+}  // namespace cpsguard::util

@@ -1,7 +1,8 @@
 // Soak tier (ctest -L soak): long churned workloads through serve::Engine
-// with every loadgen invariant armed, plus the two byte-identity oracles
-// at scale — serial vs pooled, and straight vs TTL-evicted-and-
-// reconnected.
+// with every loadgen invariant armed (including micro-batch version
+// purity), plus the byte-identity oracles at scale — serial vs pooled,
+// straight vs TTL-evicted-and-reconnected, and swap-free vs periodic
+// self-swap.
 //
 // The default profile is sized for CI (a few seconds, >= 2000 distinct
 // sessions with churn). Scale it up for a real soak with env knobs:
@@ -99,6 +100,7 @@ class SoakTest : public ::testing::Test {
 
   core::Experiment exp_;
   const core::MonitorVariant mlp_{monitor::Arch::kMlp, false};
+  const core::MonitorVariant gru_{monitor::Arch::kGru, false};
 };
 
 TEST_F(SoakTest, SteadyChurnSerialVsPooledByteIdentity) {
@@ -161,6 +163,58 @@ TEST_F(SoakTest, FlashCrowdAdmissionControlUnderOverload) {
             report.rejected_queue_full);
   EXPECT_EQ(report.final_stats.rejected_session_limit,
             report.rejected_session_limit);
+}
+
+TEST_F(SoakTest, PeriodicHotSwapChurnKeepsByteIdentityAndBatchPurity) {
+  const SoakProfile profile = soak_profile();
+
+  // No-op oracle: periodic self-swaps (empty swap pool re-stages the
+  // active model at the active version) must leave the stream
+  // byte-identical to a swap-free run — the raw-ring rescale at every
+  // activation reproduces all in-flight windows bit for bit, under full
+  // churn (abandons, reconnects, TTL evictions).
+  WorkloadConfig plain_cfg = base_config(profile);
+  plain_cfg.traffic.model = TrafficModel::kSteady;
+  Workload plain(mon(), exp_.test_traces(), plain_cfg);
+  util::set_max_parallelism(1);
+  const WorkloadReport baseline = plain.run();
+
+  WorkloadConfig self_cfg = plain_cfg;
+  self_cfg.swap_every = 24;
+  Workload self_swap(mon(), exp_.test_traces(), self_cfg);
+  const WorkloadReport noop = self_swap.run();
+  EXPECT_GT(noop.swaps, 0u);
+  EXPECT_EQ(noop.stream_sha256, baseline.stream_sha256)
+      << "periodic self-swaps perturbed the soak stream — the raw-ring "
+         "rescale is not bit-identical to fresh ingest";
+
+  // Real swaps: round-robin through a pool of differently-architected
+  // models, version bumping on every activation. Every invariant stays
+  // armed — including batch purity: the checker throws if any micro-batch
+  // (shard, flush) mixes model versions — and serial vs pooled must still
+  // agree byte for byte, version column included.
+  WorkloadConfig swap_cfg = plain_cfg;
+  swap_cfg.swap_every = 24;
+  Workload wl(mon(), exp_.test_traces(), swap_cfg);
+  wl.set_swap_pool({&exp_.monitor(gru_), &mon()});
+  const WorkloadReport serial = wl.run();
+  util::set_max_parallelism(0);
+  const WorkloadReport pooled = wl.run();
+
+  EXPECT_EQ(serial.stream_sha256, pooled.stream_sha256)
+      << "serial and pooled soak streams diverged across hot-swaps";
+  EXPECT_EQ(serial.verdicts, pooled.verdicts);
+  EXPECT_GT(serial.swaps, 0u);
+  EXPECT_EQ(serial.swaps, pooled.swaps);
+  // Every staged swap activated, once per shard.
+  EXPECT_EQ(serial.final_stats.swaps,
+            serial.swaps * static_cast<std::uint64_t>(swap_cfg.engine.shards));
+  EXPECT_GT(serial.verdicts, 0u);
+  EXPECT_GT(serial.rejoins, 0u);
+  if (profile.at_default_scale) {
+    EXPECT_GE(serial.distinct_sessions, 2000u)
+        << "swap soak churn shrank below the acceptance floor";
+  }
 }
 
 TEST_F(SoakTest, DiurnalTtlEvictionMatchesExplicitCloses) {

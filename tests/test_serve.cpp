@@ -1,8 +1,11 @@
 // Streaming detection service suite: warm-up boundary, per-session
 // isolation (interleaved sessions reproduce dedicated OnlineMonitors
 // bit-for-bit), admission control, deterministic golden replay (serial vs
-// pooled flushes byte-identical, pinned against tests/golden/), and
-// concurrent ingest (the TSan CI job runs this binary).
+// pooled flushes byte-identical, pinned against tests/golden/, including a
+// mid-stream hot-swap + rollback segment), live model hot-swap (epoch
+// boundary latency, no-op self-swap oracle, shadow scoring, rollback,
+// registry-driven swap), and concurrent ingest (the TSan CI job runs this
+// binary).
 //
 // Re-bless the replay golden after an intentional model/output change:
 //   CPSGUARD_BLESS=1 ./build/tests/test_serve
@@ -20,8 +23,10 @@
 #include "core/experiment.h"
 #include "core/online_monitor.h"
 #include "obs/sha256.h"
+#include "registry/registry.h"
 #include "serve/stable_hash.h"
 #include "util/contracts.h"
+#include "util/error.h"
 #include "util/thread_pool.h"
 
 #ifndef CPSGUARD_GOLDEN_DIR
@@ -49,10 +54,15 @@ class ServeTest : public ::testing::Test {
   ServeTest() : exp_(tiny_config()) {}
 
   monitor::MlMonitor& mon() { return exp_.monitor(mlp_); }
+  /// A second, genuinely different model (other architecture, other
+  /// scaler-space behaviour is identical since the scaler fits the same
+  /// data) for hot-swap tests.
+  monitor::MlMonitor& next_mon() { return exp_.monitor(gru_); }
   int window() const { return exp_.config().dataset.window; }
 
   core::Experiment exp_;
   const core::MonitorVariant mlp_{monitor::Arch::kMlp, false};
+  const core::MonitorVariant gru_{monitor::Arch::kGru, false};
 };
 
 TEST_F(ServeTest, WarmupBoundary) {
@@ -245,8 +255,24 @@ TEST_F(ServeTest, RoutingIsStable) {
 
 // ---- deterministic golden replay ------------------------------------------
 
+/// Serialize one VerdictEvent as a replay line. p_unsafe goes out as raw
+/// IEEE-754 bits — byte-identity, not just closeness — and model_version
+/// pins which model scored the window.
+std::string verdict_line(const VerdictEvent& ev) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(ev.p_unsafe));
+  std::memcpy(&bits, &ev.p_unsafe, sizeof(bits));
+  char line[112];
+  std::snprintf(line, sizeof(line), "%llu,%d,%d,%llu,%016llx\n",
+                static_cast<unsigned long long>(ev.session), ev.cycle,
+                ev.prediction,
+                static_cast<unsigned long long>(ev.model_version),
+                static_cast<unsigned long long>(bits));
+  return line;
+}
+
 std::string replay(core::Experiment& exp, monitor::MlMonitor& mon,
-                   bool deterministic) {
+                   monitor::MlMonitor& next, bool deterministic) {
   EngineConfig cfg;
   cfg.window = exp.config().dataset.window;
   cfg.shards = 4;
@@ -257,7 +283,6 @@ std::string replay(core::Experiment& exp, monitor::MlMonitor& mon,
   const auto& traces = exp.test_traces();
   const int kSessions = 8;
   std::string out;
-  char line[96];
   const sim::Trace& longest = traces.front();
   for (int t = 0; t < longest.length(); ++t) {
     // Churn segment: two sessions close mid-stream and reopen on their
@@ -267,33 +292,33 @@ std::string replay(core::Experiment& exp, monitor::MlMonitor& mon,
       engine.close_session(1000);      // reopens next cycle
       engine.close_session(1000 + 21); // s == 3
     }
+    // Swap segment: hot-swap to the second model a third of the way in
+    // (activates inside that tick, after its flush — so that tick's
+    // verdicts still carry v1), then roll back to v1 at two thirds. The
+    // golden therefore pins the epoch protocol and the raw-ring rescale.
+    if (t == longest.length() / 3) engine.stage_model(next, 2);
+    if (t == 2 * longest.length() / 3) engine.rollback();
     for (int s = 0; s < kSessions; ++s) {
       const sim::Trace& trace = traces[static_cast<std::size_t>(s) % traces.size()];
       if (t >= trace.length()) continue;
       engine.submit(1000 + static_cast<SessionId>(s) * 7,
                     trace.steps[static_cast<std::size_t>(t)]);
     }
-    for (const auto& ev : engine.tick()) {
-      // p_unsafe serialized as raw bits: byte-identity, not just closeness.
-      std::uint64_t bits = 0;
-      static_assert(sizeof(bits) == sizeof(ev.p_unsafe));
-      std::memcpy(&bits, &ev.p_unsafe, sizeof(bits));
-      std::snprintf(line, sizeof(line), "%llu,%d,%d,%016llx\n",
-                    static_cast<unsigned long long>(ev.session), ev.cycle,
-                    ev.prediction, static_cast<unsigned long long>(bits));
-      out += line;
-    }
+    for (const auto& ev : engine.tick()) out += verdict_line(ev);
   }
   return out;
 }
 
 TEST_F(ServeTest, DeterministicGoldenReplay) {
-  // Serial deterministic mode vs pooled flushes: the verdict stream must
-  // be byte-identical, and match the checked-in golden.
+  // Serial deterministic mode vs pooled flushes: the verdict stream —
+  // including the mid-stream hot-swap and rollback — must be
+  // byte-identical, and match the checked-in golden.
   util::set_max_parallelism(1);
-  const std::string serial = replay(exp_, mon(), /*deterministic=*/true);
+  const std::string serial =
+      replay(exp_, mon(), next_mon(), /*deterministic=*/true);
   util::set_max_parallelism(0);
-  const std::string pooled = replay(exp_, mon(), /*deterministic=*/false);
+  const std::string pooled =
+      replay(exp_, mon(), next_mon(), /*deterministic=*/false);
   ASSERT_FALSE(serial.empty());
   ASSERT_EQ(serial, pooled)
       << "serial and pooled serve runs diverged — a flush reduction or "
@@ -314,6 +339,269 @@ TEST_F(ServeTest, DeterministicGoldenReplay) {
       << "serve replay drifted from " << golden
       << " (re-bless with CPSGUARD_BLESS=1 if intentional)";
   EXPECT_EQ(serial, expected);
+}
+
+// ---- live model hot-swap ---------------------------------------------------
+
+/// Drive `sessions` interleaved sessions through `engine` for the length of
+/// the longest trace, calling `at_tick(t)` before each cycle's submits, and
+/// return the serialized verdict stream.
+template <typename AtTick>
+std::string drive(core::Experiment& exp, Engine& engine, int sessions,
+                  AtTick at_tick) {
+  const auto& traces = exp.test_traces();
+  std::string out;
+  const int steps = traces.front().length();
+  for (int t = 0; t < steps; ++t) {
+    at_tick(t);
+    for (int s = 0; s < sessions; ++s) {
+      const sim::Trace& trace =
+          traces[static_cast<std::size_t>(s) % traces.size()];
+      if (t >= trace.length()) continue;
+      engine.submit(2000 + static_cast<SessionId>(s) * 11,
+                    trace.steps[static_cast<std::size_t>(t)]);
+    }
+    for (const auto& ev : engine.tick()) out += verdict_line(ev);
+  }
+  return out;
+}
+
+TEST_F(ServeTest, SwapActivatesAtEpochBoundaryWithBoundedLatency) {
+  EngineConfig cfg;
+  cfg.window = window();
+  cfg.shards = 2;
+  cfg.max_batch = 16;
+  Engine engine(mon(), cfg);
+  const sim::Trace& trace = exp_.test_traces().front();
+
+  // Warm up one session so every tick emits a verdict.
+  int t = 0;
+  for (; t < window(); ++t) {
+    engine.submit(7, trace.steps[static_cast<std::size_t>(t)]);
+    (void)engine.tick();
+  }
+
+  engine.stage_model(next_mon(), 2);
+  // Staging is not activation: verdicts keep flowing from v1 until the
+  // next epoch boundary.
+  EXPECT_EQ(engine.active_version(), 1u);
+  EXPECT_EQ(engine.staged_version(), 2u);
+
+  // The activating tick flushes with the old model first, so its verdicts
+  // still carry v1 — no micro-batch ever mixes versions.
+  engine.submit(7, trace.steps[static_cast<std::size_t>(t++)]);
+  const auto boundary = engine.tick();
+  ASSERT_EQ(boundary.size(), 1u);
+  EXPECT_EQ(boundary[0].model_version, 1u);
+  EXPECT_EQ(engine.active_version(), 2u);
+  EXPECT_EQ(engine.staged_version(), 0u);
+
+  // From the very next tick on, verdicts carry v2: latency is exactly one
+  // flush epoch, never more.
+  engine.submit(7, trace.steps[static_cast<std::size_t>(t++)]);
+  const auto after = engine.tick();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].model_version, 2u);
+
+  const SwapStats& ss = engine.swap_stats();
+  EXPECT_EQ(ss.swaps, 1u);
+  EXPECT_EQ(ss.last_activate_tick, ss.last_stage_tick);
+  EXPECT_LE(ss.max_latency_ticks, 1);
+  EXPECT_EQ(engine.stats().swaps, 2u);  // one activation per shard
+}
+
+TEST_F(ServeTest, NoOpSelfSwapLeavesStreamByteIdentical) {
+  // Swapping in a clone of the active model at the active version must be
+  // invisible: the raw-ring rescale reproduces every in-flight window bit
+  // for bit, so the full verdict stream (version column included) matches
+  // a swap-free run exactly. This is the standing no-op oracle the loadgen
+  // soak leans on.
+  EngineConfig cfg;
+  cfg.window = window();
+  cfg.shards = 4;
+  cfg.max_batch = 8;
+  Engine plain(mon(), cfg);
+  const std::string baseline = drive(exp_, plain, 6, [](int) {});
+
+  Engine swapping(mon(), cfg);
+  const std::string swapped =
+      drive(exp_, swapping, 6, [&](int t) {
+        if (t > 0 && t % 5 == 0) {
+          swapping.stage_model(mon(), swapping.active_version());
+        }
+      });
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(swapped, baseline)
+      << "self-swap perturbed the verdict stream — the raw-ring rescale is "
+         "not bit-identical to fresh ingest";
+  EXPECT_GT(swapping.swap_stats().swaps, 0u);
+  EXPECT_LE(swapping.swap_stats().max_latency_ticks, 1);
+}
+
+TEST_F(ServeTest, ShadowModeDualScoresWithoutChangingVerdicts) {
+  EngineConfig cfg;
+  cfg.window = window();
+  cfg.shards = 2;
+  cfg.max_batch = 8;
+  Engine plain(mon(), cfg);
+  const std::string baseline = drive(exp_, plain, 4, [](int) {});
+
+  // Shadow-stage the candidate a third of the way in: verdicts must stay
+  // byte-identical to the baseline (the shadow model observes, never
+  // scores), while the shadow counters prove it actually ran.
+  Engine shadowed(mon(), cfg);
+  const int stage_at = exp_.test_traces().front().length() / 3;
+  const std::string stream =
+      drive(exp_, shadowed, 4, [&](int t) {
+        if (t == stage_at) {
+          shadowed.stage_model(next_mon(), 2, SwapMode::kShadow);
+        }
+      });
+  EXPECT_EQ(stream, baseline);
+  EXPECT_EQ(shadowed.active_version(), 1u);
+  EXPECT_EQ(shadowed.shadow_version(), 2u);
+  EXPECT_GT(shadowed.stats().shadow_windows, 0u);
+  EXPECT_LE(shadowed.stats().shadow_disagree, shadowed.stats().shadow_windows);
+
+  // Promotion turns the shadow into a staged epoch swap; the next tick
+  // activates it.
+  EXPECT_TRUE(shadowed.promote_shadow());
+  EXPECT_EQ(shadowed.staged_version(), 2u);
+  EXPECT_EQ(shadowed.shadow_version(), 0u);
+  (void)shadowed.tick();
+  EXPECT_EQ(shadowed.active_version(), 2u);
+  EXPECT_FALSE(shadowed.promote_shadow());  // nothing left to promote
+}
+
+TEST_F(ServeTest, RollbackRestoresThePreviousModelStream) {
+  EngineConfig cfg;
+  cfg.window = window();
+  cfg.shards = 2;
+  cfg.max_batch = 8;
+  Engine plain(mon(), cfg);
+  const std::string baseline = drive(exp_, plain, 4, [](int) {});
+
+  // Swap to v2 a third of the way in, roll back at two thirds. After the
+  // rollback activates, the stream must rejoin the never-swapped baseline
+  // exactly — same predictions, same bits, same version column — because
+  // the raw rings rebuild v1's scaled windows bit for bit.
+  const int steps = exp_.test_traces().front().length();
+  Engine engine(mon(), cfg);
+  bool rolled = false;
+  const std::string stream = drive(exp_, engine, 4, [&](int t) {
+    if (t == steps / 3) engine.stage_model(next_mon(), 2);
+    if (t == 2 * steps / 3) rolled = engine.rollback();
+  });
+  EXPECT_TRUE(rolled);
+  EXPECT_EQ(engine.active_version(), 1u);
+  EXPECT_EQ(engine.swap_stats().swaps, 2u);  // swap + rollback activation
+
+  // Compare the post-rollback suffix line by line against the baseline.
+  // The rollback staged at tick 2*steps/3 activates inside that tick, so
+  // every verdict from cycle 2*steps/3 + 1 on must match.
+  std::map<std::string, std::string> base_lines;  // "session,cycle" -> line
+  auto index = [](const std::string& s,
+                  std::map<std::string, std::string>& into) {
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      const std::size_t eol = s.find('\n', pos);
+      const std::string line = s.substr(pos, eol - pos);
+      const std::size_t second_comma = line.find(',', line.find(',') + 1);
+      into[line.substr(0, second_comma)] = line;
+      pos = eol + 1;
+    }
+  };
+  std::map<std::string, std::string> got_lines;
+  index(baseline, base_lines);
+  index(stream, got_lines);
+  int compared = 0;
+  for (const auto& [key, line] : got_lines) {
+    const int cycle = std::stoi(key.substr(key.find(',') + 1));
+    if (cycle <= 2 * steps / 3) continue;
+    ASSERT_TRUE(base_lines.count(key)) << key;
+    EXPECT_EQ(line, base_lines[key]) << "post-rollback divergence at " << key;
+    ++compared;
+  }
+  EXPECT_GT(compared, 0);
+
+  // Rollback with nothing to roll back is a clean no-op.
+  Engine idle(mon(), cfg);
+  EXPECT_FALSE(idle.rollback());
+  // Rollback before activation just drops the staged model.
+  idle.stage_model(next_mon(), 2);
+  EXPECT_FALSE(idle.rollback());
+  EXPECT_EQ(idle.staged_version(), 0u);
+  (void)idle.tick();
+  EXPECT_EQ(idle.active_version(), 1u);
+}
+
+TEST_F(ServeTest, SwapModelFromRegistryMatchesFromScratchEngine) {
+  const fs::path dir =
+      fs::temp_directory_path() / "cpsguard_serve_registry_swap";
+  fs::remove_all(dir);
+  registry::ModelRegistry reg(dir.string());
+  (void)exp_.publish_monitor(mlp_, reg);  // v1
+  (void)exp_.publish_monitor(gru_, reg);  // v2
+
+  EngineConfig cfg;
+  cfg.window = window();
+  cfg.shards = 2;
+  cfg.max_batch = 8;
+
+  // Reference: the candidate model serving from the very first cycle.
+  Engine reference(next_mon(), cfg);
+  const std::string ref_stream = drive(exp_, reference, 4, [](int) {});
+
+  // Swap the registry's v2 in mid-stream. The mmap'd artifact dies inside
+  // swap_model (shards clone), so GC'ing v1 afterwards is safe.
+  const int steps = exp_.test_traces().front().length();
+  Engine engine(mon(), cfg);
+  const std::string stream = drive(exp_, engine, 4, [&](int t) {
+    if (t == steps / 2) {
+      engine.swap_model(reg, 2);
+      EXPECT_EQ(reg.gc(1), (std::vector<std::uint64_t>{1}));
+    }
+  });
+  EXPECT_EQ(engine.active_version(), 2u);
+  EXPECT_LE(engine.swap_stats().max_latency_ticks, 1);
+
+  // After activation the swapped engine must agree with the from-scratch
+  // reference bit for bit (modulo the version column: the reference's v1
+  // label vs the swapped engine's v2): the raw rings rebuild the
+  // candidate's scaled windows exactly as fresh ingest would.
+  auto tail = [&](const std::string& s) {
+    std::map<std::string, std::pair<int, std::string>> out;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      const std::size_t eol = s.find('\n', pos);
+      const std::string line = s.substr(pos, eol - pos);
+      const std::size_t c1 = line.find(',');
+      const std::size_t c2 = line.find(',', c1 + 1);
+      const std::size_t c3 = line.find(',', c2 + 1);
+      const int cycle = std::stoi(line.substr(c1 + 1, c2 - c1 - 1));
+      // prediction + p_unsafe bits, version column dropped.
+      out[line.substr(0, c2)] = {cycle, line.substr(c2 + 1, c3 - c2 - 1) +
+                                            line.substr(line.rfind(','))};
+      pos = eol + 1;
+    }
+    return out;
+  };
+  const auto ref_lines = tail(ref_stream);
+  const auto got_lines = tail(stream);
+  int compared = 0;
+  for (const auto& [key, val] : got_lines) {
+    if (val.first <= steps / 2) continue;
+    const auto it = ref_lines.find(key);
+    ASSERT_NE(it, ref_lines.end()) << key;
+    EXPECT_EQ(val.second, it->second.second)
+        << "post-swap divergence from from-scratch candidate at " << key;
+    ++compared;
+  }
+  EXPECT_GT(compared, 0);
+
+  // Asking for a version the registry no longer holds is a typed error.
+  EXPECT_THROW(engine.swap_model(reg, 1), CpsError);
+  fs::remove_all(dir);
 }
 
 // ---- concurrent ingest -----------------------------------------------------
